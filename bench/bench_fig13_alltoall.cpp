@@ -1,0 +1,64 @@
+// Figure 13: runtime of MPI_Alltoall on 128 Deimos cores as the per-rank
+// send buffer grows from 4 to 4096 floats. The paper measured 18.88 ms
+// (MinHop) vs 10.06 ms (DFSSSP) at 4096 floats (254 MiB aggregate).
+//
+// Model: all P*(P-1) flows are simultaneously live; the slowest flow (most
+// congested path, bottleneck-share bandwidth) gates the collective.
+// Expected shape: DFSSSP clearly below MinHop at large buffers; LASH worst.
+#include "bench_util.hpp"
+#include "routing/dfsssp.hpp"
+#include "routing/lash.hpp"
+#include "routing/minhop.hpp"
+
+using namespace dfsssp;
+using namespace dfsssp::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::parse(argc, argv);
+  Topology topo = make_deimos();
+  const std::uint32_t cores = 128;
+  const double link_bytes = 946.0 * 1024 * 1024;
+
+  struct Engine {
+    std::string name;
+    RoutingOutcome out;
+  };
+  std::vector<Engine> engines;
+  engines.push_back({"MinHop", MinHopRouter().route(topo)});
+  engines.push_back({"LASH", LashRouter().route(topo)});
+  engines.push_back({"DFSSSP", DfssspRouter().route(topo)});
+
+  Rng alloc_rng(0xF1613ULL);
+  RankMap map = RankMap::random_allocation(topo.net, cores, cores, alloc_rng);
+  Flows flows = map.to_flows(all_to_all(cores));
+
+  CongestionOptions copts;
+  copts.link_capacity = link_bytes;
+
+  Table table("Figure 13: modeled MPI_Alltoall runtime on 128 Deimos cores "
+              "[ms]",
+              {"floats/rank", "aggregate MiB", "MinHop", "LASH", "DFSSSP"});
+  for (std::uint32_t floats = 4; floats <= 4096; floats *= 4) {
+    // Each rank sends `floats` floats to every other rank.
+    const double bytes = 4.0 * floats;
+    const double aggregate =
+        bytes * cores * (cores - 1) / (1024.0 * 1024.0);
+    table.row().cell(floats).cell(aggregate, 1);
+    for (const auto& e : engines) {
+      if (!e.out.ok) {
+        table.cell("-");
+        continue;
+      }
+      PatternResult r = simulate_pattern(topo.net, e.out.table, flows, copts);
+      // Latency term: one software pipeline stage per peer.
+      const double seconds =
+          bytes / r.min_flow_bandwidth + (cores - 1) * 2e-6;
+      table.cell(seconds * 1e3, 2);
+    }
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  cfg.emit(table);
+  return 0;
+}

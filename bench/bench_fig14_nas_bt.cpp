@@ -1,0 +1,16 @@
+// Figure 14: NAS BT (block-tridiagonal solver) on Deimos, 121-1024 cores.
+// Expected shape: MinHop and DFSSSP tie at 121/256 cores (nearest-neighbor
+// traffic barely congests), diverge at 484 and strongly at 1024 where the
+// communication share dominates under MinHop.
+#include "bench_nas.hpp"
+
+using namespace dfsssp;
+using namespace dfsssp::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::parse(argc, argv);
+  const std::uint32_t steps[] = {121, 256, 484, 1024};
+  run_nas_bench("Figure 14", "BT", [](std::uint32_t p) { return make_nas_bt(p); },
+                cfg, steps);
+  return 0;
+}

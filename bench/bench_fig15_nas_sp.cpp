@@ -1,0 +1,15 @@
+// Figure 15: NAS SP (scalar-pentadiagonal solver) on Deimos, 121-1024
+// cores. Finer-grained than BT: the MinHop curve dips earlier (484 cores)
+// while DFSSSP keeps scaling.
+#include "bench_nas.hpp"
+
+using namespace dfsssp;
+using namespace dfsssp::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::parse(argc, argv);
+  const std::uint32_t steps[] = {121, 256, 484, 1024};
+  run_nas_bench("Figure 15", "SP", [](std::uint32_t p) { return make_nas_sp(p); },
+                cfg, steps);
+  return 0;
+}

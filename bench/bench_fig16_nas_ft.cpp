@@ -1,0 +1,15 @@
+// Figure 16: NAS FT (3-D FFT, alltoall-dominated) on Deimos, 128-1024
+// cores. Expected shape: because every iteration is a full alltoall,
+// DFSSSP's balancing pays off even at 128/256 cores (~25% in the paper).
+#include "bench_nas.hpp"
+
+using namespace dfsssp;
+using namespace dfsssp::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::parse(argc, argv);
+  const std::uint32_t steps[] = {128, 256, 512, 1024};
+  run_nas_bench("Figure 16", "FT", [](std::uint32_t p) { return make_nas_ft(p); },
+                cfg, steps);
+  return 0;
+}

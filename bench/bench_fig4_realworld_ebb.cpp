@@ -1,0 +1,34 @@
+// Figure 4: simulated effective bisection bandwidth of the six real-world
+// HPC systems (synthetic stand-ins, DESIGN.md §4) under every routing
+// engine. Paper: 1000 bisection patterns; default here 100 (--patterns).
+//
+// Expected shape: DF-/SSSP clearly best on the irregular systems (Ranger,
+// Deimos, Tsubame), near-parity on the non-blocking Odin; LASH far behind
+// on fat-tree-like systems; FatTree/DOR fail on most.
+#include "bench_util.hpp"
+
+using namespace dfsssp;
+using namespace dfsssp::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::parse(argc, argv);
+  auto routers = make_all_routers();
+
+  std::vector<std::string> columns{"system", "terminals"};
+  for (const auto& r : routers) columns.push_back(r->name());
+  Table table("Figure 4: eBB on real-world systems (relative, 1.0 = none congested)",
+              columns);
+
+  for (const Topology& topo : make_all_real_systems()) {
+    table.row().cell(topo.name).cell(topo.net.num_terminals());
+    for (const auto& router : routers) {
+      const double ebb = ebb_for(topo, *router, cfg.patterns, 0xF16'4);
+      table.cell(fmt_or_dash(ebb, 4));
+    }
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  cfg.emit(table);
+  return 0;
+}

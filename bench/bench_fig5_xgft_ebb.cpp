@@ -1,0 +1,41 @@
+// Figure 5: effective bisection bandwidth on extended generalized fat
+// trees, Table I parameters (64..2048 endpoints; --full adds 4096).
+//
+// Expected shape: MinHop / Up*/Down* / SSSP / DFSSSP roughly flat per tree
+// height with DF-/SSSP on top (about 2x MinHop at 1024); LASH and DOR
+// degrade steadily (DOR refuses: no coordinates on trees - the paper's DOR
+// bars exist because OpenSM's DOR falls back to lexicographic orders; we
+// report the failure instead).
+#include "bench_util.hpp"
+
+using namespace dfsssp;
+using namespace dfsssp::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::parse(argc, argv);
+  auto routers = make_all_routers();
+
+  std::vector<std::string> columns{"endpoints(nominal)", "XGFT", "actual"};
+  for (const auto& r : routers) columns.push_back(r->name());
+  Table table("Figure 5: eBB on XGFTs (relative)", columns);
+
+  for (const TableOneRow& row : table_one(cfg.full)) {
+    Topology topo = make_xgft(static_cast<std::uint32_t>(row.xgft_ms.size()),
+                              row.xgft_ms, row.xgft_ws);
+    std::string params = "(" + std::to_string(row.xgft_ms.size()) + ";";
+    for (auto m : row.xgft_ms) params += std::to_string(m) + ",";
+    params.back() = ';';
+    for (auto w : row.xgft_ws) params += std::to_string(w) + ",";
+    params.back() = ')';
+    table.row().cell(row.nominal_endpoints).cell(params)
+        .cell(topo.net.num_terminals());
+    for (const auto& router : routers) {
+      table.cell(fmt_or_dash(ebb_for(topo, *router, cfg.patterns, 0xF16'5), 4));
+    }
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  cfg.emit(table);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 6: effective bisection bandwidth on Kautz-graph networks, Table I
+// parameters. Expected shape: all engines deliver similar eBB (path
+// diversity of Kautz graphs leaves little for balancing to win), including
+// LASH — unlike on the trees of Figure 5.
+#include "bench_util.hpp"
+
+using namespace dfsssp;
+using namespace dfsssp::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::parse(argc, argv);
+  auto routers = make_all_routers();
+
+  std::vector<std::string> columns{"endpoints", "Kautz(b;n)", "switches"};
+  for (const auto& r : routers) columns.push_back(r->name());
+  Table table("Figure 6: eBB on Kautz networks (relative)", columns);
+
+  for (const TableOneRow& row : table_one(cfg.full)) {
+    Topology topo =
+        make_kautz(row.kautz_b, row.kautz_n, row.nominal_endpoints);
+    table.row().cell(row.nominal_endpoints)
+        .cell("(" + std::to_string(row.kautz_b) + ";" +
+              std::to_string(row.kautz_n) + ")")
+        .cell(topo.net.num_switches());
+    for (const auto& router : routers) {
+      table.cell(fmt_or_dash(ebb_for(topo, *router, cfg.patterns, 0xF16'6), 4));
+    }
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  cfg.emit(table);
+  return 0;
+}

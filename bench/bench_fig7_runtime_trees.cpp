@@ -1,0 +1,36 @@
+// Figure 7: routing runtime on k-ary n-trees, Table I parameters.
+// Expected shape: offline DFSSSP about an order of magnitude above MinHop,
+// LASH cheap on trees (no cycles to resolve), SSSP between MinHop and
+// DFSSSP.
+#include "bench_util.hpp"
+
+using namespace dfsssp;
+using namespace dfsssp::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::parse(argc, argv);
+  auto routers = make_all_routers();
+
+  std::vector<std::string> columns{"tree", "endpoints"};
+  for (const auto& r : routers) columns.push_back(r->name() + " [ms]");
+  Table table("Figure 7: routing runtime on k-ary n-trees", columns);
+
+  for (const TableOneRow& row : table_one(cfg.full)) {
+    Topology topo = make_kary_ntree(row.tree_k, row.tree_n);
+    table.row()
+        .cell(std::to_string(row.tree_k) + "-ary " +
+              std::to_string(row.tree_n) + "-tree")
+        .cell(topo.net.num_terminals());
+    for (const auto& router : routers) {
+      Timer timer;
+      RoutingOutcome out = router->route(topo);
+      const double ms = timer.milliseconds();
+      table.cell(out.ok ? fmt_or_dash(ms, 1) : "-");
+    }
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  cfg.emit(table);
+  return 0;
+}

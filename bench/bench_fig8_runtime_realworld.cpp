@@ -1,0 +1,31 @@
+// Figure 8: routing runtime on the real-world systems (stand-ins).
+// Expected shape: same as Figure 7 - offline DFSSSP roughly 10x MinHop,
+// dominated by the per-destination Dijkstra runs plus one cycle search.
+#include "bench_util.hpp"
+
+using namespace dfsssp;
+using namespace dfsssp::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::parse(argc, argv);
+  auto routers = make_all_routers();
+
+  std::vector<std::string> columns{"system", "terminals"};
+  for (const auto& r : routers) columns.push_back(r->name() + " [ms]");
+  Table table("Figure 8: routing runtime on real-world systems", columns);
+
+  for (const Topology& topo : make_all_real_systems()) {
+    table.row().cell(topo.name).cell(topo.net.num_terminals());
+    for (const auto& router : routers) {
+      Timer timer;
+      RoutingOutcome out = router->route(topo);
+      const double ms = timer.milliseconds();
+      table.cell(out.ok ? fmt_or_dash(ms, 1) : "-");
+    }
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  cfg.emit(table);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 9: number of virtual layers needed on random topologies.
+// 128 32-port switches with 16 endpoints each (16 ports left for fabric
+// links); the number of inter-switch links sweeps the density. Per point,
+// `--seeds` random topologies (paper: 100) are routed with LASH and with
+// DFSSSP (no balancing - we count *required* layers) and min/avg/max are
+// reported.
+//
+// Expected shape: DFSSSP needs fewer layers on sparse networks, LASH on
+// dense ones (its per-pair paths get shorter and conflict less), with a
+// crossover of the averages. The paper sees the crossover near 200 links;
+// with our LASH path selection it lands near 450 (see EXPERIMENTS.md).
+#include "bench_util.hpp"
+#include "routing/dfsssp.hpp"
+#include "routing/lash.hpp"
+
+using namespace dfsssp;
+using namespace dfsssp::bench;
+
+namespace {
+
+struct Agg {
+  int min = 1000, max = 0;
+  double sum = 0;
+  int n = 0;
+  int failures = 0;
+
+  void add(int v) {
+    min = std::min(min, v);
+    max = std::max(max, v);
+    sum += v;
+    ++n;
+  }
+  std::string str() const {
+    if (n == 0) return "-";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%d/%.2f/%d", min, sum / n, max);
+    std::string s = buf;
+    if (failures > 0) s += " (" + std::to_string(failures) + " fail)";
+    return s;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::parse(argc, argv);
+  const std::uint32_t num_switches = 128;
+  const std::uint32_t terminals = 16;
+  const std::uint32_t ports = 16;  // 32-port switch minus 16 endpoints
+  const Layer max_layers = 16;     // count the demand, don't clip at 8
+
+  std::vector<std::uint32_t> link_counts{140, 160, 180, 200, 240,
+                                         280, 320, 400, 500, 700};
+  if (cfg.full) link_counts.push_back(1000);
+
+  Table table("Figure 9: required virtual layers on random topologies "
+              "(min/avg/max over " + std::to_string(cfg.seeds) + " seeds)",
+              {"links", "LASH", "DFSSSP"});
+
+  LashRouter lash(LashOptions{.max_layers = max_layers});
+  DfssspRouter dfsssp(
+      DfssspOptions{.max_layers = max_layers, .balance = false});
+
+  for (std::uint32_t links : link_counts) {
+    Agg lash_agg, dfsssp_agg;
+    for (std::uint32_t seed = 0; seed < cfg.seeds; ++seed) {
+      Rng rng(0xF169'0000ULL + seed * 977 + links);
+      Topology topo = make_random(num_switches, terminals, links, ports, rng);
+      RoutingOutcome l = lash.route(topo);
+      if (l.ok) lash_agg.add(l.stats.layers_used);
+      else ++lash_agg.failures;
+      RoutingOutcome d = dfsssp.route(topo);
+      if (d.ok) dfsssp_agg.add(d.stats.layers_used);
+      else ++dfsssp_agg.failures;
+      std::printf(".");
+      std::fflush(stdout);
+    }
+    table.row().cell(links).cell(lash_agg.str()).cell(dfsssp_agg.str());
+  }
+  std::printf("\n");
+  cfg.emit(table);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Section IV's heuristic comparison: random topologies with 64 switches,
+// 1024 endpoints (16 per switch) and 128 inter-switch links; the number of
+// virtual layers each cycle-break heuristic needs.
+//
+// Expected shape (paper): weakest edge 3-5 layers, pseudo-random (first
+// edge) 4-8, heaviest edge 4-16 - weakest wins.
+#include "bench_util.hpp"
+#include "routing/dfsssp.hpp"
+
+using namespace dfsssp;
+using namespace dfsssp::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::parse(argc, argv);
+  const std::uint32_t num_switches = 64;
+  const std::uint32_t terminals = 16;
+  const std::uint32_t links = 128;
+  const std::uint32_t ports = 16;
+
+  Table table("Section IV: virtual layers per cycle-break heuristic (" +
+                  std::to_string(cfg.seeds) + " random topologies)",
+              {"heuristic", "min", "avg", "max", "failures(>32)"});
+
+  for (CycleHeuristic h : {CycleHeuristic::kWeakestEdge,
+                           CycleHeuristic::kFirstEdge,
+                           CycleHeuristic::kHeaviestEdge}) {
+    int mn = 1000, mx = 0, failures = 0;
+    double sum = 0;
+    int n = 0;
+    DfssspRouter router(
+        DfssspOptions{.max_layers = 32, .heuristic = h, .balance = false});
+    for (std::uint32_t seed = 0; seed < cfg.seeds; ++seed) {
+      Rng rng(0x4E0'0000ULL + seed * 131);
+      Topology topo = make_random(num_switches, terminals, links, ports, rng);
+      RoutingOutcome out = router.route(topo);
+      if (!out.ok) {
+        ++failures;
+        continue;
+      }
+      const int v = out.stats.layers_used;
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+      sum += v;
+      ++n;
+      std::printf(".");
+      std::fflush(stdout);
+    }
+    table.row().cell(to_string(h)).cell(n ? std::to_string(mn) : "-")
+        .cell(n ? fmt_or_dash(sum / n, 2) : "-")
+        .cell(n ? std::to_string(mx) : "-")
+        .cell(failures);
+  }
+  std::printf("\n");
+  cfg.emit(table);
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Google-benchmark microbenchmarks of the hot kernels: the per-destination
+// Dijkstra loop, the offline CDG build + resumable cycle search, the
+// Pearce-Kelly online CDG, the heap, and one congestion-simulation pattern.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "cdg/cdg.hpp"
+#include "cdg/online.hpp"
+#include "common/heap.hpp"
+#include "common/rng.hpp"
+#include "routing/collect.hpp"
+#include "routing/dfsssp.hpp"
+#include "routing/minhop.hpp"
+#include "routing/sssp.hpp"
+#include "sim/congestion.hpp"
+#include "topology/generators.hpp"
+
+namespace dfsssp {
+namespace {
+
+void BM_MinHopRoute(benchmark::State& state) {
+  Topology topo = make_kary_ntree(static_cast<std::uint32_t>(state.range(0)), 2);
+  MinHopRouter router;
+  for (auto _ : state) {
+    RoutingOutcome out = router.route(topo);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(topo.net.num_terminals()));
+}
+BENCHMARK(BM_MinHopRoute)->Arg(6)->Arg(10)->Arg(16);
+
+void BM_SsspRoute(benchmark::State& state) {
+  Topology topo = make_kary_ntree(static_cast<std::uint32_t>(state.range(0)), 2);
+  SsspRouter router;
+  for (auto _ : state) {
+    RoutingOutcome out = router.route(topo);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(topo.net.num_terminals()));
+}
+BENCHMARK(BM_SsspRoute)->Arg(6)->Arg(10)->Arg(16);
+
+void BM_OfflineLayering(benchmark::State& state) {
+  Rng rng(42);
+  Topology topo = make_random(static_cast<std::uint32_t>(state.range(0)), 8,
+                              static_cast<std::uint32_t>(state.range(0)) * 2,
+                              16, rng);
+  RoutingOutcome sssp = SsspRouter().route(topo);
+  PathSet paths = collect_paths(topo.net, sssp.table);
+  for (auto _ : state) {
+    LayerResult r = assign_layers_offline(
+        paths, static_cast<std::uint32_t>(topo.net.num_channels()),
+        LayerOptions{.max_layers = 16});
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(paths.size()));
+}
+BENCHMARK(BM_OfflineLayering)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_OnlineCdgInsert(benchmark::State& state) {
+  Rng rng(43);
+  Topology topo = make_random(32, 8, 64, 16, rng);
+  RoutingOutcome sssp = SsspRouter().route(topo);
+  PathSet paths = collect_paths(topo.net, sssp.table);
+  for (auto _ : state) {
+    OnlineCdg cdg(static_cast<std::uint32_t>(topo.net.num_channels()));
+    std::uint64_t accepted = 0;
+    for (std::uint32_t p = 0; p < paths.size(); ++p) {
+      accepted += cdg.try_add_path(paths.channels(p));
+    }
+    benchmark::DoNotOptimize(accepted);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(paths.size()));
+}
+BENCHMARK(BM_OnlineCdgInsert);
+
+void BM_HeapPushPop(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng.next();
+  MinHeap<std::uint64_t> heap(n);
+  for (auto _ : state) {
+    heap.reset(n);
+    for (std::uint32_t i = 0; i < n; ++i) heap.push(keys[i], i);
+    while (!heap.empty()) benchmark::DoNotOptimize(heap.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HeapPushPop)->Arg(1024)->Arg(16384);
+
+void BM_CongestionPattern(benchmark::State& state) {
+  Topology topo = make_deimos();
+  RoutingOutcome out = DfssspRouter().route(topo);
+  RankMap map = RankMap::round_robin(
+      topo.net, static_cast<std::uint32_t>(topo.net.num_terminals()));
+  Rng rng(11);
+  Flows flows = map.to_flows(random_bisection(map.num_ranks(), rng));
+  for (auto _ : state) {
+    PatternResult r = simulate_pattern(topo.net, out.table, flows);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(flows.size()));
+}
+BENCHMARK(BM_CongestionPattern);
+
+}  // namespace
+}  // namespace dfsssp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Shared harness for the NAS-model benches (Figures 14-16, Table II).
+#pragma once
+
+#include <functional>
+
+#include "bench_util.hpp"
+#include "routing/dfsssp.hpp"
+#include "routing/lash.hpp"
+#include "routing/minhop.hpp"
+#include "sim/appmodel.hpp"
+
+namespace dfsssp::bench {
+
+using KernelFactory = std::function<AppKernel(std::uint32_t)>;
+
+/// Runs one NAS kernel model on the Deimos stand-in for the paper's core
+/// counts under MinHop / LASH / DFSSSP and prints total Gflop/s per step.
+/// Allocation mirrors Section VI: one process per node up to 512 cores,
+/// 1024 processes on 250 nodes.
+inline void run_nas_bench(const std::string& figure, const std::string& kernel_name,
+                          const KernelFactory& factory, const BenchConfig& cfg,
+                          std::span<const std::uint32_t> core_steps) {
+  Topology topo = make_deimos();
+  struct Engine {
+    std::string name;
+    RoutingOutcome out;
+  };
+  std::vector<Engine> engines;
+  engines.push_back({"MinHop", MinHopRouter().route(topo)});
+  engines.push_back({"LASH", LashRouter().route(topo)});
+  engines.push_back({"DFSSSP", DfssspRouter().route(topo)});
+
+  Table table(figure + ": NAS " + kernel_name +
+                  " model on the Deimos stand-in [total Gflop/s]",
+              {"cores(request)", "ranks", "MinHop", "LASH", "DFSSSP",
+               "DFSSSP vs MinHop"});
+  for (std::uint32_t cores : core_steps) {
+    AppKernel kernel = factory(cores);
+    const std::uint32_t ranks = kernel_ranks(kernel);
+    const std::uint32_t nodes = std::min<std::uint32_t>(
+        ranks, cores > 512 ? 250 : ranks);
+    Rng alloc_rng(0xA55ULL + cores);
+    RankMap map =
+        RankMap::random_allocation(topo.net, ranks, nodes, alloc_rng);
+    double minhop_gf = 0, dfsssp_gf = 0;
+    table.row().cell(cores).cell(ranks);
+    for (const auto& e : engines) {
+      if (!e.out.ok) {
+        table.cell("-");
+        continue;
+      }
+      AppRunResult r = run_app_model(topo.net, e.out.table, map, kernel);
+      table.cell(r.gflops, 2);
+      if (e.name == "MinHop") minhop_gf = r.gflops;
+      if (e.name == "DFSSSP") dfsssp_gf = r.gflops;
+    }
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "+%.1f%%",
+                  100.0 * (dfsssp_gf / minhop_gf - 1.0));
+    table.cell(ratio);
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  cfg.emit(table);
+}
+
+}  // namespace dfsssp::bench

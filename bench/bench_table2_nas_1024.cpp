@@ -1,0 +1,52 @@
+// Table II: NAS Parallel Benchmarks at 1024 cores on Deimos - total
+// Gflop/s under MinHop vs DFSSSP and the improvement percentage.
+// Paper: improvements between +30% (CG/SP) and +95% (BT), FT/MG ~ +91%.
+#include "bench_nas.hpp"
+
+using namespace dfsssp;
+using namespace dfsssp::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::parse(argc, argv);
+  Topology topo = make_deimos();
+  RoutingOutcome minhop = MinHopRouter().route(topo);
+  RoutingOutcome dfsssp = DfssspRouter().route(topo);
+  if (!minhop.ok || !dfsssp.ok) {
+    std::printf("routing failed\n");
+    return 1;
+  }
+
+  struct Kernel {
+    const char* name;
+    AppKernel kernel;
+  };
+  const std::uint32_t cores = 1024;
+  std::vector<Kernel> kernels;
+  kernels.push_back({"BT", make_nas_bt(cores)});
+  kernels.push_back({"CG", make_nas_cg(cores)});
+  kernels.push_back({"FT", make_nas_ft(cores)});
+  kernels.push_back({"LU", make_nas_lu(cores)});
+  kernels.push_back({"MG", make_nas_mg(cores)});
+  kernels.push_back({"SP", make_nas_sp(cores)});
+
+  Table table("Table II: NAS models at 1024 cores on the Deimos stand-in",
+              {"kernel", "ranks", "MinHop Gflop/s", "DFSSSP Gflop/s",
+               "improvement"});
+  for (const Kernel& k : kernels) {
+    const std::uint32_t ranks = kernel_ranks(k.kernel);
+    Rng alloc_rng(0x7AB2ULL + ranks);
+    RankMap map = RankMap::random_allocation(topo.net, ranks, 250, alloc_rng);
+    AppRunResult a = run_app_model(topo.net, minhop.table, map, k.kernel);
+    AppRunResult b = run_app_model(topo.net, dfsssp.table, map, k.kernel);
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "+%.1f%%",
+                  100.0 * (b.gflops / a.gflops - 1.0));
+    table.row().cell(k.name).cell(ranks).cell(a.gflops, 2).cell(b.gflops, 2)
+        .cell(ratio);
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  cfg.emit(table);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Shared plumbing for the per-figure bench binaries.
+//
+// Every binary accepts:
+//   --full        run the largest paper configurations too (slower)
+//   --patterns=N  random bisection patterns per eBB data point
+//   --seeds=N     repetitions for randomized experiments
+//   --csv=FILE    additionally dump the table as CSV
+// Default sizes finish in seconds so `for b in build/bench/*; do $b; done`
+// stays practical; --full reproduces the paper's largest configurations.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "routing/router.hpp"
+#include "sim/congestion.hpp"
+#include "topology/generators.hpp"
+
+namespace dfsssp::bench {
+
+struct BenchConfig {
+  bool full = false;
+  std::uint32_t patterns = 100;
+  std::uint32_t seeds = 10;
+  std::string csv;
+
+  static BenchConfig parse(int argc, char** argv) {
+    Cli cli(argc, argv);
+    BenchConfig cfg;
+    cfg.full = cli.get_bool("full", false);
+    cfg.patterns = static_cast<std::uint32_t>(cli.get_int("patterns", 100));
+    cfg.seeds = static_cast<std::uint32_t>(cli.get_int("seeds", 10));
+    cfg.csv = cli.get("csv", "");
+    return cfg;
+  }
+
+  void emit(Table& table) const {
+    table.print();
+    if (!csv.empty()) {
+      table.write_csv(csv);
+      std::printf("(csv written to %s)\n", csv.c_str());
+    }
+  }
+};
+
+/// eBB over all terminals with a fixed pattern stream (so engines see
+/// identical patterns). Returns -1 when the engine refused the topology.
+inline double ebb_for(const Topology& topo, const Router& router,
+                      std::uint32_t patterns, std::uint64_t pattern_seed) {
+  RoutingOutcome out = router.route(topo);
+  if (!out.ok) return -1.0;
+  RankMap map = RankMap::round_robin(
+      topo.net, static_cast<std::uint32_t>(topo.net.num_terminals()));
+  Rng rng(pattern_seed);
+  return effective_bisection_bandwidth(topo.net, out.table, map, patterns, rng)
+      .ebb;
+}
+
+inline std::string fmt_or_dash(double v, int precision = 3) {
+  if (v < 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+/// Table I of the paper, as data.
+struct TableOneRow {
+  std::uint32_t nominal_endpoints;
+  std::vector<std::uint32_t> xgft_ms, xgft_ws;
+  std::uint32_t kautz_b, kautz_n;
+  std::uint32_t tree_k, tree_n;
+};
+
+inline std::vector<TableOneRow> table_one(bool full) {
+  std::vector<TableOneRow> rows = {
+      {64, {6}, {3}, 2, 2, 6, 2},
+      {128, {10}, {5}, 2, 2, 10, 2},
+      {256, {16}, {8}, 2, 3, 16, 2},
+      {512, {6, 6}, {3, 3}, 3, 3, 6, 3},
+      {1024, {10, 10}, {5, 5}, 3, 3, 10, 3},
+      {2048, {14, 14}, {7, 7}, 4, 3, 14, 3},
+  };
+  if (full) rows.push_back({4096, {18, 18}, {9, 9}, 6, 3, 18, 3});
+  return rows;
+}
+
+}  // namespace dfsssp::bench

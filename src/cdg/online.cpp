@@ -1,0 +1,166 @@
+#include "cdg/online.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dfsssp {
+
+namespace {
+
+/// Sorted-adjacency lookup; returns index or size() when absent.
+std::size_t find_adj(const std::vector<OnlineCdg::Adj>& list, ChannelId to);
+
+}  // namespace
+
+OnlineCdg::OnlineCdg(std::uint32_t num_channels)
+    : out_(num_channels), in_(num_channels), ord_(num_channels),
+      mark_(num_channels, 0) {
+  for (std::uint32_t i = 0; i < num_channels; ++i) ord_[i] = i;
+}
+
+namespace {
+
+std::size_t find_adj(const std::vector<OnlineCdg::Adj>& list, ChannelId to) {
+  auto it = std::lower_bound(
+      list.begin(), list.end(), to,
+      [](const OnlineCdg::Adj& a, ChannelId t) { return a.to < t; });
+  if (it == list.end() || it->to != to) return list.size();
+  return static_cast<std::size_t>(it - list.begin());
+}
+
+void insert_adj(std::vector<OnlineCdg::Adj>& list, ChannelId to) {
+  auto it = std::lower_bound(
+      list.begin(), list.end(), to,
+      [](const OnlineCdg::Adj& a, ChannelId t) { return a.to < t; });
+  list.insert(it, {to, 1});
+}
+
+void erase_adj(std::vector<OnlineCdg::Adj>& list, ChannelId to) {
+  std::size_t i = find_adj(list, to);
+  assert(i < list.size());
+  if (--list[i].refcount == 0) {
+    list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+}
+
+}  // namespace
+
+bool OnlineCdg::has_edge(ChannelId u, ChannelId v) const {
+  return find_adj(out_[u], v) < out_[u].size();
+}
+
+bool OnlineCdg::add_edge(ChannelId u, ChannelId v) {
+  if (u == v) return false;
+  std::size_t i = find_adj(out_[u], v);
+  if (i < out_[u].size()) {  // already present, just bump refcounts
+    ++out_[u][i].refcount;
+    ++in_[v][find_adj(in_[v], u)].refcount;
+    return true;
+  }
+  if (ord_[u] > ord_[v] && !reorder(u, v)) return false;
+  insert_adj(out_[u], v);
+  insert_adj(in_[v], u);
+  ++num_edges_;
+  return true;
+}
+
+void OnlineCdg::remove_edge(ChannelId u, ChannelId v) {
+  const bool last = out_[u][find_adj(out_[u], v)].refcount == 1;
+  erase_adj(out_[u], v);
+  erase_adj(in_[v], u);
+  if (last) --num_edges_;
+}
+
+bool OnlineCdg::reorder(ChannelId u, ChannelId v) {
+  // Because every existing edge (a,b) satisfies ord_[a] < ord_[b], any
+  // directed path has strictly increasing order values; both searches stay
+  // inside the affected window [ord_[v], ord_[u]] automatically.
+  const std::uint32_t ub = ord_[u];
+  const std::uint32_t lb = ord_[v];
+
+  std::vector<ChannelId> fwd{v}, stack{v};
+  mark_[v] = 1;
+  bool cycle = false;
+  while (!stack.empty() && !cycle) {
+    ChannelId w = stack.back();
+    stack.pop_back();
+    for (const Adj& a : out_[w]) {
+      if (a.to == u) {
+        cycle = true;  // v reaches u, so edge (u,v) would close a cycle
+        break;
+      }
+      if (!mark_[a.to] && ord_[a.to] < ub) {
+        mark_[a.to] = 1;
+        fwd.push_back(a.to);
+        stack.push_back(a.to);
+      }
+    }
+  }
+  if (cycle) {
+    for (ChannelId w : fwd) mark_[w] = 0;
+    return false;
+  }
+
+  std::vector<ChannelId> bwd{u};
+  stack.assign(1, u);
+  mark_[u] = 2;
+  while (!stack.empty()) {
+    ChannelId w = stack.back();
+    stack.pop_back();
+    for (const Adj& a : in_[w]) {
+      assert(mark_[a.to] != 1);  // overlap with fwd would be a missed cycle
+      if (!mark_[a.to] && ord_[a.to] > lb) {
+        mark_[a.to] = 2;
+        bwd.push_back(a.to);
+        stack.push_back(a.to);
+      }
+    }
+  }
+
+  // Reassign the union's order slots: the backward region (ending in u)
+  // first, then the forward region (starting at v).
+  auto by_ord = [this](ChannelId a, ChannelId b) { return ord_[a] < ord_[b]; };
+  std::sort(fwd.begin(), fwd.end(), by_ord);
+  std::sort(bwd.begin(), bwd.end(), by_ord);
+  std::vector<std::uint32_t> pool;
+  pool.reserve(fwd.size() + bwd.size());
+  for (ChannelId w : fwd) pool.push_back(ord_[w]);
+  for (ChannelId w : bwd) pool.push_back(ord_[w]);
+  std::sort(pool.begin(), pool.end());
+  std::size_t idx = 0;
+  for (ChannelId w : bwd) ord_[w] = pool[idx++];
+  for (ChannelId w : fwd) ord_[w] = pool[idx++];
+
+  for (ChannelId w : fwd) mark_[w] = 0;
+  for (ChannelId w : bwd) mark_[w] = 0;
+  return true;
+}
+
+bool OnlineCdg::try_add_path(std::span<const ChannelId> channels) {
+  std::size_t added = 0;
+  bool ok = true;
+  for (std::size_t i = 0; i + 1 < channels.size(); ++i) {
+    if (!add_edge(channels[i], channels[i + 1])) {
+      ok = false;
+      break;
+    }
+    ++added;
+  }
+  if (!ok) {
+    for (std::size_t i = 0; i < added; ++i) {
+      remove_edge(channels[i], channels[i + 1]);
+    }
+    return false;
+  }
+  ++num_paths_;
+  return true;
+}
+
+void OnlineCdg::remove_path(std::span<const ChannelId> channels) {
+  for (std::size_t i = 0; i + 1 < channels.size(); ++i) {
+    remove_edge(channels[i], channels[i + 1]);
+  }
+  --num_paths_;
+}
+
+}  // namespace dfsssp

@@ -1,0 +1,75 @@
+#include "cdg/report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <set>
+
+namespace dfsssp {
+
+std::vector<CdgLayerStats> cdg_layer_stats(const PathSet& paths,
+                                           std::span<const Layer> layer,
+                                           std::uint32_t num_channels) {
+  (void)num_channels;
+  Layer max_layer = 0;
+  for (std::uint32_t p = 0; p < paths.size(); ++p) {
+    max_layer = std::max(max_layer, layer[p]);
+  }
+  std::vector<CdgLayerStats> stats(static_cast<std::size_t>(max_layer) + 1);
+  std::vector<std::map<std::pair<ChannelId, ChannelId>, std::uint64_t>> edges(
+      stats.size());
+  std::vector<std::set<ChannelId>> nodes(stats.size());
+  for (std::uint32_t p = 0; p < paths.size(); ++p) {
+    const Layer l = layer[p];
+    stats[l].layer = l;
+    auto seq = paths.channels(p);
+    if (seq.empty()) continue;
+    ++stats[l].paths;
+    stats[l].weight += paths.weight(p);
+    for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+      edges[l][{seq[i], seq[i + 1]}] += paths.weight(p);
+      nodes[l].insert(seq[i]);
+      nodes[l].insert(seq[i + 1]);
+    }
+  }
+  for (std::size_t l = 0; l < stats.size(); ++l) {
+    stats[l].layer = static_cast<Layer>(l);
+    stats[l].nodes = static_cast<std::uint32_t>(nodes[l].size());
+    stats[l].edges = static_cast<std::uint32_t>(edges[l].size());
+    for (const auto& [edge, w] : edges[l]) {
+      stats[l].max_edge_weight = std::max(stats[l].max_edge_weight, w);
+    }
+  }
+  return stats;
+}
+
+void write_cdg_dot(const Network& net, const PathSet& paths,
+                   std::span<const Layer> layer, Layer which,
+                   std::ostream& out) {
+  std::map<std::pair<ChannelId, ChannelId>, std::uint64_t> edges;
+  std::set<ChannelId> nodes;
+  for (std::uint32_t p = 0; p < paths.size(); ++p) {
+    if (layer[p] != which) continue;
+    auto seq = paths.channels(p);
+    for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+      edges[{seq[i], seq[i + 1]}] += paths.weight(p);
+      nodes.insert(seq[i]);
+      nodes.insert(seq[i + 1]);
+    }
+  }
+  auto label = [&](ChannelId c) {
+    const Channel& ch = net.channel(c);
+    return net.node(ch.src).name + "->" + net.node(ch.dst).name;
+  };
+  out << "digraph cdg_layer_" << unsigned(which) << " {\n";
+  for (ChannelId c : nodes) {
+    out << "  \"" << label(c) << "\";\n";
+  }
+  for (const auto& [edge, weight] : edges) {
+    out << "  \"" << label(edge.first) << "\" -> \"" << label(edge.second)
+        << "\" [label=\"" << weight << "\"];\n";
+  }
+  out << "}\n";
+}
+
+}  // namespace dfsssp

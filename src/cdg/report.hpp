@@ -1,0 +1,39 @@
+// Introspection helpers for channel dependency graphs: per-layer statistics
+// (how Algorithm 2 distributed the paths) and DOT export for visualizing a
+// layer's CDG — the pictures in the paper's Figures 1-3, generated from a
+// live routing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "cdg/paths.hpp"
+#include "common/types.hpp"
+#include "topology/network.hpp"
+
+namespace dfsssp {
+
+struct CdgLayerStats {
+  Layer layer = 0;
+  std::uint64_t paths = 0;        // paths assigned to this layer
+  std::uint64_t weight = 0;       // terminal-pair weighted
+  std::uint32_t nodes = 0;        // channels with at least one dependency
+  std::uint32_t edges = 0;        // distinct dependency edges
+  std::uint64_t max_edge_weight = 0;
+};
+
+/// One entry per layer 0..max(layer); empty layers included.
+std::vector<CdgLayerStats> cdg_layer_stats(const PathSet& paths,
+                                           std::span<const Layer> layer,
+                                           std::uint32_t num_channels);
+
+/// Writes one layer's CDG as a graphviz digraph. Channel nodes are labeled
+/// "src->dst" using node names from `net`; edge labels carry the inducing
+/// path weight.
+void write_cdg_dot(const Network& net, const PathSet& paths,
+                   std::span<const Layer> layer, Layer which,
+                   std::ostream& out);
+
+}  // namespace dfsssp

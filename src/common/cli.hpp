@@ -1,0 +1,34 @@
+// Minimal command-line flag parser for the examples and bench binaries.
+//
+// Supported syntax: --key=value, --key value, and bare --flag (boolean).
+// Unknown positional arguments are collected in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dfsssp {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dfsssp

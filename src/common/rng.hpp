@@ -1,0 +1,57 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// We deliberately avoid std::mt19937 + std::uniform_int_distribution in the
+// library core: their results differ across standard-library implementations,
+// which would make the reproduction's simulated numbers non-portable. The
+// xoshiro256** generator with a SplitMix64 seeder is fast, well-tested and
+// fully specified here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dfsssp {
+
+/// SplitMix64 step; used to expand a single 64-bit seed into generator state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** 1.0 (Blackman/Vigna) — the library-wide PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased method.
+  /// `bound` must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    shuffle(std::span<T>(items));
+  }
+
+  /// A fresh generator whose seed is derived from this one; use to give each
+  /// repetition of an experiment an independent, reproducible stream.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dfsssp

@@ -1,0 +1,35 @@
+// Core identifier types shared by every dfsssp module.
+//
+// Nodes (switches and terminals) and directed channels are identified by
+// dense 32-bit indices into the owning Network's storage. Using plain
+// integral indices keeps the hot routing loops free of pointer chasing and
+// makes every per-node / per-channel attribute a flat array.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dfsssp {
+
+/// Index of a node (switch or terminal) inside a Network.
+using NodeId = std::uint32_t;
+
+/// Index of a directed channel inside a Network.
+using ChannelId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "no channel" (e.g. forwarding-table entry for a terminal
+/// that is attached to the switch itself).
+inline constexpr ChannelId kInvalidChannel =
+    std::numeric_limits<ChannelId>::max();
+
+/// Virtual layer (InfiniBand: virtual lane). The IB spec allows 16, current
+/// hardware 8; we keep the type wide enough for either.
+using Layer = std::uint8_t;
+
+/// Sentinel for "no layer assigned yet".
+inline constexpr Layer kInvalidLayer = std::numeric_limits<Layer>::max();
+
+}  // namespace dfsssp

@@ -1,0 +1,34 @@
+// Disjoint-set forest with path halving and union by size.
+// Used by the random-topology generator to guarantee connectivity and by
+// tests that check spanning properties.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dfsssp {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n = 0) { reset(n); }
+
+  void reset(std::size_t n);
+
+  /// Representative of x's set.
+  std::uint32_t find(std::uint32_t x);
+
+  /// Merges the sets of a and b; returns false when already joined.
+  bool unite(std::uint32_t a, std::uint32_t b);
+
+  /// Number of disjoint sets remaining.
+  std::size_t num_sets() const { return num_sets_; }
+
+  std::size_t size_of(std::uint32_t x) { return size_[find(x)]; }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t num_sets_ = 0;
+};
+
+}  // namespace dfsssp

@@ -1,0 +1,46 @@
+#include "routing/collect.hpp"
+
+#include <stdexcept>
+
+#include "cdg/verify.hpp"
+
+namespace dfsssp {
+
+PathSet collect_paths(const Network& net, const RoutingTable& table) {
+  PathSet paths;
+  std::vector<ChannelId> seq;
+  for (NodeId src_sw : net.switches()) {
+    const std::uint32_t weight = net.terminals_on(src_sw);
+    if (weight == 0) continue;
+    for (NodeId t : net.terminals()) {
+      if (net.switch_of(t) == src_sw) continue;
+      if (!table.extract_path(net, src_sw, t, seq)) {
+        throw std::runtime_error("collect_paths: broken forwarding from " +
+                                 net.node(src_sw).name + " to " +
+                                 net.node(t).name);
+      }
+      paths.add(net.node(src_sw).type_index, net.node(t).type_index, seq,
+                weight);
+    }
+  }
+  return paths;
+}
+
+std::vector<Layer> collect_layers(const Network& net, const RoutingTable& table,
+                                  const PathSet& paths) {
+  std::vector<Layer> layers(paths.size());
+  for (std::uint32_t p = 0; p < paths.size(); ++p) {
+    layers[p] = table.layer(net.switch_by_index(paths.src_switch_index(p)),
+                            net.terminal_by_index(paths.dst_terminal_index(p)));
+  }
+  return layers;
+}
+
+bool routing_is_deadlock_free(const Network& net, const RoutingTable& table) {
+  PathSet paths = collect_paths(net, table);
+  std::vector<Layer> layers = collect_layers(net, table, paths);
+  return layering_is_deadlock_free(paths, layers,
+                                   static_cast<std::uint32_t>(net.num_channels()));
+}
+
+}  // namespace dfsssp

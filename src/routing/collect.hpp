@@ -1,0 +1,25 @@
+// Bridges forwarding tables to the deadlock machinery and the simulators.
+#pragma once
+
+#include "cdg/paths.hpp"
+#include "routing/table.hpp"
+#include "topology/network.hpp"
+
+namespace dfsssp {
+
+/// Extracts every routed path unit (source switch with at least one
+/// terminal, destination terminal on another switch) as channel sequences,
+/// weighted by the number of terminals on the source switch. Throws
+/// std::runtime_error when a forwarding walk is broken — verify connectivity
+/// first if failure must be handled gracefully.
+PathSet collect_paths(const Network& net, const RoutingTable& table);
+
+/// Copies the per-path layers out of `table` in collect_paths() order.
+std::vector<Layer> collect_layers(const Network& net, const RoutingTable& table,
+                                  const PathSet& paths);
+
+/// True when every virtual layer's channel dependency graph is acyclic —
+/// the paper's deadlock-freedom criterion applied to a finished routing.
+bool routing_is_deadlock_free(const Network& net, const RoutingTable& table);
+
+}  // namespace dfsssp

@@ -1,0 +1,108 @@
+#include "routing/dfsssp.hpp"
+
+#include <memory>
+
+#include "cdg/online.hpp"
+#include "cdg/verify.hpp"
+#include "common/timer.hpp"
+#include "routing/collect.hpp"
+#include "routing/sssp.hpp"
+
+namespace dfsssp {
+
+RoutingOutcome DfssspRouter::route(const Topology& topo) const {
+  const Network& net = topo.net;
+  RoutingOutcome out = route_sssp(net, SsspOptions{.balance = true});
+  if (!out.ok) return out;
+
+  Timer timer;
+  const std::uint32_t num_channels =
+      static_cast<std::uint32_t>(net.num_channels());
+  PathSet paths = collect_paths(net, out.table);
+
+  std::vector<Layer> layer;
+  Layer layers_used = 1;
+  const LayeringMode mode = options_.effective_mode();
+  if (mode == LayeringMode::kOnline) {
+    layer.assign(paths.size(), 0);
+    std::vector<std::unique_ptr<OnlineCdg>> layers;
+    for (std::uint32_t p = 0; p < paths.size(); ++p) {
+      auto seq = paths.channels(p);
+      if (seq.size() < 2) continue;  // no dependencies, stays in layer 0
+      Layer assigned = kInvalidLayer;
+      for (Layer l = 0; l < options_.max_layers; ++l) {
+        if (l == layers.size()) {
+          layers.push_back(std::make_unique<OnlineCdg>(num_channels));
+        }
+        if (layers[l]->try_add_path(seq)) {
+          assigned = l;
+          break;
+        }
+      }
+      if (assigned == kInvalidLayer) {
+        return RoutingOutcome::failure(
+            "DFSSSP(online): ran out of virtual layers (" +
+            std::to_string(options_.max_layers) + ")");
+      }
+      layer[p] = assigned;
+      layers_used = std::max(layers_used, static_cast<Layer>(assigned + 1));
+    }
+    if (options_.balance) {
+      layers_used =
+          balance_layers(paths, layer, layers_used, options_.max_layers);
+    }
+  } else if (mode == LayeringMode::kOnlineNaive) {
+    // The paper's first approach: per path, per candidate layer, rebuild
+    // the layer's member set and run a full depth-first cycle search.
+    layer.assign(paths.size(), 0);
+    std::vector<std::vector<std::uint32_t>> members(options_.max_layers);
+    for (std::uint32_t p = 0; p < paths.size(); ++p) {
+      auto seq = paths.channels(p);
+      if (seq.size() < 2) continue;
+      Layer assigned = kInvalidLayer;
+      for (Layer l = 0; l < options_.max_layers; ++l) {
+        members[l].push_back(p);
+        if (paths_are_acyclic(paths, members[l], num_channels)) {
+          assigned = l;
+          break;
+        }
+        members[l].pop_back();
+      }
+      if (assigned == kInvalidLayer) {
+        return RoutingOutcome::failure(
+            "DFSSSP(naive-online): ran out of virtual layers (" +
+            std::to_string(options_.max_layers) + ")");
+      }
+      layer[p] = assigned;
+      layers_used = std::max(layers_used, static_cast<Layer>(assigned + 1));
+    }
+    if (options_.balance) {
+      layers_used =
+          balance_layers(paths, layer, layers_used, options_.max_layers);
+    }
+  } else {
+    LayerOptions lopts;
+    lopts.max_layers = options_.max_layers;
+    lopts.heuristic = options_.heuristic;
+    lopts.balance = options_.balance;
+    LayerResult res = assign_layers_offline(paths, num_channels, lopts);
+    if (!res.ok) {
+      return RoutingOutcome::failure("DFSSSP: " + res.error);
+    }
+    layer = std::move(res.layer);
+    layers_used = res.layers_used;
+    out.stats.cycles_broken = res.cycles_broken;
+  }
+
+  for (std::uint32_t p = 0; p < paths.size(); ++p) {
+    out.table.set_layer(net.switch_by_index(paths.src_switch_index(p)),
+                        net.terminal_by_index(paths.dst_terminal_index(p)),
+                        layer[p]);
+  }
+  out.table.set_num_layers(layers_used);
+  out.stats.layers_used = layers_used;
+  out.stats.layering_seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace dfsssp

@@ -1,0 +1,21 @@
+// Dimension-order routing for meshes and tori (OpenSM's DOR engine).
+//
+// Requires the generator's coordinate metadata; refuses any topology
+// without it. Corrects each dimension in order, taking the shorter way
+// around wraparound rings. Deadlock-free on meshes; on tori the wraparound
+// rings make the channel dependency graph cyclic (the classical dateline
+// problem), which the paper pairs with LASH as the cycle-free variant.
+#pragma once
+
+#include "routing/router.hpp"
+
+namespace dfsssp {
+
+class DorRouter final : public Router {
+ public:
+  std::string name() const override { return "DOR"; }
+  bool deadlock_free() const override { return false; }
+  RoutingOutcome route(const Topology& topo) const override;
+};
+
+}  // namespace dfsssp

@@ -1,0 +1,36 @@
+// Deadlock-free dimension-order routing for tori via dateline layers.
+//
+// Plain DOR is cycle-free on meshes but each wraparound ring is a cycle
+// (test_dor demonstrates it). OpenSM ships Torus-2QoS for this; it rewrites
+// the VL per hop through SL2VL tables. Our model keeps one virtual layer
+// per path (an InfiniBand SL), so we use the path-static variant:
+//
+//   layer(path) = bitmask of the dimensions whose dateline (wraparound
+//   link) the path crosses.
+//
+// Every layer class is acyclic: for a dimension the class crosses, all its
+// ring windows contain the wrap channel and are at most ceil(k/2) long, so
+// their union cannot close the ring; for a dimension it does not cross, the
+// class only uses mesh channels; and dimension order forbids cycles across
+// dimensions. A d-dimensional torus therefore needs 2^d layers (d <= 3 fits
+// InfiniBand's 8 VLs).
+#pragma once
+
+#include "routing/router.hpp"
+
+namespace dfsssp {
+
+class DorDatelineRouter final : public Router {
+ public:
+  explicit DorDatelineRouter(Layer max_layers = 8)
+      : max_layers_(max_layers) {}
+
+  std::string name() const override { return "DOR-dateline"; }
+  bool deadlock_free() const override { return true; }
+  RoutingOutcome route(const Topology& topo) const override;
+
+ private:
+  Layer max_layers_;
+};
+
+}  // namespace dfsssp

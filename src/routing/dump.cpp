@@ -1,0 +1,140 @@
+#include "routing/dump.hpp"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dfsssp {
+
+namespace {
+
+/// (neighbor, parallel-index) of a channel within its source's out list.
+std::pair<NodeId, std::uint32_t> channel_slot(const Network& net,
+                                              ChannelId target) {
+  const Channel& ch = net.channel(target);
+  std::uint32_t index = 0;
+  for (ChannelId c : net.out_channels(ch.src)) {
+    if (c == target) return {ch.dst, index};
+    if (net.channel(c).dst == ch.dst) ++index;
+  }
+  throw std::logic_error("channel not in its source's adjacency");
+}
+
+ChannelId channel_from_slot(const Network& net, NodeId src, NodeId neighbor,
+                            std::uint32_t index) {
+  std::uint32_t seen = 0;
+  for (ChannelId c : net.out_channels(src)) {
+    if (net.channel(c).dst == neighbor) {
+      if (seen == index) return c;
+      ++seen;
+    }
+  }
+  return kInvalidChannel;
+}
+
+}  // namespace
+
+void write_forwarding_dump(const Network& net, const RoutingTable& table,
+                           std::ostream& out) {
+  out << "# dfsssp forwarding dump\n";
+  out << "layers " << unsigned(table.num_layers()) << "\n";
+  for (NodeId sw : net.switches()) {
+    for (NodeId t : net.terminals()) {
+      if (net.switch_of(t) == sw) continue;
+      const ChannelId c = table.next(sw, t);
+      if (c == kInvalidChannel) continue;
+      auto [neighbor, index] = channel_slot(net, c);
+      out << "lft " << net.node(sw).name << " " << net.node(t).name << " "
+          << net.node(neighbor).name << " " << index << "\n";
+    }
+  }
+  for (NodeId sw : net.switches()) {
+    for (NodeId t : net.terminals()) {
+      if (net.switch_of(t) == sw) continue;
+      const Layer l = table.layer(sw, t);
+      if (l != 0) {
+        out << "sl " << net.node(sw).name << " " << net.node(t).name << " "
+            << unsigned(l) << "\n";
+      }
+    }
+  }
+}
+
+void write_forwarding_dump(const Network& net, const RoutingTable& table,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_forwarding_dump(net, table, out);
+}
+
+RoutingTable read_forwarding_dump(const Network& net, std::istream& in) {
+  std::map<std::string, NodeId> by_name;
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    by_name[net.node(n).name] = n;
+  }
+  auto lookup = [&](const std::string& name, std::size_t lineno) {
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      throw std::runtime_error("dump:" + std::to_string(lineno) +
+                               ": unknown node '" + name + "'");
+    }
+    return it->second;
+  };
+
+  RoutingTable table(net);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;
+    auto fail = [&](const std::string& msg) {
+      throw std::runtime_error("dump:" + std::to_string(lineno) + ": " + msg);
+    };
+    if (kind == "layers") {
+      unsigned n = 0;
+      if (!(ls >> n) || n == 0 || n > 255) fail("bad layer count");
+      table.set_num_layers(static_cast<Layer>(n));
+    } else if (kind == "lft") {
+      std::string sw_name, dst_name, nbr_name;
+      std::uint32_t index = 0;
+      if (!(ls >> sw_name >> dst_name >> nbr_name >> index)) {
+        fail("lft needs <switch> <dst> <neighbor> <index>");
+      }
+      const NodeId sw = lookup(sw_name, lineno);
+      const NodeId dst = lookup(dst_name, lineno);
+      const NodeId nbr = lookup(nbr_name, lineno);
+      if (!net.is_switch(sw) || !net.is_terminal(dst)) fail("bad node kinds");
+      const ChannelId c = channel_from_slot(net, sw, nbr, index);
+      if (c == kInvalidChannel) fail("no such channel slot");
+      table.set_next(sw, dst, c);
+    } else if (kind == "sl") {
+      std::string sw_name, dst_name;
+      unsigned layer = 0;
+      if (!(ls >> sw_name >> dst_name >> layer) || layer > 255) {
+        fail("sl needs <switch> <dst> <layer>");
+      }
+      const NodeId sw = lookup(sw_name, lineno);
+      const NodeId dst = lookup(dst_name, lineno);
+      if (!net.is_switch(sw) || !net.is_terminal(dst)) fail("bad node kinds");
+      table.set_layer(sw, dst, static_cast<Layer>(layer));
+    } else {
+      fail("unknown keyword '" + kind + "'");
+    }
+  }
+  return table;
+}
+
+RoutingTable read_forwarding_dump_path(const Network& net,
+                                       const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open dump: " + path);
+  return read_forwarding_dump(net, in);
+}
+
+}  // namespace dfsssp

@@ -1,0 +1,36 @@
+// Forwarding-state serialization, the role OpenSM's LFT/SL dump files play:
+// persist a computed routing (ports + virtual-layer assignment) and load it
+// back later — e.g. to re-simulate a fabric's production routing, or to
+// diff two routings.
+//
+// Line format ('#' comments allowed):
+//   layers <count>
+//   lft <switch> <dst-terminal> <neighbor-node> <parallel-index>
+//   sl  <src-switch> <dst-terminal> <layer>
+//
+// Channels are identified by (switch, neighbor, index among the parallel
+// channels to that neighbor in out-channel order), which is stable across
+// save/load of the same topology.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "routing/table.hpp"
+#include "topology/network.hpp"
+
+namespace dfsssp {
+
+void write_forwarding_dump(const Network& net, const RoutingTable& table,
+                           std::ostream& out);
+void write_forwarding_dump(const Network& net, const RoutingTable& table,
+                           const std::string& path);
+
+/// Parses a dump produced by write_forwarding_dump against the same
+/// topology. Throws std::runtime_error (with a line number) on malformed
+/// input, unknown names, or out-of-range parallel indices.
+RoutingTable read_forwarding_dump(const Network& net, std::istream& in);
+RoutingTable read_forwarding_dump_path(const Network& net,
+                                       const std::string& path);
+
+}  // namespace dfsssp

@@ -1,0 +1,22 @@
+// Fat-tree routing (OpenSM's fat-tree engine, d-mod-k flavored).
+//
+// Works on topologies whose generator provided tree levels and whose
+// down-paths are unique (k-ary n-trees, XGFTs, simple Clos builds). Packets
+// climb until an ancestor of the destination is reached — spreading over
+// up-ports by destination index, the d-mod-k idea — and then descend along
+// the unique down-path. Refuses anything that is not a proper fat tree,
+// exactly like the OpenSM engine (Figure 4's missing bars).
+#pragma once
+
+#include "routing/router.hpp"
+
+namespace dfsssp {
+
+class FatTreeRouter final : public Router {
+ public:
+  std::string name() const override { return "FatTree"; }
+  bool deadlock_free() const override { return true; }
+  RoutingOutcome route(const Topology& topo) const override;
+};
+
+}  // namespace dfsssp

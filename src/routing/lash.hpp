@@ -1,0 +1,40 @@
+// LASH — LAyered SHortest path routing (Skeie/Lysne et al.), the paper's
+// deadlock-free baseline.
+//
+// Plain (unbalanced) shortest paths per switch pair, then an online layer
+// assignment: each path goes to the first virtual layer whose channel
+// dependency graph stays acyclic after adding the path's edges. Our layer
+// CDGs maintain a Pearce-Kelly incremental topological order, so the check
+// costs work only in the affected region instead of a full DFS per path.
+#pragma once
+
+#include <cstdint>
+
+#include "routing/router.hpp"
+
+namespace dfsssp {
+
+struct LashOptions {
+  Layer max_layers = 8;
+  /// How the single minimal path per switch pair is chosen. LASH's layer
+  /// demand is very sensitive to this: kHashed models an arbitrary fabric-
+  /// discovery order (used for the paper's Figures 9/10); kFirstCandidate
+  /// follows construction order, which on generated tori yields structured,
+  /// DOR-like paths — the regime LASH was designed for.
+  enum class PathSelection : std::uint8_t { kHashed, kFirstCandidate };
+  PathSelection selection = PathSelection::kHashed;
+};
+
+class LashRouter final : public Router {
+ public:
+  explicit LashRouter(LashOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "LASH"; }
+  bool deadlock_free() const override { return true; }
+  RoutingOutcome route(const Topology& topo) const override;
+
+ private:
+  LashOptions options_;
+};
+
+}  // namespace dfsssp

@@ -1,0 +1,20 @@
+// MinHop routing — OpenSM's default engine and the paper's main baseline.
+//
+// For every destination it selects, per switch, an output port on a minimal
+// path, balancing locally by the number of destinations already routed
+// through each port. Minimal and fast, but the port-local balancing ignores
+// global congestion and nothing prevents channel-dependency cycles.
+#pragma once
+
+#include "routing/router.hpp"
+
+namespace dfsssp {
+
+class MinHopRouter final : public Router {
+ public:
+  std::string name() const override { return "MinHop"; }
+  bool deadlock_free() const override { return false; }
+  RoutingOutcome route(const Topology& topo) const override;
+};
+
+}  // namespace dfsssp

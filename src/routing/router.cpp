@@ -1,0 +1,26 @@
+#include "routing/router.hpp"
+
+#include "routing/dfsssp.hpp"
+#include "routing/dor.hpp"
+#include "routing/fattree.hpp"
+#include "routing/lash.hpp"
+#include "routing/minhop.hpp"
+#include "routing/sssp.hpp"
+#include "routing/updown.hpp"
+
+namespace dfsssp {
+
+std::vector<std::unique_ptr<Router>> make_all_routers(Layer max_layers) {
+  std::vector<std::unique_ptr<Router>> routers;
+  routers.push_back(std::make_unique<MinHopRouter>());
+  routers.push_back(std::make_unique<UpDownRouter>());
+  routers.push_back(std::make_unique<FatTreeRouter>());
+  routers.push_back(std::make_unique<DorRouter>());
+  routers.push_back(std::make_unique<LashRouter>(LashOptions{max_layers}));
+  routers.push_back(std::make_unique<SsspRouter>());
+  routers.push_back(
+      std::make_unique<DfssspRouter>(DfssspOptions{.max_layers = max_layers}));
+  return routers;
+}
+
+}  // namespace dfsssp

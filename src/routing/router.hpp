@@ -1,0 +1,68 @@
+// The common interface of every routing engine.
+//
+// An engine consumes a Topology and produces forwarding tables plus a
+// virtual-layer assignment. Engines that cannot handle a topology (fat-tree
+// routing on a ring, DOR without coordinates, DFSSSP running out of virtual
+// layers) report failure through RoutingOutcome instead of throwing — the
+// paper's Figure 4 plots exactly those failures as missing bars.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "routing/table.hpp"
+#include "topology/topology.hpp"
+
+namespace dfsssp {
+
+struct RoutingStats {
+  /// Wall time of path computation (Dijkstra/BFS loops).
+  double route_seconds = 0.0;
+  /// Wall time of the virtual-layer machinery (zero for single-layer engines).
+  double layering_seconds = 0.0;
+  /// Virtual layers the result uses.
+  Layer layers_used = 1;
+  /// CDG cycles broken while layering (DFSSSP offline only).
+  std::uint64_t cycles_broken = 0;
+  /// Number of (source switch, destination terminal) paths routed.
+  std::uint64_t paths = 0;
+
+  double total_seconds() const { return route_seconds + layering_seconds; }
+};
+
+struct RoutingOutcome {
+  bool ok = false;
+  std::string error;
+  RoutingTable table;
+  RoutingStats stats;
+
+  static RoutingOutcome failure(std::string why) {
+    RoutingOutcome o;
+    o.ok = false;
+    o.error = std::move(why);
+    return o;
+  }
+};
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  /// Short identifier used in result tables ("DFSSSP", "MinHop", ...).
+  virtual std::string name() const = 0;
+
+  /// True when the produced routing is guaranteed free of channel-dependency
+  /// cycles (Up*/Down*, LASH, DFSSSP, fat-tree, DOR-on-mesh).
+  virtual bool deadlock_free() const = 0;
+
+  virtual RoutingOutcome route(const Topology& topo) const = 0;
+};
+
+/// The full engine roster of the paper's comparison (Figure 4), in plot
+/// order: MinHop, Up*/Down*, FatTree, DOR, LASH, SSSP, DFSSSP.
+/// `max_layers` bounds LASH and DFSSSP (InfiniBand hardware: 8).
+std::vector<std::unique_ptr<Router>> make_all_routers(Layer max_layers = 8);
+
+}  // namespace dfsssp

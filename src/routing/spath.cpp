@@ -1,0 +1,45 @@
+#include "routing/spath.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace dfsssp {
+
+void bfs_hops_to(const Network& net, NodeId dst_switch,
+                 std::vector<std::uint32_t>& dist) {
+  dist.assign(net.num_switches(), kUnreachable);
+  std::queue<NodeId> q;
+  dist[net.node(dst_switch).type_index] = 0;
+  q.push(dst_switch);
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    const std::uint32_t du = dist[net.node(u).type_index];
+    for (ChannelId c : net.out_switch_channels(u)) {
+      NodeId v = net.channel(c).dst;
+      std::uint32_t& dv = dist[net.node(v).type_index];
+      if (dv == kUnreachable) {
+        dv = du + 1;
+        q.push(v);
+      }
+    }
+  }
+}
+
+NodeId find_center_switch(const Network& net) {
+  NodeId best = kInvalidNode;
+  std::uint32_t best_ecc = kUnreachable;
+  std::vector<std::uint32_t> dist;
+  for (NodeId sw : net.switches()) {
+    bfs_hops_to(net, sw, dist);
+    std::uint32_t ecc = 0;
+    for (std::uint32_t d : dist) ecc = std::max(ecc, d);
+    if (ecc < best_ecc) {
+      best_ecc = ecc;
+      best = sw;
+    }
+  }
+  return best;
+}
+
+}  // namespace dfsssp

@@ -1,0 +1,113 @@
+#include "routing/sssp.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <span>
+
+#include "common/heap.hpp"
+#include "common/timer.hpp"
+#include "routing/spath.hpp"
+
+namespace dfsssp {
+
+bool sssp_fill_planes(const Network& net, const SsspOptions& options,
+                      std::span<RoutingTable> planes, RoutingStats& stats,
+                      std::string& error) {
+  Timer timer;
+  const std::size_t num_sw = net.num_switches();
+  const std::uint64_t n = net.num_nodes();
+  // Initial weight |V|^2 forces minimal paths (§II): the extra weight a
+  // channel can accrue over the whole run stays below the cost of one
+  // additional channel on a detour.
+  const std::uint64_t initial_weight =
+      options.initial_weight != 0 ? options.initial_weight
+                                  : n * n * planes.size();
+  std::vector<std::uint64_t> weight(net.num_channels(), initial_weight);
+
+  std::vector<std::uint64_t> dist(num_sw);
+  std::vector<ChannelId> parent(num_sw);        // forwarding channel toward dst
+  std::vector<std::uint32_t> order(num_sw);     // switches by settle order
+  std::vector<std::uint64_t> subtree(num_sw);   // path-count accumulation
+  MinHeap<std::uint64_t> heap(num_sw);
+  constexpr std::uint64_t kInf = ~0ULL;
+
+  for (NodeId d : net.terminals()) {
+    const NodeId dst_switch = net.switch_of(d);
+    const std::uint32_t dst_index = net.node(dst_switch).type_index;
+    for (RoutingTable& plane : planes) {
+      // Dijkstra outward from the destination switch. The forwarding
+      // channel of a settled switch v is the reverse of the relaxing
+      // channel, because packets flow toward the destination.
+      std::fill(dist.begin(), dist.end(), kInf);
+      std::fill(parent.begin(), parent.end(), kInvalidChannel);
+      heap.reset(num_sw);
+      dist[dst_index] = 0;
+      heap.push(0, dst_index);
+      std::size_t settled = 0;
+      while (!heap.empty()) {
+        auto [du, u_index] = heap.pop();
+        order[settled++] = u_index;
+        NodeId u = net.switch_by_index(u_index);
+        for (ChannelId c : net.out_switch_channels(u)) {
+          const NodeId v = net.channel(c).dst;
+          const std::uint32_t v_index = net.node(v).type_index;
+          const ChannelId fwd = net.channel(c).reverse;  // v -> u
+          const std::uint64_t cand = du + weight[fwd];
+          if (cand < dist[v_index]) {
+            dist[v_index] = cand;
+            parent[v_index] = fwd;
+            heap.push_or_decrease(cand, v_index);
+          }
+        }
+      }
+      if (settled != num_sw) {
+        error = "network is disconnected";
+        return false;
+      }
+
+      for (std::size_t i = 0; i < num_sw; ++i) {
+        NodeId s = net.switch_by_index(static_cast<std::uint32_t>(i));
+        if (s == dst_switch) continue;
+        plane.set_next(s, d, parent[i]);
+      }
+      stats.paths += num_sw - 1;
+
+      if (options.balance) {
+        // Algorithm 1's weight update: every channel's weight grows by the
+        // number of (terminal, d) paths crossing it. Accumulate subtree
+        // terminal counts from the farthest settled switch inward.
+        for (std::size_t i = 0; i < num_sw; ++i) {
+          subtree[i] = net.terminals_on(net.switch_by_index(
+              static_cast<std::uint32_t>(i)));
+        }
+        for (std::size_t i = num_sw; i-- > 1;) {  // order[0] == dst, skip it
+          const std::uint32_t v_index = order[i];
+          const ChannelId fwd = parent[v_index];
+          weight[fwd] += subtree[v_index];
+          const NodeId next_sw = net.channel(fwd).dst;
+          subtree[net.node(next_sw).type_index] += subtree[v_index];
+        }
+      }
+    }
+  }
+
+  stats.route_seconds += timer.seconds();
+  return true;
+}
+
+RoutingOutcome route_sssp(const Network& net, const SsspOptions& options) {
+  RoutingOutcome out;
+  out.table = RoutingTable(net);
+  std::span<RoutingTable> planes(&out.table, 1);
+  if (!sssp_fill_planes(net, options, planes, out.stats, out.error)) {
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+RoutingOutcome SsspRouter::route(const Topology& topo) const {
+  return route_sssp(topo.net, options_);
+}
+
+}  // namespace dfsssp

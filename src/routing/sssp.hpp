@@ -1,0 +1,56 @@
+// Single-source-shortest-path routing (paper Section II, Algorithm 1).
+//
+// One Dijkstra run per destination over weighted channels; after each run
+// every channel's weight grows by the number of paths just routed across it,
+// so later destinations avoid the load of earlier ones — global balancing
+// instead of MinHop's port-local counters. Channel weights start at
+// |V|^2: any detour costs at least two channels, and the accumulated extra
+// weight on a single channel stays below |V|^2 (at most |V|*(|V|-1) paths),
+// so a detour can never undercut a minimal path — SSSP stays shortest-path.
+//
+// SSSP alone is not deadlock-free (Figure 2's ring); DfssspRouter adds the
+// virtual-layer assignment.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "routing/router.hpp"
+
+namespace dfsssp {
+
+struct SsspOptions {
+  /// Disable to skip the weight updates (plain per-destination Dijkstra).
+  bool balance = true;
+  /// 0 = automatic (|V|^2 per plane, guarantees minimality - §II). The
+  /// paper's Figure 1 shows why small values are wrong: with weight 1 the
+  /// accumulated updates make Dijkstra detour; tests pin that pathology.
+  std::uint64_t initial_weight = 0;
+};
+
+class SsspRouter final : public Router {
+ public:
+  explicit SsspRouter(SsspOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "SSSP"; }
+  bool deadlock_free() const override { return false; }
+  RoutingOutcome route(const Topology& topo) const override;
+
+ private:
+  SsspOptions options_;
+};
+
+/// Shared core used by SsspRouter and DfssspRouter.
+RoutingOutcome route_sssp(const Network& net, const SsspOptions& options);
+
+/// Multi-plane core (InfiniBand LMC multipathing): fills every table in
+/// `planes` with one complete destination-based routing each, running the
+/// per-destination Dijkstra once per (destination, plane) against ONE
+/// shared, persistent weight map — consecutive planes therefore take
+/// different minimal paths, exactly how OpenSM's SSSP treats the 2^lmc
+/// LIDs of a port. Returns false on a disconnected network.
+bool sssp_fill_planes(const Network& net, const SsspOptions& options,
+                      std::span<RoutingTable> planes, RoutingStats& stats,
+                      std::string& error);
+
+}  // namespace dfsssp

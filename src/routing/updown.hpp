@@ -1,0 +1,26 @@
+// Up*/Down* routing (cycle-free by path restriction, paper §I/§V).
+//
+// Switches are ranked by BFS distance from a root (the graph center); a
+// channel is "up" when it moves toward the root (lower rank, ties by node
+// id). Legal paths climb zero or more up-channels and then descend — no
+// down->up transition, which provably keeps the channel dependency graph
+// acyclic on a single virtual layer, at the cost of path diversity (and, on
+// some topologies, minimality).
+//
+// Forwarding is destination-based, so the engine prefers descending
+// whenever a down-only path to the destination exists; this keeps the rule
+// consistent at every hop regardless of how a packet arrived.
+#pragma once
+
+#include "routing/router.hpp"
+
+namespace dfsssp {
+
+class UpDownRouter final : public Router {
+ public:
+  std::string name() const override { return "Up*/Down*"; }
+  bool deadlock_free() const override { return true; }
+  RoutingOutcome route(const Topology& topo) const override;
+};
+
+}  // namespace dfsssp

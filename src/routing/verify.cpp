@@ -1,0 +1,29 @@
+#include "routing/verify.hpp"
+
+#include <vector>
+
+#include "routing/spath.hpp"
+
+namespace dfsssp {
+
+VerifyReport verify_routing(const Network& net, const RoutingTable& table) {
+  VerifyReport report;
+  std::vector<std::uint32_t> dist;
+  std::vector<ChannelId> seq;
+  for (NodeId t : net.terminals()) {
+    const NodeId dst_switch = net.switch_of(t);
+    bfs_hops_to(net, dst_switch, dist);
+    for (NodeId s : net.switches()) {
+      if (s == dst_switch || net.terminals_on(s) == 0) continue;
+      ++report.total_paths;
+      if (!table.extract_path(net, s, t, seq)) {
+        ++report.broken;
+        continue;
+      }
+      if (seq.size() > dist[net.node(s).type_index]) ++report.non_minimal;
+    }
+  }
+  return report;
+}
+
+}  // namespace dfsssp

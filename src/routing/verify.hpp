@@ -1,0 +1,26 @@
+// Structural verification of finished routings (used by tests and benches).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "routing/table.hpp"
+#include "topology/network.hpp"
+
+namespace dfsssp {
+
+struct VerifyReport {
+  std::uint64_t total_paths = 0;
+  /// Paths that dead-end or loop.
+  std::uint64_t broken = 0;
+  /// Paths longer than the BFS hop distance.
+  std::uint64_t non_minimal = 0;
+
+  bool connected() const { return broken == 0; }
+  bool minimal() const { return non_minimal == 0; }
+};
+
+/// Walks every (source switch with terminals, destination terminal) pair.
+VerifyReport verify_routing(const Network& net, const RoutingTable& table);
+
+}  // namespace dfsssp

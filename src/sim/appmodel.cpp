@@ -1,0 +1,176 @@
+#include "sim/appmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dfsssp {
+
+namespace {
+
+std::uint32_t largest_square(std::uint32_t p) {
+  std::uint32_t q = static_cast<std::uint32_t>(std::sqrt(double(p)));
+  while (q * q > p) --q;
+  return q;
+}
+
+std::uint32_t largest_pow2(std::uint32_t p) {
+  std::uint32_t v = 1;
+  while (v * 2 <= p) v *= 2;
+  return v;
+}
+
+/// Near-cubic 3-D factorization of a power of two.
+void factor3(std::uint32_t p, std::uint32_t& x, std::uint32_t& y,
+             std::uint32_t& z) {
+  x = y = z = 1;
+  std::uint32_t* dims[3] = {&x, &y, &z};
+  int i = 0;
+  while (p > 1) {
+    *dims[i % 3] *= 2;
+    p /= 2;
+    ++i;
+  }
+}
+
+/// rank (x,y) -> x + y*qx helpers for grid patterns.
+RankPattern grid_shift(std::uint32_t qx, std::uint32_t qy, std::uint32_t dx,
+                       std::uint32_t dy) {
+  RankPattern pattern;
+  for (std::uint32_t y = 0; y < qy; ++y) {
+    for (std::uint32_t x = 0; x < qx; ++x) {
+      const std::uint32_t src = y * qx + x;
+      const std::uint32_t dst = ((y + dy) % qy) * qx + ((x + dx) % qx);
+      if (src != dst) pattern.emplace_back(src, dst);
+    }
+  }
+  return pattern;
+}
+
+AppKernel make_multipartition(std::string name, std::uint32_t num_ranks,
+                              double values_per_cell, double flops_per_iter) {
+  // BT/SP: square process grid, each sweep direction is a pipeline of q
+  // identical neighbor-shift stages (multi-partition scheme of NPB 2.4).
+  const std::uint32_t q = largest_square(num_ranks);
+  if (q < 2) throw std::invalid_argument(name + ": needs >= 4 ranks");
+  const double n = 102.0;  // class B grid points per dimension
+  // A sweep stage exchanges a slab of the rank's sub-domain: (n/q) x n
+  // cells (NPB's multi-partition splits only two dimensions over q x q).
+  const double face_bytes = values_per_cell * 8.0 * (n / q) * n;
+  AppKernel k;
+  k.name = std::move(name);
+  k.flops_per_iteration = flops_per_iter;
+  k.phases.push_back({grid_shift(q, q, 1, 0), face_bytes, q});
+  k.phases.push_back({grid_shift(q, q, 0, 1), face_bytes, q});
+  k.phases.push_back({grid_shift(q, q, 1, 1), face_bytes, q});
+  return k;
+}
+
+}  // namespace
+
+AppKernel make_nas_bt(std::uint32_t num_ranks) {
+  // Class B: ~681 Gop over 200 iterations; block-tridiagonal solves move
+  // 5x5 blocks => coarse grain.
+  return make_multipartition("BT", num_ranks, 15.0, 3.4e9);
+}
+
+AppKernel make_nas_sp(std::uint32_t num_ranks) {
+  // Class B: ~447 Gop over 400 iterations; scalar-pentadiagonal solves are
+  // finer-grained: less compute per exchanged byte than BT.
+  return make_multipartition("SP", num_ranks, 10.0, 1.1e9);
+}
+
+AppKernel make_nas_ft(std::uint32_t num_ranks) {
+  const std::uint32_t p = largest_pow2(num_ranks);
+  // Class B: 512x256x256 complex grid; the FFT transpose is an alltoall of
+  // the whole array, total/P^2 bytes per flow; ~92.5 Gop over 20 iterations.
+  const double total_bytes = 512.0 * 256.0 * 256.0 * 16.0;
+  AppKernel k;
+  k.name = "FT";
+  k.flops_per_iteration = 4.6e9;
+  k.phases.push_back({all_to_all(p), total_bytes / (double(p) * p), 1});
+  // The residual all-reduce (tiny, latency-only).
+  for (std::uint32_t s = 0; (1U << s) < p; ++s) {
+    k.phases.push_back({butterfly_stage(p, s), 16.0, 1});
+  }
+  return k;
+}
+
+AppKernel make_nas_cg(std::uint32_t num_ranks) {
+  const std::uint32_t p = largest_pow2(num_ranks);
+  // Class B: n = 75000; vector-segment swaps with transpose partners along
+  // recursive-doubling stages; ~54.9 Gop over 75 iterations.
+  AppKernel k;
+  k.name = "CG";
+  k.flops_per_iteration = 7.3e8;
+  const double seg_bytes = 8.0 * 75000.0 / std::sqrt(double(p));
+  for (std::uint32_t s = 0; (1U << s) < p; ++s) {
+    k.phases.push_back({butterfly_stage(p, s), seg_bytes, 1});
+  }
+  return k;
+}
+
+AppKernel make_nas_mg(std::uint32_t num_ranks) {
+  const std::uint32_t p = largest_pow2(num_ranks);
+  std::uint32_t x, y, z;
+  factor3(p, x, y, z);
+  // Class B: 256^3 grid, V-cycle halos; coarser levels add roughly one more
+  // finest-level exchange in total => repeat 2; ~58.7 Gop over 20 iterations.
+  const double cells_per_rank = 256.0 * 256.0 * 256.0 / p;
+  const double face_bytes = 8.0 * std::pow(cells_per_rank, 2.0 / 3.0);
+  AppKernel k;
+  k.name = "MG";
+  k.flops_per_iteration = 2.9e9;
+  k.phases.push_back({stencil3d(x, y, z), face_bytes, 2});
+  return k;
+}
+
+AppKernel make_nas_lu(std::uint32_t num_ranks) {
+  const std::uint32_t q = largest_square(num_ranks);
+  // Class B: 102^3, SSOR wavefront pipeline on a 2-D grid: many small
+  // north/east messages per sweep; ~1.19 Top over 250 iterations.
+  const double n = 102.0;
+  const double msg_bytes = 5.0 * 8.0 * (n / q) * 2.0;
+  AppKernel k;
+  k.name = "LU";
+  k.flops_per_iteration = 4.8e9;
+  k.phases.push_back({grid_shift(q, q, 1, 0), msg_bytes, q});
+  k.phases.push_back({grid_shift(q, q, 0, 1), msg_bytes, q});
+  return k;
+}
+
+std::uint32_t kernel_ranks(const AppKernel& kernel) {
+  std::uint32_t max_rank = 0;
+  for (const auto& phase : kernel.phases) {
+    for (auto [a, b] : phase.pattern) {
+      max_rank = std::max({max_rank, a, b});
+    }
+  }
+  return max_rank + 1;
+}
+
+AppRunResult run_app_model(const Network& net, const RoutingTable& table,
+                           const RankMap& map, const AppKernel& kernel,
+                           const AppModelOptions& options) {
+  AppRunResult result;
+  CongestionOptions copts;
+  copts.link_capacity = options.link_bandwidth_bytes;
+  for (const auto& phase : kernel.phases) {
+    Flows flows = map.to_flows(phase.pattern);
+    if (flows.empty()) continue;
+    PatternResult r = simulate_pattern(net, table, flows, copts);
+    // Phases are synchronized: the slowest flow gates each repetition.
+    const double once = options.message_latency_seconds +
+                        phase.bytes_per_flow / r.min_flow_bandwidth;
+    result.comm_seconds += once * phase.repeat;
+  }
+  const std::uint32_t p = map.num_ranks();
+  result.compute_seconds = kernel.flops_per_iteration /
+                           (double(p) * kernel.compute_flops_per_rank_per_second);
+  result.seconds_per_iteration = result.comm_seconds + result.compute_seconds;
+  result.gflops =
+      kernel.flops_per_iteration / result.seconds_per_iteration / 1e9;
+  return result;
+}
+
+}  // namespace dfsssp

@@ -1,0 +1,85 @@
+// Analytic application-benchmark model (paper Section VI-B).
+//
+// The paper measures NAS Parallel Benchmarks on the Deimos cluster; we do
+// not have a 724-node machine, so each kernel is replaced by its published
+// communication structure (the same patterns the NPB 2.4 sources produce)
+// replayed through the congestion simulator, plus an analytic compute term:
+//
+//   t_iter = t_compute + sum over phases of bytes / min-flow-bandwidth
+//
+// where the per-flow bandwidth comes from simulate_pattern() under the
+// evaluated routing. This reproduces what the paper actually demonstrates —
+// how much the routing function's congestion costs each kernel — without
+// claiming absolute Gflop/s fidelity (see DESIGN.md §4).
+//
+// Kernel shapes (NPB 2.4):
+//  * BT/SP: multi-partition solvers on a sqrt(P) x sqrt(P) process grid;
+//    face exchanges along each sweep direction, BT with coarser grain
+//    (more compute per byte) than SP.
+//  * FT: 3-D FFT; the transpose is a full MPI_Alltoall.
+//  * CG: conjugate gradient on a 2-row-decomposition; transpose-pair and
+//    row-neighbor exchanges (butterfly stages).
+//  * MG: multigrid V-cycles; 3-D halo exchanges shrinking per level.
+//  * LU: SSOR with pipelined 2-D nearest-neighbor wavefronts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "routing/table.hpp"
+#include "sim/congestion.hpp"
+#include "topology/network.hpp"
+#include "traffic/patterns.hpp"
+
+namespace dfsssp {
+
+struct CommPhase {
+  RankPattern pattern;
+  double bytes_per_flow = 0.0;
+  /// Back-to-back repetitions of this phase per iteration (e.g. the q
+  /// pipeline stages of a BT sweep share one congestion pattern).
+  std::uint32_t repeat = 1;
+};
+
+struct AppKernel {
+  std::string name;
+  std::vector<CommPhase> phases;   // one iteration of communication
+  double flops_per_iteration = 0;  // aggregate over all ranks
+  double compute_flops_per_rank_per_second = 1.0e9;
+};
+
+/// NPB-like kernel factories. `num_ranks` follows the NPB constraints
+/// (square for BT/SP, power of two for FT/CG/MG); factories round the rank
+/// count *down* to the nearest valid configuration, mirroring how the paper
+/// ran BT/SP on 121/256/484/1024 cores.
+AppKernel make_nas_bt(std::uint32_t num_ranks);
+AppKernel make_nas_sp(std::uint32_t num_ranks);
+AppKernel make_nas_ft(std::uint32_t num_ranks);
+AppKernel make_nas_cg(std::uint32_t num_ranks);
+AppKernel make_nas_mg(std::uint32_t num_ranks);
+AppKernel make_nas_lu(std::uint32_t num_ranks);
+
+struct AppRunResult {
+  double seconds_per_iteration = 0;
+  double comm_seconds = 0;
+  double compute_seconds = 0;
+  double gflops = 0;  // aggregate Gflop/s
+};
+
+struct AppModelOptions {
+  /// Per-link bandwidth; Deimos' PCIe-1.1 HCAs peak at 946 MiB/s.
+  double link_bandwidth_bytes = 946.0 * 1024 * 1024;
+  /// Per-message constant overhead.
+  double message_latency_seconds = 4e-6;
+};
+
+/// Number of ranks the kernel was actually built for (after rounding).
+std::uint32_t kernel_ranks(const AppKernel& kernel);
+
+/// Replays one iteration of the kernel under the given routing and mapping.
+AppRunResult run_app_model(const Network& net, const RoutingTable& table,
+                           const RankMap& map, const AppKernel& kernel,
+                           const AppModelOptions& options = {});
+
+}  // namespace dfsssp

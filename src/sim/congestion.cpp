@@ -1,0 +1,160 @@
+#include "sim/congestion.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace dfsssp {
+
+namespace {
+
+/// Full channel sequence of a flow, including injection and ejection.
+void flow_channels(const Network& net, const RoutingTable& table, NodeId src,
+                   NodeId dst, std::vector<ChannelId>& out) {
+  out.clear();
+  out.push_back(net.injection_channel(src));
+  const NodeId src_sw = net.switch_of(src);
+  std::vector<ChannelId> inter;
+  if (!table.extract_path(net, src_sw, dst, inter)) {
+    throw std::runtime_error("simulate_pattern: broken forwarding");
+  }
+  out.insert(out.end(), inter.begin(), inter.end());
+  out.push_back(net.ejection_channel(dst));
+}
+
+}  // namespace
+
+PatternResult simulate_pattern(const Network& net, const RoutingTable& table,
+                               const Flows& flows,
+                               const CongestionOptions& options) {
+  PatternResult result;
+  if (flows.empty()) return result;
+
+  // Per-channel flow counts.
+  std::vector<std::uint32_t> load(net.num_channels(), 0);
+  std::vector<std::vector<ChannelId>> paths(flows.size());
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    flow_channels(net, table, flows[f].first, flows[f].second, paths[f]);
+    for (ChannelId c : paths[f]) ++load[c];
+  }
+  for (std::uint32_t l : load) {
+    result.max_congestion = std::max(result.max_congestion, l);
+  }
+
+  std::vector<double> bw(flows.size(), 0.0);
+  if (options.metric == BandwidthMetric::kBottleneckShare) {
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      std::uint32_t worst = 1;
+      for (ChannelId c : paths[f]) worst = std::max(worst, load[c]);
+      bw[f] = options.link_capacity / worst;
+    }
+  } else {
+    // Progressive filling: raise all unfrozen flows together; at each step
+    // the tightest channel saturates and freezes its flows at the fair rate.
+    std::vector<double> remaining(net.num_channels(), options.link_capacity);
+    std::vector<std::uint32_t> active(net.num_channels(), 0);
+    for (const auto& p : paths) {
+      for (ChannelId c : p) ++active[c];
+    }
+    std::vector<bool> frozen(flows.size(), false);
+    std::size_t left = flows.size();
+    while (left > 0) {
+      double tightest = std::numeric_limits<double>::infinity();
+      for (ChannelId c = 0; c < net.num_channels(); ++c) {
+        if (active[c] > 0) {
+          tightest = std::min(tightest, remaining[c] / active[c]);
+        }
+      }
+      // Freeze every flow crossing a channel that saturates at `tightest`.
+      bool froze_any = false;
+      for (std::size_t f = 0; f < flows.size(); ++f) {
+        if (frozen[f]) continue;
+        bool saturated = false;
+        for (ChannelId c : paths[f]) {
+          if (active[c] > 0 &&
+              remaining[c] / active[c] <= tightest * (1 + 1e-12)) {
+            saturated = true;
+            break;
+          }
+        }
+        if (!saturated) continue;
+        frozen[f] = true;
+        froze_any = true;
+        bw[f] += tightest;
+        --left;
+        for (ChannelId c : paths[f]) {
+          remaining[c] -= tightest;
+          --active[c];
+        }
+      }
+      if (!froze_any) break;  // numerical safety net
+      // Unfrozen flows keep the allocation they accumulated so far.
+      for (std::size_t f = 0; f < flows.size(); ++f) {
+        if (!frozen[f]) bw[f] += tightest;
+      }
+      for (ChannelId c = 0; c < net.num_channels(); ++c) {
+        if (active[c] > 0) remaining[c] -= tightest * active[c];
+      }
+    }
+  }
+
+  double sum = 0.0, mn = std::numeric_limits<double>::infinity();
+  for (double b : bw) {
+    sum += b;
+    mn = std::min(mn, b);
+  }
+  result.avg_flow_bandwidth = sum / static_cast<double>(flows.size());
+  result.min_flow_bandwidth = mn;
+  return result;
+}
+
+LoadReport analyze_load(const Network& net, const RoutingTable& table,
+                        const Flows& flows) {
+  LoadReport report;
+  std::vector<std::uint32_t> load(net.num_channels(), 0);
+  std::vector<ChannelId> path;
+  for (auto [src, dst] : flows) {
+    flow_channels(net, table, src, dst, path);
+    for (ChannelId c : path) ++load[c];
+  }
+  std::uint64_t fabric_sum = 0;
+  for (ChannelId c = 0; c < net.num_channels(); ++c) {
+    if (net.is_switch_channel(c)) {
+      ++report.total_fabric_channels;
+      if (load[c] > 0) {
+        ++report.used_fabric_channels;
+        fabric_sum += load[c];
+        report.max_fabric_load = std::max(report.max_fabric_load, load[c]);
+      }
+    } else {
+      report.max_terminal_load = std::max(report.max_terminal_load, load[c]);
+    }
+  }
+  if (report.used_fabric_channels > 0) {
+    report.avg_fabric_load =
+        static_cast<double>(fabric_sum) / report.used_fabric_channels;
+    report.imbalance = report.max_fabric_load / report.avg_fabric_load;
+  }
+  return report;
+}
+
+EbbResult effective_bisection_bandwidth(const Network& net,
+                                        const RoutingTable& table,
+                                        const RankMap& map,
+                                        std::uint32_t num_patterns, Rng& rng,
+                                        const CongestionOptions& options) {
+  EbbResult out;
+  out.min_pattern = std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (std::uint32_t i = 0; i < num_patterns; ++i) {
+    Flows flows = map.to_flows(random_bisection(map.num_ranks(), rng));
+    PatternResult r = simulate_pattern(net, table, flows, options);
+    sum += r.avg_flow_bandwidth;
+    out.min_pattern = std::min(out.min_pattern, r.avg_flow_bandwidth);
+    out.max_pattern = std::max(out.max_pattern, r.avg_flow_bandwidth);
+  }
+  out.ebb = num_patterns > 0 ? sum / num_patterns : 0.0;
+  return out;
+}
+
+}  // namespace dfsssp

@@ -1,0 +1,143 @@
+#include "sim/flitsim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace dfsssp {
+
+namespace {
+
+struct Packet {
+  NodeId dst;
+  Layer vl;
+  std::uint32_t flow;
+};
+
+}  // namespace
+
+FlitSimResult simulate_flit_level(const Network& net, const RoutingTable& table,
+                                  const Flows& flows,
+                                  const FlitSimOptions& options, Rng& rng) {
+  FlitSimResult result;
+  const std::uint32_t num_vls = table.num_layers();
+  const std::size_t num_channels = net.num_channels();
+
+  // queue[c * num_vls + vl]: packets buffered at the downstream end of
+  // channel c (meaningful only when the downstream node is a switch).
+  std::vector<std::deque<Packet>> queue(num_channels * num_vls);
+  auto qid = [&](ChannelId c, Layer vl) {
+    return static_cast<std::size_t>(c) * num_vls + vl;
+  };
+
+  struct Source {
+    NodeId src, dst;
+    Layer vl;
+    std::uint32_t remaining;
+  };
+  std::vector<Source> sources;
+  std::vector<std::uint32_t> flow_delivered;
+  std::vector<std::uint64_t> flow_done_cycle;
+  std::uint64_t pending = 0;
+  for (auto [src, dst] : flows) {
+    if (src == dst) continue;
+    const Layer vl = table.layer(net.switch_of(src), dst);
+    sources.push_back({src, dst, vl, options.packets_per_flow});
+    pending += options.packets_per_flow;
+  }
+  flow_delivered.assign(sources.size(), 0);
+  flow_done_cycle.assign(sources.size(), 0);
+
+  std::uint64_t in_flight = 0;
+  std::vector<std::uint32_t> order(queue.size());
+  std::iota(order.begin(), order.end(), 0U);
+  std::vector<std::uint32_t> src_order(sources.size());
+  std::iota(src_order.begin(), src_order.end(), 0U);
+  // busy_until[c]: first cycle at which channel c can accept the next
+  // packet; multi-flit packets occupy a channel for flits_per_packet cycles.
+  std::vector<std::uint64_t> busy_until(num_channels, 0);
+  const std::uint64_t occupancy = std::max<std::uint32_t>(1, options.flits_per_packet);
+  std::uint64_t last_busy_cycle = 0;
+
+  while (result.cycles < options.max_cycles) {
+    ++result.cycles;
+    std::uint64_t moved = 0;
+
+    // Forward buffered packets (random arbitration order per cycle).
+    rng.shuffle(order);
+    for (std::uint32_t q : order) {
+      auto& buf = queue[q];
+      if (buf.empty()) continue;
+      const ChannelId c = static_cast<ChannelId>(q / num_vls);
+      const Packet pkt = buf.front();
+      const NodeId sw = net.channel(c).dst;
+      const ChannelId next = net.switch_of(pkt.dst) == sw
+                                 ? net.ejection_channel(pkt.dst)
+                                 : table.next(sw, pkt.dst);
+      if (busy_until[next] >= result.cycles) continue;
+      if (net.is_terminal(net.channel(next).dst)) {
+        // Ejection: the terminal consumes the packet.
+        busy_until[next] = result.cycles + occupancy - 1;
+        --in_flight;
+        ++result.delivered;
+        ++moved;
+        if (++flow_delivered[pkt.flow] == options.packets_per_flow) {
+          flow_done_cycle[pkt.flow] = result.cycles;
+        }
+        buf.pop_front();
+      } else if (queue[qid(next, pkt.vl)].size() < options.buffer_slots) {
+        busy_until[next] = result.cycles + occupancy - 1;
+        buf.pop_front();
+        queue[qid(next, pkt.vl)].push_back(pkt);
+        ++moved;
+      }
+    }
+
+    // Inject new packets.
+    rng.shuffle(src_order);
+    for (std::uint32_t si : src_order) {
+      Source& s = sources[si];
+      if (s.remaining == 0) continue;
+      const ChannelId inj = net.injection_channel(s.src);
+      if (busy_until[inj] >= result.cycles ||
+          queue[qid(inj, s.vl)].size() >= options.buffer_slots) {
+        continue;
+      }
+      busy_until[inj] = result.cycles + occupancy - 1;
+      queue[qid(inj, s.vl)].push_back({s.dst, s.vl, si});
+      --s.remaining;
+      --pending;
+      ++in_flight;
+      ++moved;
+    }
+
+    if (in_flight == 0 && pending == 0) {
+      result.drained = true;
+      break;
+    }
+    if (moved > 0) {
+      last_busy_cycle = std::max(last_busy_cycle, result.cycles + occupancy - 1);
+    } else if (result.cycles > last_busy_cycle) {
+      // Nothing moved, no channel is still serializing a packet, and every
+      // head packet and injection was offered a chance: the state can never
+      // change again.
+      result.deadlocked = true;
+      break;
+    }
+  }
+  result.in_flight_at_end = in_flight + pending;
+  if (!sources.empty() && options.packets_per_flow > 0) {
+    double sum = 0.0;
+    std::size_t done = 0;
+    for (std::size_t f = 0; f < sources.size(); ++f) {
+      if (flow_done_cycle[f] > 0) {
+        sum += double(options.packets_per_flow) / double(flow_done_cycle[f]);
+        ++done;
+      }
+    }
+    if (done > 0) result.avg_flow_throughput = sum / double(sources.size());
+  }
+  return result;
+}
+
+}  // namespace dfsssp

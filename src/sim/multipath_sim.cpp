@@ -1,0 +1,65 @@
+#include "sim/multipath_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace dfsssp {
+
+PatternResult simulate_pattern_multipath(const Network& net,
+                                         const std::vector<RoutingTable>& planes,
+                                         const Flows& flows,
+                                         const CongestionOptions& options) {
+  PatternResult result;
+  if (flows.empty()) return result;
+
+  std::vector<std::uint32_t> load(net.num_channels(), 0);
+  std::vector<std::vector<ChannelId>> flow_paths(flows.size());
+  std::vector<ChannelId> inter;
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    const RoutingTable& plane = planes[f % planes.size()];
+    auto [src, dst] = flows[f];
+    auto& path = flow_paths[f];
+    path.push_back(net.injection_channel(src));
+    if (!plane.extract_path(net, net.switch_of(src), dst, inter)) {
+      throw std::runtime_error("multipath: broken forwarding");
+    }
+    path.insert(path.end(), inter.begin(), inter.end());
+    path.push_back(net.ejection_channel(dst));
+    for (ChannelId c : path) ++load[c];
+  }
+  for (std::uint32_t l : load) {
+    result.max_congestion = std::max(result.max_congestion, l);
+  }
+  double sum = 0.0, mn = std::numeric_limits<double>::infinity();
+  for (const auto& path : flow_paths) {
+    std::uint32_t worst = 1;
+    for (ChannelId c : path) worst = std::max(worst, load[c]);
+    const double bw = options.link_capacity / worst;
+    sum += bw;
+    mn = std::min(mn, bw);
+  }
+  result.avg_flow_bandwidth = sum / static_cast<double>(flows.size());
+  result.min_flow_bandwidth = mn;
+  return result;
+}
+
+EbbResult effective_bisection_bandwidth_multipath(
+    const Network& net, const std::vector<RoutingTable>& planes,
+    const RankMap& map, std::uint32_t num_patterns, Rng& rng,
+    const CongestionOptions& options) {
+  EbbResult out;
+  out.min_pattern = std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (std::uint32_t i = 0; i < num_patterns; ++i) {
+    Flows flows = map.to_flows(random_bisection(map.num_ranks(), rng));
+    PatternResult r = simulate_pattern_multipath(net, planes, flows, options);
+    sum += r.avg_flow_bandwidth;
+    out.min_pattern = std::min(out.min_pattern, r.avg_flow_bandwidth);
+    out.max_pattern = std::max(out.max_pattern, r.avg_flow_bandwidth);
+  }
+  out.ebb = num_patterns > 0 ? sum / num_patterns : 0.0;
+  return out;
+}
+
+}  // namespace dfsssp

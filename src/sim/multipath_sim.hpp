@@ -1,0 +1,24 @@
+// Congestion simulation over LMC multipath routings (see
+// routing/multipath.hpp): flow i takes plane (i mod #planes), the
+// round-robin path selection a source applies over a destination's LIDs.
+#pragma once
+
+#include <vector>
+
+#include "routing/multipath.hpp"
+#include "sim/congestion.hpp"
+#include "traffic/patterns.hpp"
+
+namespace dfsssp {
+
+PatternResult simulate_pattern_multipath(const Network& net,
+                                         const std::vector<RoutingTable>& planes,
+                                         const Flows& flows,
+                                         const CongestionOptions& options = {});
+
+EbbResult effective_bisection_bandwidth_multipath(
+    const Network& net, const std::vector<RoutingTable>& planes,
+    const RankMap& map, std::uint32_t num_patterns, Rng& rng,
+    const CongestionOptions& options = {});
+
+}  // namespace dfsssp

@@ -1,0 +1,129 @@
+// Topology generators for every network family in the paper's evaluation.
+//
+// Artificial families (Section V, Table I): extended generalized fat trees
+// (XGFT), k-ary n-trees, Kautz graphs, plus the random switch fabrics of
+// Figure 9 and the classical rings/tori/meshes used throughout the text.
+//
+// Real systems (Figures 4/8/10): the paper used topology files of six HPC
+// installations (Odin, CHiC, Deimos, Tsubame, JUROPA, Ranger). Those files
+// are not public; make_* builds synthetic stand-ins from the published
+// structural descriptions — see DESIGN.md §4 for the substitution rationale.
+//
+// Conventions:
+//  * every generator returns a frozen, validated Topology;
+//  * XGFT(h; m1..mh; w1..wh) places switches on levels 0..h (level 0 = leaf
+//    switches hosting m1 terminals each), wired per Ohring et al.: a level-i
+//    switch has m_i children and w_{i+1} parents. With terminals-per-leaf
+//    = m1 the endpoint counts line up with the k-ary n-tree sizes of
+//    Table I (e.g. XGFT(2;14,14;7,7) and the 14-ary 3-tree both give 2744);
+//  * Kautz(b,n) builds the Kautz digraph K(b,n) on (b+1)*b^(n-1) switches
+//    and realizes each digraph arc as one bidirectional physical link
+//    (deduplicated when both arc directions exist).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "topology/topology.hpp"
+
+namespace dfsssp {
+
+/// One switch with `num_terminals` endpoints (Odin-like degenerate case).
+Topology make_single_switch(std::uint32_t num_terminals);
+
+/// Line of switches, `terminals_per_switch` endpoints each.
+Topology make_path(std::uint32_t num_switches,
+                   std::uint32_t terminals_per_switch);
+
+/// Ring of switches (the Figure 2 deadlock example uses 5 switches x 1).
+Topology make_ring(std::uint32_t num_switches,
+                   std::uint32_t terminals_per_switch);
+
+/// k-ary n-cube (wraparound = torus) or mesh (no wraparound).
+Topology make_torus(std::span<const std::uint32_t> dims,
+                    std::uint32_t terminals_per_switch, bool wraparound);
+
+/// Hypercube of the given dimension (a 2-ary d-cube without wrap duplicates).
+Topology make_hypercube(std::uint32_t dimension,
+                        std::uint32_t terminals_per_switch);
+
+/// k-ary n-tree: n switch levels of k^(n-1) switches, k^n terminals.
+Topology make_kary_ntree(std::uint32_t k, std::uint32_t n);
+
+/// XGFT(h; ms; ws); ms and ws must each have h entries (see file header).
+/// `terminals_per_leaf` defaults to ms[0] when 0.
+Topology make_xgft(std::uint32_t h, std::span<const std::uint32_t> ms,
+                   std::span<const std::uint32_t> ws,
+                   std::uint32_t terminals_per_leaf = 0);
+
+/// Kautz graph K(b,n) switch fabric with `num_terminals` endpoints
+/// distributed round-robin over the switches.
+Topology make_kautz(std::uint32_t b, std::uint32_t n,
+                    std::uint32_t num_terminals);
+
+/// Random connected switch fabric: `num_switches` switches with
+/// `terminals_per_switch` endpoints each and `num_links` inter-switch links
+/// (first a random spanning tree, then random extra links, respecting
+/// `max_inter_switch_ports` per switch, no self loops, no parallel links
+/// unless unavoidable). Figure 9 uses 128 switches x 16 terminals.
+Topology make_random(std::uint32_t num_switches,
+                     std::uint32_t terminals_per_switch,
+                     std::uint32_t num_links,
+                     std::uint32_t max_inter_switch_ports, Rng& rng);
+
+/// Two-level Clos/fat-tree: `num_leaves` leaf switches with
+/// `terminals_per_leaf` endpoints and `links_per_pair` parallel links to each
+/// of `num_spines` spine switches.
+Topology make_clos2(std::uint32_t num_leaves, std::uint32_t num_spines,
+                    std::uint32_t links_per_pair,
+                    std::uint32_t terminals_per_leaf);
+
+/// Dragonfly(a,p,h,g): g groups of a switches; per switch p terminals and
+/// h global links; full mesh inside a group (extension beyond the paper).
+Topology make_dragonfly(std::uint32_t a, std::uint32_t p, std::uint32_t h,
+                        std::uint32_t g);
+
+/// HyperX / flattened butterfly: switches on a grid given by `dims`, fully
+/// connected along every axis-parallel line (extension beyond the paper).
+Topology make_hyperx(std::span<const std::uint32_t> dims,
+                     std::uint32_t terminals_per_switch);
+
+/// Complete graph of switches.
+Topology make_fully_connected(std::uint32_t num_switches,
+                              std::uint32_t terminals_per_switch);
+
+// ---- real-system stand-ins (see DESIGN.md §4) ------------------------------
+
+/// Odin (Indiana University): 128 nodes behind one 144-port switch, modeled
+/// as its internal 24-port-chip Clos (12 leaf chips, 6 spine chips, 2 links
+/// per leaf-spine pair).
+Topology make_odin();
+
+/// CHiC (TU Chemnitz): 550 nodes, 24-port leaf switches (18 nodes + 6
+/// uplinks) under a 288-port core modeled as a chip-level Clos.
+Topology make_chic();
+
+/// Deimos (TU Dresden): 724 nodes on three 288-port switches in a chain with
+/// 30 parallel links between neighbors (Figure 11). Each big switch is
+/// modeled as its internal Clos of 24-port chips.
+Topology make_deimos();
+
+/// Tsubame (TokyoTech, 1430-node configuration): six oversubscribed
+/// 288-port edge switches under two cores.
+Topology make_tsubame();
+
+/// JUROPA/HPC-FF (FZ Juelich): 3288 nodes, 36-port leaf switches (24 nodes
+/// + 12 uplinks) under 12 M9-class core switches (abstract high-radix).
+Topology make_juropa();
+
+/// Ranger (TACC): 3936 nodes, 328 chassis NEMs (12 nodes each) with 4
+/// uplinks to each of two Magnum 3456-port switches (abstract high-radix).
+Topology make_ranger();
+
+/// All six stand-ins in the order the paper plots them.
+std::vector<Topology> make_all_real_systems();
+
+}  // namespace dfsssp

@@ -1,0 +1,250 @@
+#include "topology/io.hpp"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace dfsssp {
+
+void write_dot(const Network& net, std::ostream& out) {
+  out << "graph network {\n";
+  for (NodeId sw : net.switches()) {
+    out << "  \"" << net.node(sw).name << "\" [shape=box];\n";
+  }
+  for (NodeId t : net.terminals()) {
+    out << "  \"" << net.node(t).name << "\" [shape=circle];\n";
+  }
+  for (ChannelId c = 0; c < net.num_channels(); ++c) {
+    const Channel& ch = net.channel(c);
+    if (c < ch.reverse) {  // one line per physical link
+      out << "  \"" << net.node(ch.src).name << "\" -- \""
+          << net.node(ch.dst).name << "\";\n";
+    }
+  }
+  out << "}\n";
+}
+
+void write_netfile(const Network& net, std::ostream& out) {
+  out << "# dfsssp netfile: " << net.num_switches() << " switches, "
+      << net.num_terminals() << " terminals\n";
+  for (NodeId sw : net.switches()) {
+    out << "switch " << net.node(sw).name << "\n";
+  }
+  for (NodeId t : net.terminals()) {
+    out << "terminal " << net.node(t).name << " "
+        << net.node(net.switch_of(t)).name << "\n";
+  }
+  for (ChannelId c = 0; c < net.num_channels(); ++c) {
+    const Channel& ch = net.channel(c);
+    if (c < ch.reverse && net.is_switch(ch.src) && net.is_switch(ch.dst)) {
+      out << "link " << net.node(ch.src).name << " " << net.node(ch.dst).name
+          << "\n";
+    }
+  }
+}
+
+void write_netfile(const Network& net, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_netfile(net, out);
+}
+
+Topology read_netfile(std::istream& in, const std::string& name) {
+  Network net;
+  std::map<std::string, NodeId> by_name;
+  std::string line;
+  std::size_t lineno = 0;
+  auto fail = [&](const std::string& msg) {
+    throw std::runtime_error("netfile:" + std::to_string(lineno) + ": " + msg);
+  };
+  auto lookup_switch = [&](const std::string& n) {
+    auto it = by_name.find(n);
+    if (it == by_name.end()) fail("unknown switch '" + n + "'");
+    if (!net.is_switch(it->second)) fail("'" + n + "' is not a switch");
+    return it->second;
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;
+    if (kind == "switch") {
+      std::string n;
+      if (!(ls >> n)) fail("switch needs a name");
+      if (by_name.count(n)) fail("duplicate name '" + n + "'");
+      by_name[n] = net.add_switch(n);
+    } else if (kind == "terminal") {
+      std::string n, swn;
+      if (!(ls >> n >> swn)) fail("terminal needs <name> <switch>");
+      if (by_name.count(n)) fail("duplicate name '" + n + "'");
+      by_name[n] = net.add_terminal(lookup_switch(swn), n);
+    } else if (kind == "link") {
+      std::string a, b;
+      if (!(ls >> a >> b)) fail("link needs two switch names");
+      net.add_link(lookup_switch(a), lookup_switch(b));
+    } else {
+      fail("unknown keyword '" + kind + "'");
+    }
+  }
+  net.freeze();
+  net.validate();
+  Topology topo;
+  topo.name = name;
+  topo.net = std::move(net);
+  topo.meta.family = "netfile";
+  return topo;
+}
+
+Topology read_netfile_path(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open netfile: " + path);
+  return read_netfile(in, path);
+}
+
+namespace {
+
+/// First quoted token on the line, or empty.
+std::string quoted(const std::string& line, std::size_t from = 0) {
+  auto a = line.find('"', from);
+  if (a == std::string::npos) return {};
+  auto b = line.find('"', a + 1);
+  if (b == std::string::npos) return {};
+  return line.substr(a + 1, b - a - 1);
+}
+
+/// The comment name: the first quoted token after '#', or empty.
+std::string comment_name(const std::string& line) {
+  auto hash = line.find('#');
+  if (hash == std::string::npos) return {};
+  std::string n = quoted(line, hash);
+  // "node01 HCA-1" -> keep it whole but make it identifier-ish.
+  for (char& ch : n) {
+    if (ch == ' ' || ch == '\t') ch = '_';
+  }
+  return n;
+}
+
+}  // namespace
+
+Topology read_ibnetdiscover(std::istream& in, const std::string& name) {
+  struct PortRef {
+    std::string guid;
+    std::uint32_t port;
+  };
+  struct Link {
+    PortRef a, b;
+  };
+  std::map<std::string, std::string> display;  // guid -> pretty name
+  std::set<std::string> switch_guids, ca_guids;
+  std::vector<Link> links;
+
+  std::string line;
+  std::string current_guid;
+  bool current_is_switch = false;
+  std::size_t lineno = 0;
+  auto fail = [&](const std::string& msg) {
+    throw std::runtime_error("ibnetdiscover:" + std::to_string(lineno) + ": " +
+                             msg);
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip trailing CR (files often come from the fabric host).
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+
+    if (line.rfind("Switch", 0) == 0 || line.rfind("Ca", 0) == 0) {
+      current_is_switch = line[0] == 'S';
+      current_guid = quoted(line);
+      if (current_guid.empty()) fail("node header without GUID");
+      (current_is_switch ? switch_guids : ca_guids).insert(current_guid);
+      std::string pretty = comment_name(line);
+      if (!pretty.empty()) display[current_guid] = pretty;
+      continue;
+    }
+    if (line[0] == '[') {
+      if (current_guid.empty()) fail("port line outside a node block");
+      auto close = line.find(']');
+      if (close == std::string::npos) fail("malformed port number");
+      const std::uint32_t my_port = static_cast<std::uint32_t>(
+          std::strtoul(line.c_str() + 1, nullptr, 10));
+      const std::string peer = quoted(line);
+      if (peer.empty()) continue;  // unconnected port
+      // Peer port: the [N] right after the closing quote of the peer GUID.
+      auto q2 = line.find('"', line.find('"') + 1);
+      auto bracket = line.find('[', q2);
+      std::uint32_t peer_port = 1;
+      if (bracket != std::string::npos) {
+        peer_port = static_cast<std::uint32_t>(
+            std::strtoul(line.c_str() + bracket + 1, nullptr, 10));
+      }
+      links.push_back({{current_guid, my_port}, {peer, peer_port}});
+      continue;
+    }
+    // Header lines (vendid=, devid=, sysimgguid=, ...) are skipped.
+  }
+
+  // Fold duplicate link mentions (each physical link appears in both
+  // endpoint blocks).
+  auto key_of = [](const PortRef& r) {
+    return r.guid + "/" + std::to_string(r.port);
+  };
+  std::set<std::pair<std::string, std::string>> seen;
+  Network net;
+  std::map<std::string, NodeId> node_of;
+  auto switch_node = [&](const std::string& guid) {
+    auto it = node_of.find(guid);
+    if (it != node_of.end()) return it->second;
+    auto dn = display.find(guid);
+    NodeId id = net.add_switch(dn == display.end() ? guid : dn->second);
+    node_of[guid] = id;
+    return id;
+  };
+  // Switches first so CA attachment can reference them.
+  for (const std::string& guid : switch_guids) switch_node(guid);
+
+  for (const Link& link : links) {
+    auto ka = key_of(link.a), kb = key_of(link.b);
+    auto canonical = ka < kb ? std::make_pair(ka, kb) : std::make_pair(kb, ka);
+    if (!seen.insert(canonical).second) continue;
+
+    const bool a_is_switch = switch_guids.count(link.a.guid) > 0;
+    const bool b_is_switch = switch_guids.count(link.b.guid) > 0;
+    if (a_is_switch && b_is_switch) {
+      net.add_link(node_of.at(link.a.guid), node_of.at(link.b.guid));
+    } else if (a_is_switch != b_is_switch) {
+      const PortRef& ca = a_is_switch ? link.b : link.a;
+      const PortRef& sw = a_is_switch ? link.a : link.b;
+      if (ca.port != 1) continue;  // keep rail 1 of multi-rail HCAs
+      if (node_of.count(ca.guid)) continue;  // already attached
+      auto dn = display.find(ca.guid);
+      node_of[ca.guid] = net.add_terminal(
+          node_of.at(sw.guid), dn == display.end() ? ca.guid : dn->second);
+    }
+    // CA-to-CA links (back-to-back HCAs) are outside our model: skipped.
+  }
+  if (net.num_switches() == 0) {
+    throw std::runtime_error("ibnetdiscover: no switches found");
+  }
+  net.freeze();
+  net.validate();
+  Topology topo;
+  topo.name = name;
+  topo.net = std::move(net);
+  topo.meta.family = "ibnetdiscover";
+  return topo;
+}
+
+Topology read_ibnetdiscover_path(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return read_ibnetdiscover(in, path);
+}
+
+}  // namespace dfsssp

@@ -1,0 +1,50 @@
+// Serialization of topologies.
+//
+// Two formats:
+//  * DOT (write-only) for visual inspection with graphviz;
+//  * a line-based "netfile" (read/write), the role the paper's graph files
+//    for ORCS played: one line per switch/terminal/link, '#' comments.
+//
+//      switch <name>
+//      terminal <name> <switch-name>
+//      link <switch-name> <switch-name>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topology/topology.hpp"
+
+namespace dfsssp {
+
+/// Writes the network as an undirected graphviz graph (one edge per link).
+void write_dot(const Network& net, std::ostream& out);
+
+/// Writes the netfile format described in the file header.
+void write_netfile(const Network& net, std::ostream& out);
+void write_netfile(const Network& net, const std::string& path);
+
+/// Parses a netfile. Throws std::runtime_error with a line number on
+/// malformed input. The result is frozen and validated; meta is empty
+/// (family "netfile").
+Topology read_netfile(std::istream& in, const std::string& name = "netfile");
+Topology read_netfile_path(const std::string& path);
+
+/// Parses the text format of InfiniBand's `ibnetdiscover` tool (the way a
+/// real fabric is dumped), covering the structural subset:
+///
+///   Switch  24 "S-0002c9020048d8f0"  # "sw1" ... lid 2 lmc 0
+///   [1]  "H-0002c9020020e98c"[1](...)  # "node01 HCA-1" lid 4 4xDDR
+///   [13] "S-0002c902004c0001"[2]       # ...
+///   Ca  2 "H-0002c9020020e98c"         # "node01 HCA-1"
+///   [1](...) "S-0002c9020048d8f0"[1]   # lid 4 ...
+///
+/// Every physical link appears in both endpoint blocks; duplicates are
+/// folded by (guid,port,guid,port). Nodes are named by the quoted comment
+/// name when present, else by GUID. CA links beyond port 1 are ignored
+/// (our model is single-ported terminals; multi-rail HCAs keep rail 1).
+Topology read_ibnetdiscover(std::istream& in,
+                            const std::string& name = "ibnetdiscover");
+Topology read_ibnetdiscover_path(const std::string& path);
+
+}  // namespace dfsssp

@@ -1,0 +1,146 @@
+#include "topology/network.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace dfsssp {
+
+void Network::require_mutable() const {
+  if (frozen_) throw std::logic_error("Network is frozen; cannot modify");
+}
+
+NodeId Network::add_switch(std::string name) {
+  require_mutable();
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  std::uint32_t index = static_cast<std::uint32_t>(switches_.size());
+  if (name.empty()) name = "sw" + std::to_string(index);
+  nodes_.push_back({NodeType::kSwitch, index, std::move(name)});
+  switches_.push_back(id);
+  terminals_on_switch_.push_back(0);
+  staging_out_.emplace_back();
+  return id;
+}
+
+NodeId Network::add_terminal(NodeId sw, std::string name) {
+  require_mutable();
+  if (sw >= nodes_.size() || !is_switch(sw)) {
+    throw std::invalid_argument("add_terminal: not a switch");
+  }
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  std::uint32_t index = static_cast<std::uint32_t>(terminals_.size());
+  if (name.empty()) name = "t" + std::to_string(index);
+  nodes_.push_back({NodeType::kTerminal, index, std::move(name)});
+  terminals_.push_back(id);
+  terminal_switch_.push_back(sw);
+  staging_out_.emplace_back();
+  ++terminals_on_switch_[nodes_[sw].type_index];
+
+  ChannelId inj = static_cast<ChannelId>(channels_.size());
+  ChannelId ej = inj + 1;
+  channels_.push_back({id, sw, ej});
+  channels_.push_back({sw, id, inj});
+  staging_out_[id].push_back(inj);
+  staging_out_[sw].push_back(ej);
+  injection_.push_back(inj);
+  return id;
+}
+
+ChannelId Network::add_link(NodeId a, NodeId b) {
+  require_mutable();
+  if (a >= nodes_.size() || b >= nodes_.size() || !is_switch(a) ||
+      !is_switch(b)) {
+    throw std::invalid_argument("add_link: endpoints must be switches");
+  }
+  if (a == b) throw std::invalid_argument("add_link: self-loop");
+  ChannelId ab = static_cast<ChannelId>(channels_.size());
+  ChannelId ba = ab + 1;
+  channels_.push_back({a, b, ba});
+  channels_.push_back({b, a, ab});
+  staging_out_[a].push_back(ab);
+  staging_out_[b].push_back(ba);
+  return ab;
+}
+
+void Network::freeze() {
+  if (frozen_) return;
+  out_offset_.assign(nodes_.size() + 1, 0);
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    out_offset_[n + 1] =
+        out_offset_[n] + static_cast<std::uint32_t>(staging_out_[n].size());
+  }
+  out_.reserve(channels_.size());
+  out_.clear();
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    out_.insert(out_.end(), staging_out_[n].begin(), staging_out_[n].end());
+  }
+
+  sw_out_offset_.assign(switches_.size() + 1, 0);
+  sw_out_.clear();
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    NodeId sw = switches_[i];
+    for (ChannelId c : staging_out_[sw]) {
+      if (is_switch(channels_[c].dst)) sw_out_.push_back(c);
+    }
+    sw_out_offset_[i + 1] = static_cast<std::uint32_t>(sw_out_.size());
+  }
+  staging_out_.clear();
+  staging_out_.shrink_to_fit();
+  frozen_ = true;
+}
+
+void Network::validate() const {
+  if (!frozen_) throw std::runtime_error("validate: network not frozen");
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    const Channel& ch = channels_[c];
+    if (ch.src >= nodes_.size() || ch.dst >= nodes_.size()) {
+      throw std::runtime_error("validate: channel endpoint out of range");
+    }
+    if (ch.reverse >= channels_.size() ||
+        channels_[ch.reverse].reverse != static_cast<ChannelId>(c) ||
+        channels_[ch.reverse].src != ch.dst ||
+        channels_[ch.reverse].dst != ch.src) {
+      throw std::runtime_error("validate: broken reverse pairing");
+    }
+  }
+  for (NodeId t : terminals_) {
+    if (out_channels(t).size() != 1) {
+      throw std::runtime_error("validate: terminal must have exactly 1 link");
+    }
+    ChannelId inj = injection_channel(t);
+    if (channels_[inj].src != t || !is_switch(channels_[inj].dst)) {
+      throw std::runtime_error("validate: bad injection channel");
+    }
+  }
+  // Cross-check the terminals_on_switch counters.
+  std::vector<std::uint32_t> count(switches_.size(), 0);
+  for (NodeId t : terminals_) ++count[nodes_[switch_of(t)].type_index];
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    if (count[i] != terminals_on_switch_[i]) {
+      throw std::runtime_error("validate: terminal counter mismatch");
+    }
+  }
+}
+
+bool Network::connected() const {
+  if (nodes_.empty()) return true;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::queue<NodeId> q;
+  q.push(0);
+  seen[0] = true;
+  std::size_t reached = 1;
+  while (!q.empty()) {
+    NodeId n = q.front();
+    q.pop();
+    for (ChannelId c : out_channels(n)) {
+      NodeId m = channels_[c].dst;
+      if (!seen[m]) {
+        seen[m] = true;
+        ++reached;
+        q.push(m);
+      }
+    }
+  }
+  return reached == nodes_.size();
+}
+
+}  // namespace dfsssp

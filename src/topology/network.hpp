@@ -1,0 +1,161 @@
+// Directed-multigraph model of an interconnection network.
+//
+// Mirrors the paper's model I = G(N, C): nodes are switches and terminals
+// (InfiniBand: HCAs), channels are directed; every physical link is a pair of
+// opposite directed channels. Parallel links between the same pair of
+// switches are allowed (Deimos connects its big switches with 30 parallel
+// links), hence "multigraph".
+//
+// Terminals have exactly one link, to their attached switch. Forwarding and
+// all dependency analysis happen on the inter-switch channels; terminal
+// injection/ejection channels exist so the flit-level simulator can model
+// sources and sinks, but they can never lie on a dependency cycle (an
+// injection channel has no predecessor in any path, an ejection channel no
+// successor).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dfsssp {
+
+enum class NodeType : std::uint8_t { kSwitch, kTerminal };
+
+struct Node {
+  NodeType type;
+  /// Dense index among nodes of the same type (switch index or terminal
+  /// index); used to address per-switch / per-terminal flat arrays.
+  std::uint32_t type_index;
+  std::string name;
+};
+
+struct Channel {
+  NodeId src;
+  NodeId dst;
+  /// The opposite direction of the same physical link.
+  ChannelId reverse;
+};
+
+class Network {
+ public:
+  // -- construction ---------------------------------------------------------
+
+  NodeId add_switch(std::string name = {});
+
+  /// Adds a terminal and its bidirectional link to `sw`.
+  NodeId add_terminal(NodeId sw, std::string name = {});
+
+  /// Adds a bidirectional link (two directed channels) between two switches.
+  /// Returns the channel a->b; the reverse id is its `.reverse`.
+  ChannelId add_link(NodeId a, NodeId b);
+
+  // -- node accessors -------------------------------------------------------
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_switches() const { return switches_.size(); }
+  std::size_t num_terminals() const { return terminals_.size(); }
+  std::size_t num_channels() const { return channels_.size(); }
+
+  const Node& node(NodeId n) const { return nodes_[n]; }
+  bool is_switch(NodeId n) const { return nodes_[n].type == NodeType::kSwitch; }
+  bool is_terminal(NodeId n) const {
+    return nodes_[n].type == NodeType::kTerminal;
+  }
+
+  /// All switch NodeIds, in creation order.
+  std::span<const NodeId> switches() const { return switches_; }
+  /// All terminal NodeIds, in creation order.
+  std::span<const NodeId> terminals() const { return terminals_; }
+
+  NodeId switch_by_index(std::uint32_t i) const { return switches_[i]; }
+  NodeId terminal_by_index(std::uint32_t i) const { return terminals_[i]; }
+
+  /// Switch a terminal is attached to.
+  NodeId switch_of(NodeId terminal) const {
+    return terminal_switch_[nodes_[terminal].type_index];
+  }
+
+  /// Number of terminals attached to a switch.
+  std::uint32_t terminals_on(NodeId sw) const {
+    return terminals_on_switch_[nodes_[sw].type_index];
+  }
+
+  // -- channel accessors ----------------------------------------------------
+
+  const Channel& channel(ChannelId c) const { return channels_[c]; }
+
+  /// Outgoing channels of a node (for a terminal: the injection channel).
+  std::span<const ChannelId> out_channels(NodeId n) const {
+    return {out_.data() + out_offset_[n],
+            out_offset_[n + 1] - out_offset_[n]};
+  }
+
+  /// Outgoing channels that lead to switches (skips ejection channels).
+  /// Valid only after freeze().
+  std::span<const ChannelId> out_switch_channels(NodeId sw) const {
+    return {sw_out_.data() + sw_out_offset_[nodes_[sw].type_index],
+            sw_out_offset_[nodes_[sw].type_index + 1] -
+                sw_out_offset_[nodes_[sw].type_index]};
+  }
+
+  /// The channel from `terminal` into its switch (injection channel).
+  ChannelId injection_channel(NodeId terminal) const {
+    return injection_[nodes_[terminal].type_index];
+  }
+  /// The channel from the switch to `terminal` (ejection channel).
+  ChannelId ejection_channel(NodeId terminal) const {
+    return channels_[injection_channel(terminal)].reverse;
+  }
+
+  /// True for channels between two switches (the CDG's node set).
+  bool is_switch_channel(ChannelId c) const {
+    return is_switch(channels_[c].src) && is_switch(channels_[c].dst);
+  }
+
+  // -- lifecycle ------------------------------------------------------------
+
+  /// Builds the CSR adjacency. Must be called once after construction and
+  /// before any routing; add_* calls afterwards throw.
+  void freeze();
+
+  bool frozen() const { return frozen_; }
+
+  /// Throws std::runtime_error when structural invariants are violated
+  /// (terminals with != 1 link, dangling reverse channels, ...).
+  void validate() const;
+
+  /// True when every node can reach every other node.
+  bool connected() const;
+
+  /// Degree of a switch counting only inter-switch links (out-direction).
+  std::uint32_t switch_degree(NodeId sw) const {
+    return static_cast<std::uint32_t>(out_switch_channels(sw).size());
+  }
+
+ private:
+  void require_mutable() const;
+
+  std::vector<Node> nodes_;
+  std::vector<Channel> channels_;
+  std::vector<NodeId> switches_;
+  std::vector<NodeId> terminals_;
+  std::vector<NodeId> terminal_switch_;           // per terminal index
+  std::vector<ChannelId> injection_;              // per terminal index
+  std::vector<std::uint32_t> terminals_on_switch_;  // per switch index
+
+  // Adjacency in CSR form, built by freeze().
+  std::vector<std::uint32_t> out_offset_;
+  std::vector<ChannelId> out_;
+  std::vector<std::uint32_t> sw_out_offset_;  // per switch index
+  std::vector<ChannelId> sw_out_;
+  bool frozen_ = false;
+
+  // Pre-freeze edge staging: per node list of channels.
+  std::vector<std::vector<ChannelId>> staging_out_;
+};
+
+}  // namespace dfsssp

@@ -1,0 +1,44 @@
+// A Network bundled with generator metadata.
+//
+// Some routing engines need structural knowledge beyond the raw graph:
+// DOR needs torus coordinates, fat-tree routing needs tree levels. The
+// generators record that knowledge here; engines that cannot operate on a
+// given topology report failure instead of guessing (the paper's Figure 4
+// shows exactly this as missing bars).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/network.hpp"
+
+namespace dfsssp {
+
+struct TopologyMeta {
+  /// Generator family: "ring", "torus", "mesh", "kary-ntree", "xgft",
+  /// "kautz", "random", "clos", "dragonfly", "real/<name>", ...
+  std::string family;
+
+  /// Torus/mesh: radix of each dimension. Empty otherwise.
+  std::vector<std::uint32_t> dims;
+  bool wraparound = false;
+
+  /// Torus/mesh: per switch index, dims.size() coordinates (flattened).
+  std::vector<std::uint32_t> sw_coord;
+
+  /// Trees: level per switch index (0 = leaf level). -1 when unknown,
+  /// in which case fat-tree routing refuses the topology.
+  std::vector<std::int32_t> sw_level;
+
+  bool has_coords() const { return !sw_coord.empty(); }
+  bool has_levels() const { return !sw_level.empty(); }
+};
+
+struct Topology {
+  std::string name;
+  Network net;
+  TopologyMeta meta;
+};
+
+}  // namespace dfsssp

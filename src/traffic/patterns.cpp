@@ -1,0 +1,212 @@
+#include "traffic/patterns.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace dfsssp {
+
+RankMap RankMap::round_robin(const Network& net, std::uint32_t num_ranks,
+                             std::uint32_t nodes_used) {
+  const std::uint32_t num_terms =
+      static_cast<std::uint32_t>(net.num_terminals());
+  if (nodes_used == 0) nodes_used = std::min(num_ranks, num_terms);
+  if (nodes_used > num_terms) {
+    throw std::invalid_argument("RankMap: not enough terminals");
+  }
+  std::vector<NodeId> map(num_ranks);
+  for (std::uint32_t r = 0; r < num_ranks; ++r) {
+    map[r] = net.terminal_by_index(r % nodes_used);
+  }
+  return RankMap(std::move(map));
+}
+
+RankMap RankMap::random_allocation(const Network& net, std::uint32_t num_ranks,
+                                   std::uint32_t nodes_used, Rng& rng) {
+  const std::uint32_t num_terms =
+      static_cast<std::uint32_t>(net.num_terminals());
+  if (nodes_used == 0) nodes_used = std::min(num_ranks, num_terms);
+  if (nodes_used > num_terms) {
+    throw std::invalid_argument("RankMap: not enough terminals");
+  }
+  std::vector<std::uint32_t> indices(num_terms);
+  std::iota(indices.begin(), indices.end(), 0U);
+  rng.shuffle(indices);
+  std::vector<NodeId> map(num_ranks);
+  for (std::uint32_t r = 0; r < num_ranks; ++r) {
+    map[r] = net.terminal_by_index(indices[r % nodes_used]);
+  }
+  return RankMap(std::move(map));
+}
+
+Flows RankMap::to_flows(const RankPattern& pattern) const {
+  Flows flows;
+  flows.reserve(pattern.size());
+  for (auto [a, b] : pattern) flows.emplace_back(map_.at(a), map_.at(b));
+  return flows;
+}
+
+RankPattern random_bisection(std::uint32_t num_ranks, Rng& rng) {
+  std::vector<std::uint32_t> ranks(num_ranks);
+  std::iota(ranks.begin(), ranks.end(), 0U);
+  rng.shuffle(ranks);
+  const std::uint32_t pairs = num_ranks / 2;
+  RankPattern pattern;
+  pattern.reserve(pairs);
+  // First half is set A, second half set B; the shuffle makes both the
+  // bisection and the matching uniformly random.
+  for (std::uint32_t i = 0; i < pairs; ++i) {
+    pattern.emplace_back(ranks[i], ranks[pairs + i]);
+  }
+  return pattern;
+}
+
+RankPattern random_permutation(std::uint32_t num_ranks, Rng& rng) {
+  if (num_ranks < 2) return {};
+  std::vector<std::uint32_t> target(num_ranks);
+  std::iota(target.begin(), target.end(), 0U);
+  // Sattolo's algorithm: a uniformly random cyclic permutation, which is
+  // fixed-point-free by construction.
+  for (std::uint32_t i = num_ranks - 1; i > 0; --i) {
+    std::uint32_t j = static_cast<std::uint32_t>(rng.next_below(i));
+    std::swap(target[i], target[j]);
+  }
+  RankPattern pattern;
+  pattern.reserve(num_ranks);
+  for (std::uint32_t i = 0; i < num_ranks; ++i) {
+    pattern.emplace_back(i, target[i]);
+  }
+  return pattern;
+}
+
+RankPattern all_to_all(std::uint32_t num_ranks) {
+  RankPattern pattern;
+  pattern.reserve(static_cast<std::size_t>(num_ranks) * (num_ranks - 1));
+  for (std::uint32_t i = 0; i < num_ranks; ++i) {
+    for (std::uint32_t j = 0; j < num_ranks; ++j) {
+      if (i != j) pattern.emplace_back(i, j);
+    }
+  }
+  return pattern;
+}
+
+RankPattern ring_shift(std::uint32_t num_ranks, std::uint32_t shift) {
+  RankPattern pattern;
+  pattern.reserve(num_ranks);
+  for (std::uint32_t i = 0; i < num_ranks; ++i) {
+    std::uint32_t j = (i + shift) % num_ranks;
+    if (i != j) pattern.emplace_back(i, j);
+  }
+  return pattern;
+}
+
+RankPattern stencil2d(std::uint32_t rx, std::uint32_t ry) {
+  RankPattern pattern;
+  auto rank = [&](std::uint32_t x, std::uint32_t y) { return y * rx + x; };
+  for (std::uint32_t y = 0; y < ry; ++y) {
+    for (std::uint32_t x = 0; x < rx; ++x) {
+      const std::uint32_t r = rank(x, y);
+      const std::uint32_t nbrs[4] = {
+          rank((x + 1) % rx, y), rank((x + rx - 1) % rx, y),
+          rank(x, (y + 1) % ry), rank(x, (y + ry - 1) % ry)};
+      for (std::uint32_t n : nbrs) {
+        if (n != r) pattern.emplace_back(r, n);
+      }
+    }
+  }
+  return pattern;
+}
+
+RankPattern stencil3d(std::uint32_t rx, std::uint32_t ry, std::uint32_t rz) {
+  RankPattern pattern;
+  auto rank = [&](std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+    return (z * ry + y) * rx + x;
+  };
+  for (std::uint32_t z = 0; z < rz; ++z) {
+    for (std::uint32_t y = 0; y < ry; ++y) {
+      for (std::uint32_t x = 0; x < rx; ++x) {
+        const std::uint32_t r = rank(x, y, z);
+        const std::uint32_t nbrs[6] = {
+            rank((x + 1) % rx, y, z),      rank((x + rx - 1) % rx, y, z),
+            rank(x, (y + 1) % ry, z),      rank(x, (y + ry - 1) % ry, z),
+            rank(x, y, (z + 1) % rz),      rank(x, y, (z + rz - 1) % rz)};
+        for (std::uint32_t n : nbrs) {
+          if (n != r) pattern.emplace_back(r, n);
+        }
+      }
+    }
+  }
+  return pattern;
+}
+
+RankPattern butterfly_stage(std::uint32_t num_ranks, std::uint32_t stage) {
+  RankPattern pattern;
+  const std::uint32_t mask = 1U << stage;
+  for (std::uint32_t i = 0; i < num_ranks; ++i) {
+    const std::uint32_t j = i ^ mask;
+    if (j < num_ranks) pattern.emplace_back(i, j);
+  }
+  return pattern;
+}
+
+namespace {
+
+std::uint32_t log2_exact(std::uint32_t num_ranks, const char* who) {
+  if (num_ranks == 0 || (num_ranks & (num_ranks - 1)) != 0) {
+    throw std::invalid_argument(std::string(who) +
+                                ": rank count must be a power of two");
+  }
+  std::uint32_t bits = 0;
+  while ((1U << bits) < num_ranks) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+RankPattern bit_reversal(std::uint32_t num_ranks) {
+  const std::uint32_t bits = log2_exact(num_ranks, "bit_reversal");
+  RankPattern pattern;
+  for (std::uint32_t i = 0; i < num_ranks; ++i) {
+    std::uint32_t j = 0;
+    for (std::uint32_t b = 0; b < bits; ++b) {
+      if (i & (1U << b)) j |= 1U << (bits - 1 - b);
+    }
+    if (i != j) pattern.emplace_back(i, j);
+  }
+  return pattern;
+}
+
+RankPattern bit_complement(std::uint32_t num_ranks) {
+  const std::uint32_t bits = log2_exact(num_ranks, "bit_complement");
+  RankPattern pattern;
+  const std::uint32_t mask = (bits >= 32) ? ~0U : ((1U << bits) - 1);
+  for (std::uint32_t i = 0; i < num_ranks; ++i) {
+    pattern.emplace_back(i, (~i) & mask);
+  }
+  return pattern;
+}
+
+RankPattern transpose2d(std::uint32_t rx) {
+  RankPattern pattern;
+  for (std::uint32_t y = 0; y < rx; ++y) {
+    for (std::uint32_t x = 0; x < rx; ++x) {
+      if (x != y) pattern.emplace_back(y * rx + x, x * rx + y);
+    }
+  }
+  return pattern;
+}
+
+RankPattern tornado(std::uint32_t num_ranks) {
+  const std::uint32_t shift = (num_ranks + 1) / 2 - 1;
+  return ring_shift(num_ranks, shift == 0 ? 1 : shift);
+}
+
+RankPattern gather_to(std::uint32_t num_ranks, std::uint32_t root) {
+  RankPattern pattern;
+  for (std::uint32_t i = 0; i < num_ranks; ++i) {
+    if (i != root) pattern.emplace_back(i, root);
+  }
+  return pattern;
+}
+
+}  // namespace dfsssp

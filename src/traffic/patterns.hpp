@@ -1,0 +1,95 @@
+// Communication-pattern generators.
+//
+// Patterns are generated in *rank* space (MPI-style, ranks 0..P-1) and
+// mapped onto terminals through a RankMap, which models the paper's job
+// allocations (one process per node up to 512 cores on Deimos, several
+// processes per node at 1024). The simulators consume terminal-pair flows.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "topology/network.hpp"
+
+namespace dfsssp {
+
+/// Directed flows between ranks.
+using RankPattern = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+/// Directed flows between terminals.
+using Flows = std::vector<std::pair<NodeId, NodeId>>;
+
+/// rank -> terminal.
+class RankMap {
+ public:
+  RankMap() = default;
+  explicit RankMap(std::vector<NodeId> terminal_of_rank)
+      : map_(std::move(terminal_of_rank)) {}
+
+  /// `num_ranks` ranks round-robin over the first `nodes_used` terminals
+  /// (nodes_used = min(num_ranks, #terminals) when 0).
+  static RankMap round_robin(const Network& net, std::uint32_t num_ranks,
+                             std::uint32_t nodes_used = 0);
+
+  /// Random node allocation: `num_ranks` ranks round-robin over a random
+  /// subset of nodes (the scheduler's allocation on a shared cluster).
+  static RankMap random_allocation(const Network& net, std::uint32_t num_ranks,
+                                   std::uint32_t nodes_used, Rng& rng);
+
+  std::uint32_t num_ranks() const { return static_cast<std::uint32_t>(map_.size()); }
+  NodeId terminal(std::uint32_t rank) const { return map_[rank]; }
+
+  Flows to_flows(const RankPattern& pattern) const;
+
+ private:
+  std::vector<NodeId> map_;
+};
+
+/// Random bisection: ranks are split into two random halves A and B and
+/// matched one-to-one; one directed flow per pair A->B (the effective-
+/// bisection-bandwidth pattern of ORCS/Netgauge). Odd rank counts drop one
+/// rank, matching Netgauge.
+RankPattern random_bisection(std::uint32_t num_ranks, Rng& rng);
+
+/// Uniform random permutation with no self-pairs (fixed-point-free).
+RankPattern random_permutation(std::uint32_t num_ranks, Rng& rng);
+
+/// All ordered pairs (the congestion shape of MPI_Alltoall).
+RankPattern all_to_all(std::uint32_t num_ranks);
+
+/// rank i -> rank (i+shift) mod P.
+RankPattern ring_shift(std::uint32_t num_ranks, std::uint32_t shift);
+
+/// 4-neighbor halo exchange on an rx x ry process grid (row-major ranks),
+/// periodic boundaries. Both directions of every neighbor relation.
+RankPattern stencil2d(std::uint32_t rx, std::uint32_t ry);
+
+/// 6-neighbor halo on an rx x ry x rz grid, periodic boundaries.
+RankPattern stencil3d(std::uint32_t rx, std::uint32_t ry, std::uint32_t rz);
+
+/// Recursive-doubling style pairs: for each stage s, rank i <-> i ^ (1<<s).
+/// (The communication shape of reduce/allreduce butterflies; one stage.)
+RankPattern butterfly_stage(std::uint32_t num_ranks, std::uint32_t stage);
+
+// ---- classical adversarial patterns (ORCS's permutation suite) -------------
+
+/// rank b_{n-1}..b_0 -> rank b_0..b_{n-1}; num_ranks must be a power of two.
+RankPattern bit_reversal(std::uint32_t num_ranks);
+
+/// rank i -> rank ~i (within log2(num_ranks) bits); power of two.
+RankPattern bit_complement(std::uint32_t num_ranks);
+
+/// Matrix transpose on an rx x ry rank grid: (x,y) -> (y,x); rx == ry.
+RankPattern transpose2d(std::uint32_t rx);
+
+/// Tornado: rank i -> (i + ceil(P/2) - 1) mod P, the classical worst case
+/// for minimal routing on rings.
+RankPattern tornado(std::uint32_t num_ranks);
+
+/// Everyone sends to rank `root` (incast) — ejection-limited by design.
+RankPattern gather_to(std::uint32_t num_ranks, std::uint32_t root);
+
+}  // namespace dfsssp

@@ -1,0 +1,147 @@
+#include "cdg/app.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace dfsssp::app {
+namespace {
+
+TEST(App, UnionAcyclicDetectsCycles) {
+  Instance inst;
+  inst.num_nodes = 3;
+  inst.paths = {{0, 1}, {1, 2}, {2, 0}};
+  std::vector<std::uint32_t> all{0, 1, 2};
+  EXPECT_FALSE(union_is_acyclic(inst, all));
+  std::vector<std::uint32_t> two{0, 1};
+  EXPECT_TRUE(union_is_acyclic(inst, two));
+}
+
+TEST(App, IsCoverValidatesAssignments) {
+  Instance inst;
+  inst.num_nodes = 2;
+  inst.paths = {{0, 1}, {1, 0}};
+  std::vector<std::uint32_t> good{0, 1};
+  EXPECT_TRUE(is_cover(inst, good, 2));
+  std::vector<std::uint32_t> bad{0, 0};
+  EXPECT_FALSE(is_cover(inst, bad, 2));
+  std::vector<std::uint32_t> out_of_range{0, 2};
+  EXPECT_FALSE(is_cover(inst, out_of_range, 2));
+}
+
+TEST(App, ExactSolverMatchesHandComputedCases) {
+  // Figure 3: a=0 b=1 c=2 d=3; p1=bc, p2=abc, p3=cdab; minimum is 2.
+  Instance fig3;
+  fig3.num_nodes = 4;
+  fig3.paths = {{1, 2}, {0, 1, 2}, {2, 3, 0, 1}};
+  EXPECT_EQ(exact_min_layers(fig3, 4), 2U);
+
+  // All paths disjoint: 1 class.
+  Instance disjoint;
+  disjoint.num_nodes = 6;
+  disjoint.paths = {{0, 1}, {2, 3}, {4, 5}};
+  EXPECT_EQ(exact_min_layers(disjoint, 4), 1U);
+
+  // Three pairwise 2-cycles (triangle): needs 3.
+  Instance triangle;
+  triangle.num_nodes = 6;
+  triangle.paths = {{0, 1, 2, 3}, {1, 0, 4, 5}, {3, 2, 5, 4}};
+  EXPECT_EQ(exact_min_layers(triangle, 4), 3U);
+}
+
+TEST(App, ExactReturnsZeroWhenInfeasible) {
+  Instance triangle;
+  triangle.num_nodes = 6;
+  triangle.paths = {{0, 1, 2, 3}, {1, 0, 4, 5}, {3, 2, 5, 4}};
+  EXPECT_EQ(exact_min_layers(triangle, 2), 0U);
+}
+
+TEST(App, FirstFitIsAnUpperBound) {
+  Rng rng(55);
+  for (int round = 0; round < 20; ++round) {
+    Instance inst;
+    inst.num_nodes = 8;
+    for (int p = 0; p < 6; ++p) {
+      std::vector<Node> path;
+      std::vector<bool> used(inst.num_nodes, false);
+      for (int i = 0; i < 4; ++i) {
+        Node n = static_cast<Node>(rng.next_below(inst.num_nodes));
+        if (used[n]) break;
+        used[n] = true;
+        path.push_back(n);
+      }
+      if (path.size() >= 2) inst.paths.push_back(std::move(path));
+    }
+    std::uint32_t exact = exact_min_layers(inst, 8);
+    std::uint32_t greedy = first_fit_layers(inst, 8);
+    ASSERT_NE(exact, 0U);
+    ASSERT_NE(greedy, 0U);
+    EXPECT_LE(exact, greedy);
+  }
+}
+
+TEST(AppReduction, AdjacentVerticesClash) {
+  // Single edge {0,1}: paths of 0 and 1 must not share a class.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges{{0, 1}};
+  Instance inst = reduction_from_coloring(2, edges);
+  ASSERT_EQ(inst.paths.size(), 2U);
+  std::vector<std::uint32_t> together{0, 1};
+  EXPECT_FALSE(union_is_acyclic(inst, together));
+  std::vector<std::uint32_t> alone{0};
+  EXPECT_TRUE(union_is_acyclic(inst, alone));
+}
+
+TEST(AppReduction, IndependentSetsAreCompatible) {
+  // Path graph 0-1-2: vertices 0 and 2 are independent.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges{{0, 1}, {1, 2}};
+  Instance inst = reduction_from_coloring(3, edges);
+  std::vector<std::uint32_t> independent{0, 2};
+  EXPECT_TRUE(union_is_acyclic(inst, independent));
+}
+
+TEST(AppReduction, TriangleNeedsThree) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges{
+      {0, 1}, {1, 2}, {0, 2}};
+  Instance inst = reduction_from_coloring(3, edges);
+  EXPECT_EQ(exact_min_layers(inst, 4), 3U);
+  EXPECT_EQ(chromatic_number(3, edges, 4), 3U);
+}
+
+TEST(AppReduction, BipartiteNeedsTwo) {
+  // C4 cycle: 2-colorable.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges{
+      {0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  Instance inst = reduction_from_coloring(4, edges);
+  EXPECT_EQ(exact_min_layers(inst, 4), 2U);
+  EXPECT_EQ(chromatic_number(4, edges, 4), 2U);
+}
+
+TEST(AppReduction, RandomGraphsMatchChromaticNumber) {
+  // Theorem 1 exercised constructively: min APP layers == chromatic number
+  // on random graphs (both brute force; keep sizes tiny).
+  Rng rng(77);
+  for (int round = 0; round < 12; ++round) {
+    const std::uint32_t n = 4 + static_cast<std::uint32_t>(rng.next_below(3));
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    for (std::uint32_t a = 0; a < n; ++a) {
+      for (std::uint32_t b = a + 1; b < n; ++b) {
+        if (rng.next_below(100) < 45) edges.emplace_back(a, b);
+      }
+    }
+    Instance inst = reduction_from_coloring(n, edges);
+    const std::uint32_t chi = chromatic_number(n, edges, n);
+    const std::uint32_t app_min = exact_min_layers(inst, n);
+    EXPECT_EQ(chi, app_min) << "round " << round << " n=" << n
+                            << " edges=" << edges.size();
+  }
+}
+
+TEST(AppReduction, IsolatedVerticesNeedOneClass) {
+  Instance inst = reduction_from_coloring(3, {});
+  EXPECT_EQ(exact_min_layers(inst, 3), 1U);
+}
+
+}  // namespace
+}  // namespace dfsssp::app

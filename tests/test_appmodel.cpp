@@ -1,0 +1,101 @@
+#include "sim/appmodel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/dfsssp.hpp"
+#include "routing/minhop.hpp"
+#include "topology/generators.hpp"
+
+namespace dfsssp {
+namespace {
+
+TEST(AppModel, KernelFactoriesRoundRanks) {
+  EXPECT_EQ(kernel_ranks(make_nas_bt(1024)), 1024U);   // 32x32
+  EXPECT_EQ(kernel_ranks(make_nas_bt(128)), 121U);     // 11x11
+  EXPECT_EQ(kernel_ranks(make_nas_ft(100)), 64U);      // pow2
+  EXPECT_EQ(kernel_ranks(make_nas_cg(128)), 128U);
+  EXPECT_EQ(kernel_ranks(make_nas_mg(200)), 128U);
+  EXPECT_EQ(kernel_ranks(make_nas_sp(256)), 256U);
+  EXPECT_EQ(kernel_ranks(make_nas_lu(64)), 64U);
+}
+
+TEST(AppModel, PhasesAreWellFormed) {
+  for (const AppKernel& k : {make_nas_bt(64), make_nas_sp(64), make_nas_ft(64),
+                             make_nas_cg(64), make_nas_mg(64), make_nas_lu(64)}) {
+    EXPECT_FALSE(k.phases.empty()) << k.name;
+    EXPECT_GT(k.flops_per_iteration, 0.0) << k.name;
+    for (const CommPhase& phase : k.phases) {
+      EXPECT_GE(phase.repeat, 1U) << k.name;
+      EXPECT_GT(phase.bytes_per_flow, 0.0) << k.name;
+      for (auto [a, b] : phase.pattern) {
+        EXPECT_NE(a, b) << k.name;
+        EXPECT_LT(a, kernel_ranks(k)) << k.name;
+        EXPECT_LT(b, kernel_ranks(k)) << k.name;
+      }
+    }
+  }
+}
+
+TEST(AppModel, MultipartitionPipelineDepthMatchesGrid) {
+  // BT/SP sweeps repeat once per pipeline stage (q = sqrt(ranks)).
+  AppKernel bt = make_nas_bt(1024);
+  for (const CommPhase& phase : bt.phases) EXPECT_EQ(phase.repeat, 32U);
+  AppKernel sp = make_nas_sp(121);
+  for (const CommPhase& phase : sp.phases) EXPECT_EQ(phase.repeat, 11U);
+}
+
+TEST(AppModel, FtAlltoallDominatesItsFlowCount) {
+  AppKernel ft = make_nas_ft(64);
+  // First phase is the transpose alltoall: 64*63 flows.
+  ASSERT_FALSE(ft.phases.empty());
+  EXPECT_EQ(ft.phases.front().pattern.size(), 64U * 63U);
+  // Remaining phases are the log2(64)=6 allreduce butterfly stages.
+  EXPECT_EQ(ft.phases.size(), 1U + 6U);
+}
+
+TEST(AppModel, RunProducesPositiveNumbers) {
+  Topology topo = make_kary_ntree(4, 2);  // 16 terminals
+  RoutingOutcome out = DfssspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  AppKernel bt = make_nas_bt(16);
+  RankMap map = RankMap::round_robin(topo.net, kernel_ranks(bt));
+  AppRunResult r = run_app_model(topo.net, out.table, map, bt);
+  EXPECT_GT(r.comm_seconds, 0.0);
+  EXPECT_GT(r.compute_seconds, 0.0);
+  EXPECT_GT(r.gflops, 0.0);
+  EXPECT_NEAR(r.seconds_per_iteration, r.comm_seconds + r.compute_seconds,
+              1e-12);
+}
+
+TEST(AppModel, LessCongestionMeansMoreGflops) {
+  // Same kernel on a heavily oversubscribed tree: a routing with double the
+  // effective bandwidth must yield at least the Gflop/s of its baseline.
+  Topology topo = make_clos2(8, 2, 1, 8);  // 64 terminals, 4:1 oversubscribed
+  RoutingOutcome minhop = MinHopRouter().route(topo);
+  RoutingOutcome dfsssp = DfssspRouter().route(topo);
+  ASSERT_TRUE(minhop.ok);
+  ASSERT_TRUE(dfsssp.ok);
+  AppKernel ft = make_nas_ft(64);
+  RankMap map = RankMap::round_robin(topo.net, kernel_ranks(ft));
+  AppRunResult a = run_app_model(topo.net, minhop.table, map, ft);
+  AppRunResult b = run_app_model(topo.net, dfsssp.table, map, ft);
+  // DFSSSP balances globally; it must not be meaningfully worse.
+  EXPECT_GE(b.gflops, a.gflops * 0.95);
+}
+
+TEST(AppModel, BandwidthOptionScalesCommTime) {
+  Topology topo = make_kary_ntree(2, 2);
+  RoutingOutcome out = DfssspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  AppKernel cg = make_nas_cg(4);
+  RankMap map = RankMap::round_robin(topo.net, kernel_ranks(cg));
+  AppModelOptions fast, slow;
+  slow.link_bandwidth_bytes = fast.link_bandwidth_bytes / 2;
+  slow.message_latency_seconds = fast.message_latency_seconds = 0.0;
+  AppRunResult rf = run_app_model(topo.net, out.table, map, cg, fast);
+  AppRunResult rs = run_app_model(topo.net, out.table, map, cg, slow);
+  EXPECT_NEAR(rs.comm_seconds, 2.0 * rf.comm_seconds, 1e-12);
+}
+
+}  // namespace
+}  // namespace dfsssp

@@ -1,0 +1,58 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dfsssp {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsSyntax) {
+  Cli cli = make({"--size=42", "--name=foo"});
+  EXPECT_EQ(cli.get_int("size", 0), 42);
+  EXPECT_EQ(cli.get("name", ""), "foo");
+}
+
+TEST(Cli, SpaceSyntax) {
+  Cli cli = make({"--size", "7"});
+  EXPECT_EQ(cli.get_int("size", 0), 7);
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  Cli cli = make({"--verbose"});
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_FALSE(cli.get_bool("quiet", false));
+}
+
+TEST(Cli, FallbacksWhenMissing) {
+  Cli cli = make({});
+  EXPECT_EQ(cli.get_int("n", 5), 5);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 1.5), 1.5);
+  EXPECT_EQ(cli.get("s", "dflt"), "dflt");
+}
+
+TEST(Cli, PositionalCollected) {
+  Cli cli = make({"first", "--k=v", "second"});
+  ASSERT_EQ(cli.positional().size(), 2U);
+  EXPECT_EQ(cli.positional()[0], "first");
+  EXPECT_EQ(cli.positional()[1], "second");
+}
+
+TEST(Cli, DoubleParsing) {
+  Cli cli = make({"--rate=0.25"});
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 0), 0.25);
+}
+
+TEST(Cli, BoolSpellings) {
+  EXPECT_TRUE(make({"--a=1"}).get_bool("a", false));
+  EXPECT_TRUE(make({"--a=yes"}).get_bool("a", false));
+  EXPECT_TRUE(make({"--a=on"}).get_bool("a", false));
+  EXPECT_FALSE(make({"--a=0"}).get_bool("a", true));
+}
+
+}  // namespace
+}  // namespace dfsssp

@@ -1,0 +1,130 @@
+#include "sim/congestion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/minhop.hpp"
+#include "routing/sssp.hpp"
+#include "topology/generators.hpp"
+
+namespace dfsssp {
+namespace {
+
+TEST(Congestion, DisjointFlowsGetFullBandwidth) {
+  Topology topo = make_ring(4, 1);
+  RoutingOutcome out = SsspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  // Terminal 0 -> 1 and 2 -> 3: opposite sides, no sharing.
+  Flows flows{{topo.net.terminal_by_index(0), topo.net.terminal_by_index(1)},
+              {topo.net.terminal_by_index(2), topo.net.terminal_by_index(3)}};
+  PatternResult r = simulate_pattern(topo.net, out.table, flows);
+  EXPECT_DOUBLE_EQ(r.avg_flow_bandwidth, 1.0);
+  EXPECT_EQ(r.max_congestion, 1U);
+}
+
+TEST(Congestion, SharedEjectionHalvesBandwidth) {
+  // Two flows into the same destination terminal share its ejection link.
+  Topology topo = make_single_switch(3);
+  RoutingOutcome out = SsspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  Flows flows{{topo.net.terminal_by_index(0), topo.net.terminal_by_index(2)},
+              {topo.net.terminal_by_index(1), topo.net.terminal_by_index(2)}};
+  PatternResult r = simulate_pattern(topo.net, out.table, flows);
+  EXPECT_DOUBLE_EQ(r.avg_flow_bandwidth, 0.5);
+  EXPECT_EQ(r.max_congestion, 2U);
+}
+
+TEST(Congestion, BottleneckLinkCounts) {
+  // Path of 2 switches: all cross-traffic shares the single link.
+  Topology topo = make_path(2, 4);
+  RoutingOutcome out = SsspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  Flows flows;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    flows.emplace_back(topo.net.terminal_by_index(i),
+                       topo.net.terminal_by_index(4 + i));
+  }
+  PatternResult r = simulate_pattern(topo.net, out.table, flows);
+  EXPECT_EQ(r.max_congestion, 4U);
+  EXPECT_DOUBLE_EQ(r.avg_flow_bandwidth, 0.25);
+}
+
+TEST(Congestion, LinkCapacityScalesResult) {
+  Topology topo = make_path(2, 2);
+  RoutingOutcome out = SsspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  Flows flows{{topo.net.terminal_by_index(0), topo.net.terminal_by_index(2)},
+              {topo.net.terminal_by_index(1), topo.net.terminal_by_index(3)}};
+  CongestionOptions opts;
+  opts.link_capacity = 946.0;
+  PatternResult r = simulate_pattern(topo.net, out.table, flows, opts);
+  EXPECT_DOUBLE_EQ(r.avg_flow_bandwidth, 473.0);
+}
+
+TEST(Congestion, MaxMinFairDominatesShareMetric) {
+  // Max-min fairness can only give each flow at least the bottleneck share.
+  Rng rng(5);
+  Topology topo = make_kautz(2, 3, 24);
+  RoutingOutcome out = SsspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  RankMap map = RankMap::round_robin(topo.net, 24);
+  Flows flows = map.to_flows(random_bisection(24, rng));
+  PatternResult share = simulate_pattern(topo.net, out.table, flows);
+  CongestionOptions mm;
+  mm.metric = BandwidthMetric::kMaxMinFair;
+  PatternResult fair = simulate_pattern(topo.net, out.table, flows, mm);
+  EXPECT_GE(fair.avg_flow_bandwidth, share.avg_flow_bandwidth - 1e-9);
+  EXPECT_GE(fair.min_flow_bandwidth, share.min_flow_bandwidth - 1e-9);
+}
+
+TEST(Congestion, MaxMinFairConservesCapacityOnSingleLink) {
+  Topology topo = make_path(2, 3);
+  RoutingOutcome out = SsspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  Flows flows;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    flows.emplace_back(topo.net.terminal_by_index(i),
+                       topo.net.terminal_by_index(3 + i));
+  }
+  CongestionOptions mm;
+  mm.metric = BandwidthMetric::kMaxMinFair;
+  PatternResult r = simulate_pattern(topo.net, out.table, flows, mm);
+  EXPECT_NEAR(r.avg_flow_bandwidth, 1.0 / 3.0, 1e-9);
+}
+
+TEST(Congestion, EbbOnSingleSwitchIsPerfect) {
+  Topology topo = make_single_switch(16);
+  RoutingOutcome out = MinHopRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  Rng rng(6);
+  RankMap map = RankMap::round_robin(topo.net, 16);
+  EbbResult ebb = effective_bisection_bandwidth(topo.net, out.table, map, 20, rng);
+  EXPECT_DOUBLE_EQ(ebb.ebb, 1.0);
+}
+
+TEST(Congestion, EbbDropsOnOversubscribedTree) {
+  // 4 leaves with 4 terminals each, single spine: 4:1 oversubscription.
+  Topology topo = make_clos2(4, 1, 1, 4);
+  RoutingOutcome out = MinHopRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  Rng rng(7);
+  RankMap map = RankMap::round_robin(topo.net, 16);
+  EbbResult ebb = effective_bisection_bandwidth(topo.net, out.table, map, 50, rng);
+  EXPECT_LT(ebb.ebb, 0.75);
+  EXPECT_GT(ebb.ebb, 0.1);
+  EXPECT_LE(ebb.min_pattern, ebb.ebb);
+  EXPECT_LE(ebb.ebb, ebb.max_pattern);
+}
+
+TEST(Congestion, EbbIsSeedDeterministic) {
+  Topology topo = make_ring(6, 2);
+  RoutingOutcome out = SsspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  RankMap map = RankMap::round_robin(topo.net, 12);
+  Rng r1(42), r2(42);
+  EbbResult a = effective_bisection_bandwidth(topo.net, out.table, map, 10, r1);
+  EbbResult b = effective_bisection_bandwidth(topo.net, out.table, map, 10, r2);
+  EXPECT_DOUBLE_EQ(a.ebb, b.ebb);
+}
+
+}  // namespace
+}  // namespace dfsssp

@@ -1,0 +1,78 @@
+// Reproducibility guarantees: identical inputs must give bit-identical
+// routings and simulated numbers (the whole bench suite relies on it).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "routing/dfsssp.hpp"
+#include "routing/lash.hpp"
+#include "routing/minhop.hpp"
+#include "routing/updown.hpp"
+#include "sim/congestion.hpp"
+#include "topology/generators.hpp"
+
+namespace dfsssp {
+namespace {
+
+void expect_identical_tables(const Network& net, const RoutingTable& a,
+                             const RoutingTable& b) {
+  ASSERT_EQ(a.num_layers(), b.num_layers());
+  for (NodeId s : net.switches()) {
+    for (NodeId t : net.terminals()) {
+      if (net.switch_of(t) == s) continue;
+      ASSERT_EQ(a.next(s, t), b.next(s, t));
+      ASSERT_EQ(a.layer(s, t), b.layer(s, t));
+    }
+  }
+}
+
+TEST(Determinism, EnginesAreDeterministic) {
+  Rng r1(555), r2(555);
+  Topology t1 = make_random(14, 2, 32, 8, r1);
+  Topology t2 = make_random(14, 2, 32, 8, r2);
+  for (const auto& make_router :
+       {std::function<std::unique_ptr<Router>()>(
+            [] { return std::make_unique<MinHopRouter>(); }),
+        std::function<std::unique_ptr<Router>()>(
+            [] { return std::make_unique<UpDownRouter>(); }),
+        std::function<std::unique_ptr<Router>()>(
+            [] { return std::make_unique<LashRouter>(); }),
+        std::function<std::unique_ptr<Router>()>(
+            [] { return std::make_unique<DfssspRouter>(); })}) {
+    RoutingOutcome a = make_router()->route(t1);
+    RoutingOutcome b = make_router()->route(t2);
+    ASSERT_EQ(a.ok, b.ok);
+    if (a.ok) expect_identical_tables(t1.net, a.table, b.table);
+  }
+}
+
+TEST(Determinism, SimulationIsSeedStable) {
+  Topology topo = make_kautz(2, 3, 48);
+  RoutingOutcome out = DfssspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  RankMap map = RankMap::round_robin(topo.net, 48);
+  Rng r1(777), r2(777);
+  EbbResult a = effective_bisection_bandwidth(topo.net, out.table, map, 25, r1);
+  EbbResult b = effective_bisection_bandwidth(topo.net, out.table, map, 25, r2);
+  EXPECT_DOUBLE_EQ(a.ebb, b.ebb);
+  EXPECT_DOUBLE_EQ(a.min_pattern, b.min_pattern);
+  EXPECT_DOUBLE_EQ(a.max_pattern, b.max_pattern);
+}
+
+TEST(Determinism, RoutingIndependentOfPriorRouting) {
+  // Engines must not share hidden state: routing topology A then B gives
+  // the same B-result as routing B alone.
+  Topology a = make_ring(6, 1);
+  Topology b = make_kary_ntree(3, 2);
+  DfssspRouter router;
+  (void)router.route(a);
+  RoutingOutcome after = router.route(b);
+  RoutingOutcome fresh = DfssspRouter().route(b);
+  ASSERT_TRUE(after.ok);
+  ASSERT_TRUE(fresh.ok);
+  expect_identical_tables(b.net, after.table, fresh.table);
+}
+
+}  // namespace
+}  // namespace dfsssp

@@ -1,0 +1,79 @@
+#include "routing/dor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/collect.hpp"
+#include "routing/verify.hpp"
+#include "topology/generators.hpp"
+
+namespace dfsssp {
+namespace {
+
+TEST(Dor, ConnectedAndMinimalOnTorus) {
+  std::uint32_t dims[2] = {5, 4};
+  Topology topo = make_torus(dims, 1, true);
+  RoutingOutcome out = DorRouter().route(topo);
+  ASSERT_TRUE(out.ok) << out.error;
+  VerifyReport report = verify_routing(topo.net, out.table);
+  EXPECT_TRUE(report.connected());
+  EXPECT_TRUE(report.minimal());
+}
+
+TEST(Dor, ConnectedAndMinimalOnMesh) {
+  std::uint32_t dims[3] = {3, 3, 2};
+  Topology topo = make_torus(dims, 1, false);
+  RoutingOutcome out = DorRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  VerifyReport report = verify_routing(topo.net, out.table);
+  EXPECT_TRUE(report.connected());
+  EXPECT_TRUE(report.minimal());
+}
+
+TEST(Dor, DeadlockFreeOnMeshButNotTorus) {
+  // The classical result DOR's OpenSM docs warn about (and why LASH exists):
+  // dimension order is cycle-free on meshes, cyclic on wraparound rings.
+  std::uint32_t dims[2] = {4, 4};
+  Topology mesh = make_torus(dims, 1, false);
+  RoutingOutcome mesh_out = DorRouter().route(mesh);
+  ASSERT_TRUE(mesh_out.ok);
+  EXPECT_TRUE(routing_is_deadlock_free(mesh.net, mesh_out.table));
+
+  Topology torus = make_torus(dims, 1, true);
+  RoutingOutcome torus_out = DorRouter().route(torus);
+  ASSERT_TRUE(torus_out.ok);
+  EXPECT_FALSE(routing_is_deadlock_free(torus.net, torus_out.table));
+}
+
+TEST(Dor, RefusesTopologyWithoutCoordinates) {
+  Topology topo = make_kary_ntree(2, 2);
+  RoutingOutcome out = DorRouter().route(topo);
+  EXPECT_FALSE(out.ok);
+  EXPECT_NE(out.error.find("coordinates"), std::string::npos);
+}
+
+TEST(Dor, TakesShorterWayAround) {
+  // Ring of 6, switch 0 -> switch 5 must go the -1 way (1 hop), not +5.
+  Topology topo = make_ring(6, 1);
+  RoutingOutcome out = DorRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  NodeId s0 = topo.net.switch_by_index(0);
+  NodeId t5 = topo.net.terminal_by_index(5);  // terminal on switch 5
+  ASSERT_EQ(topo.net.switch_of(t5), topo.net.switch_by_index(5));
+  EXPECT_EQ(out.table.path_hops(topo.net, s0, t5), 1);
+}
+
+TEST(Dor, DimensionOrderIsRespected) {
+  // On a 3x3 torus, a diagonal route must correct dimension 0 first.
+  std::uint32_t dims[2] = {3, 3};
+  Topology topo = make_torus(dims, 1, true);
+  RoutingOutcome out = DorRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  // src (0,0) = index 0; dst (1,1) = index 4. First hop must go to (1,0).
+  NodeId src = topo.net.switch_by_index(0);
+  NodeId dst_term = topo.net.terminal_by_index(4);
+  ChannelId first = out.table.next(src, dst_term);
+  EXPECT_EQ(topo.net.channel(first).dst, topo.net.switch_by_index(1));
+}
+
+}  // namespace
+}  // namespace dfsssp

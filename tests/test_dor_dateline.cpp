@@ -1,0 +1,103 @@
+#include "routing/dor_dateline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/collect.hpp"
+#include "routing/dor.hpp"
+#include "routing/verify.hpp"
+#include "sim/flitsim.hpp"
+#include "topology/generators.hpp"
+
+namespace dfsssp {
+namespace {
+
+TEST(DorDateline, DeadlockFreeOnTori) {
+  for (auto dims : std::vector<std::vector<std::uint32_t>>{
+           {5}, {4, 4}, {5, 4}, {3, 3, 3}, {4, 3, 3}}) {
+    Topology topo = make_torus(dims, 1, true);
+    RoutingOutcome out = DorDatelineRouter().route(topo);
+    ASSERT_TRUE(out.ok) << topo.name << ": " << out.error;
+    VerifyReport report = verify_routing(topo.net, out.table);
+    EXPECT_TRUE(report.connected()) << topo.name;
+    EXPECT_TRUE(report.minimal()) << topo.name;
+    EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table)) << topo.name;
+    EXPECT_LE(out.stats.layers_used, 1U << dims.size()) << topo.name;
+  }
+}
+
+TEST(DorDateline, SamePortsAsPlainDor) {
+  std::uint32_t dims[2] = {5, 5};
+  Topology topo = make_torus(dims, 2, true);
+  RoutingOutcome plain = DorRouter().route(topo);
+  RoutingOutcome dated = DorDatelineRouter().route(topo);
+  ASSERT_TRUE(plain.ok);
+  ASSERT_TRUE(dated.ok);
+  for (NodeId s : topo.net.switches()) {
+    for (NodeId t : topo.net.terminals()) {
+      if (topo.net.switch_of(t) == s) continue;
+      EXPECT_EQ(plain.table.next(s, t), dated.table.next(s, t));
+    }
+  }
+}
+
+TEST(DorDateline, MeshUsesOneLayer) {
+  std::uint32_t dims[2] = {4, 4};
+  Topology topo = make_torus(dims, 1, false);
+  RoutingOutcome out = DorDatelineRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.stats.layers_used, 1);
+}
+
+TEST(DorDateline, RefusesTooManyDimensions) {
+  std::uint32_t dims[4] = {3, 3, 3, 3};
+  Topology topo = make_torus(dims, 1, true);
+  RoutingOutcome out = DorDatelineRouter(8).route(topo);
+  EXPECT_FALSE(out.ok);
+  EXPECT_NE(out.error.find("layers"), std::string::npos);
+}
+
+TEST(DorDateline, DrainsWherePlainDorDeadlocks) {
+  // All-around ring shift saturates every wrap ring.
+  std::uint32_t dims[1] = {6};
+  Topology topo = make_torus(dims, 1, true);
+  Flows flows;
+  const std::uint32_t n = static_cast<std::uint32_t>(topo.net.num_terminals());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    flows.emplace_back(topo.net.terminal_by_index(i),
+                       topo.net.terminal_by_index((i + 2) % n));
+  }
+  FlitSimOptions opts;
+  opts.buffer_slots = 1;
+  opts.packets_per_flow = 16;
+
+  RoutingOutcome plain = DorRouter().route(topo);
+  ASSERT_TRUE(plain.ok);
+  Rng r1(3);
+  FlitSimResult plain_result =
+      simulate_flit_level(topo.net, plain.table, flows, opts, r1);
+  EXPECT_TRUE(plain_result.deadlocked);
+
+  RoutingOutcome dated = DorDatelineRouter().route(topo);
+  ASSERT_TRUE(dated.ok);
+  Rng r2(3);
+  FlitSimResult dated_result =
+      simulate_flit_level(topo.net, dated.table, flows, opts, r2);
+  EXPECT_TRUE(dated_result.drained);
+}
+
+TEST(DorDateline, LayerMatchesCrossingPattern) {
+  // Ring of 6: path 5 -> 0 wraps forward (layer bit 0), path 0 -> 1 not.
+  std::uint32_t dims[1] = {6};
+  Topology topo = make_torus(dims, 1, true);
+  RoutingOutcome out = DorDatelineRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  NodeId sw5 = topo.net.switch_by_index(5);
+  NodeId sw0 = topo.net.switch_by_index(0);
+  NodeId t0 = topo.net.terminal_by_index(0);
+  NodeId t1 = topo.net.terminal_by_index(1);
+  EXPECT_EQ(out.table.layer(sw5, t0), 1);  // 5 -> 0 crosses the dateline
+  EXPECT_EQ(out.table.layer(sw0, t1), 0);  // 0 -> 1 stays on the mesh side
+}
+
+}  // namespace
+}  // namespace dfsssp

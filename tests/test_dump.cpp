@@ -1,0 +1,92 @@
+#include "routing/dump.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "routing/collect.hpp"
+#include "routing/dfsssp.hpp"
+#include "routing/verify.hpp"
+#include "topology/generators.hpp"
+
+namespace dfsssp {
+namespace {
+
+TEST(Dump, RoundTripPreservesForwardingAndLayers) {
+  Rng rng(77);
+  Topology topo = make_random(10, 2, 24, 8, rng);
+  RoutingOutcome out = DfssspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+
+  std::ostringstream os;
+  write_forwarding_dump(topo.net, out.table, os);
+  std::istringstream is(os.str());
+  RoutingTable loaded = read_forwarding_dump(topo.net, is);
+
+  EXPECT_EQ(loaded.num_layers(), out.table.num_layers());
+  for (NodeId s : topo.net.switches()) {
+    for (NodeId t : topo.net.terminals()) {
+      if (topo.net.switch_of(t) == s) continue;
+      EXPECT_EQ(loaded.next(s, t), out.table.next(s, t));
+      EXPECT_EQ(loaded.layer(s, t), out.table.layer(s, t));
+    }
+  }
+  EXPECT_TRUE(verify_routing(topo.net, loaded).connected());
+  EXPECT_TRUE(routing_is_deadlock_free(topo.net, loaded));
+}
+
+TEST(Dump, RoundTripWithParallelLinks) {
+  // Parallel links stress the (neighbor, index) channel identification.
+  Network net;
+  NodeId a = net.add_switch("a");
+  NodeId b = net.add_switch("b");
+  net.add_link(a, b);
+  net.add_link(a, b);
+  net.add_link(a, b);
+  net.add_terminal(a, "ta");
+  net.add_terminal(b, "tb");
+  net.freeze();
+  Topology topo{"par", std::move(net), {}};
+  RoutingOutcome out = DfssspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+
+  std::ostringstream os;
+  write_forwarding_dump(topo.net, out.table, os);
+  std::istringstream is(os.str());
+  RoutingTable loaded = read_forwarding_dump(topo.net, is);
+  for (NodeId s : topo.net.switches()) {
+    for (NodeId t : topo.net.terminals()) {
+      if (topo.net.switch_of(t) == s) continue;
+      EXPECT_EQ(loaded.next(s, t), out.table.next(s, t));
+    }
+  }
+}
+
+TEST(Dump, RejectsMalformedInput) {
+  Topology topo = make_ring(4, 1);
+  auto parse = [&](const std::string& text) {
+    std::istringstream is(text);
+    return read_forwarding_dump(topo.net, is);
+  };
+  EXPECT_THROW(parse("lft nosuch t0 sw1 0\n"), std::runtime_error);
+  EXPECT_THROW(parse("lft sw0 t1 sw1 9\n"), std::runtime_error);  // bad slot
+  EXPECT_THROW(parse("frob x\n"), std::runtime_error);
+  EXPECT_THROW(parse("layers 0\n"), std::runtime_error);
+  EXPECT_THROW(parse("sl sw0 t1 999\n"), std::runtime_error);
+  EXPECT_THROW(parse("lft t0 t1 sw1 0\n"), std::runtime_error);  // not a switch
+}
+
+TEST(Dump, CommentsAndPartialTablesAccepted) {
+  Topology topo = make_ring(4, 1);
+  std::istringstream is("# comment only\nlayers 2\n");
+  RoutingTable table = read_forwarding_dump(topo.net, is);
+  EXPECT_EQ(table.num_layers(), 2);
+  // Entries default to invalid; extraction reports broken paths rather
+  // than crashing.
+  std::vector<ChannelId> seq;
+  EXPECT_FALSE(table.extract_path(topo.net, topo.net.switch_by_index(0),
+                                  topo.net.terminal_by_index(2), seq));
+}
+
+}  // namespace
+}  // namespace dfsssp

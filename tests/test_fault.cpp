@@ -1,0 +1,128 @@
+// Failure injection: the paper's core motivation is that real systems are
+// irregular — degraded fat trees and tori after link/switch failures.
+// DFSSSP must keep routing them connected, minimal and deadlock-free.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "routing/collect.hpp"
+#include "routing/dfsssp.hpp"
+#include "routing/router.hpp"
+#include "routing/verify.hpp"
+#include "topology/generators.hpp"
+
+namespace dfsssp {
+namespace {
+
+/// Rebuilds `topo` with `kill_links` random inter-switch links removed and
+/// `kill_switches` random non-critical switches removed (terminals of a
+/// killed switch are dropped too). Retries seeds until connected.
+Topology degrade(const Topology& topo, std::uint32_t kill_links,
+                 std::uint32_t kill_switches, Rng& rng) {
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    const Network& src = topo.net;
+    std::set<NodeId> dead_switch;
+    while (dead_switch.size() < kill_switches) {
+      dead_switch.insert(
+          src.switch_by_index(static_cast<std::uint32_t>(
+              rng.next_below(src.num_switches()))));
+    }
+    // Collect surviving links, then kill random ones.
+    std::vector<std::pair<NodeId, NodeId>> links;
+    for (ChannelId c = 0; c < src.num_channels(); ++c) {
+      const Channel& ch = src.channel(c);
+      if (c < ch.reverse && src.is_switch_channel(c) &&
+          !dead_switch.count(ch.src) && !dead_switch.count(ch.dst)) {
+        links.emplace_back(ch.src, ch.dst);
+      }
+    }
+    if (links.size() < kill_links + 1) continue;
+    std::set<std::size_t> dead_link;
+    while (dead_link.size() < kill_links) {
+      dead_link.insert(rng.next_below(links.size()));
+    }
+
+    Network net;
+    std::vector<NodeId> remap(src.num_nodes(), kInvalidNode);
+    for (NodeId sw : src.switches()) {
+      if (!dead_switch.count(sw)) remap[sw] = net.add_switch();
+    }
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      if (!dead_link.count(i)) {
+        net.add_link(remap[links[i].first], remap[links[i].second]);
+      }
+    }
+    for (NodeId t : src.terminals()) {
+      NodeId sw = src.switch_of(t);
+      if (remap[sw] != kInvalidNode) net.add_terminal(remap[sw]);
+    }
+    net.freeze();
+    net.validate();
+    if (!net.connected()) continue;
+    Topology out;
+    out.name = topo.name + "-degraded";
+    out.net = std::move(net);
+    out.meta.family = topo.meta.family + "/degraded";
+    return out;
+  }
+  throw std::runtime_error("degrade: could not keep the network connected");
+}
+
+TEST(FaultInjection, DegradedFatTreeStaysDeadlockFree) {
+  Topology pristine = make_kary_ntree(4, 3);
+  Rng rng(1001);
+  for (int round = 0; round < 3; ++round) {
+    Topology topo = degrade(pristine, 6, 2, rng);
+    RoutingOutcome out =
+        DfssspRouter(DfssspOptions{.max_layers = 16}).route(topo);
+    ASSERT_TRUE(out.ok) << out.error;
+    VerifyReport report = verify_routing(topo.net, out.table);
+    EXPECT_TRUE(report.connected());
+    EXPECT_TRUE(report.minimal());
+    EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table));
+  }
+}
+
+TEST(FaultInjection, DegradedTorusStaysDeadlockFree) {
+  std::uint32_t dims[2] = {5, 5};
+  Topology pristine = make_torus(dims, 2, true);
+  Rng rng(2002);
+  for (int round = 0; round < 3; ++round) {
+    Topology topo = degrade(pristine, 4, 1, rng);
+    RoutingOutcome out =
+        DfssspRouter(DfssspOptions{.max_layers = 16}).route(topo);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_TRUE(verify_routing(topo.net, out.table).connected());
+    EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table));
+  }
+}
+
+TEST(FaultInjection, SpecializedEnginesDegradeButDfssspSurvives) {
+  // After degradation the fat-tree engine usually refuses (missing levels)
+  // while DFSSSP — the paper's point — keeps working.
+  Topology pristine = make_kary_ntree(3, 3);
+  Rng rng(3003);
+  Topology topo = degrade(pristine, 8, 3, rng);
+  bool dfsssp_ok = false;
+  for (const auto& router : make_all_routers()) {
+    RoutingOutcome out = router->route(topo);
+    if (router->name() == "DFSSSP") dfsssp_ok = out.ok;
+    if (router->name() == "FatTree") {
+      EXPECT_FALSE(out.ok) << "degraded topology lost its level metadata";
+    }
+  }
+  EXPECT_TRUE(dfsssp_ok);
+}
+
+TEST(FaultInjection, DegradedDeimosStandIn) {
+  Topology pristine = make_deimos();
+  Rng rng(4004);
+  Topology topo = degrade(pristine, 10, 0, rng);
+  RoutingOutcome out = DfssspRouter().route(topo);
+  ASSERT_TRUE(out.ok) << out.error;
+  EXPECT_TRUE(verify_routing(topo.net, out.table).connected());
+  EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table));
+}
+
+}  // namespace
+}  // namespace dfsssp

@@ -1,0 +1,114 @@
+#include "sim/flitsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/dfsssp.hpp"
+#include "routing/sssp.hpp"
+#include "routing/updown.hpp"
+#include "topology/generators.hpp"
+
+namespace dfsssp {
+namespace {
+
+/// Figure 2's traffic: every node sends to the node two hops clockwise.
+Flows two_hop_shift(const Network& net) {
+  Flows flows;
+  const std::uint32_t n = static_cast<std::uint32_t>(net.num_terminals());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    flows.emplace_back(net.terminal_by_index(i),
+                       net.terminal_by_index((i + 2) % n));
+  }
+  return flows;
+}
+
+TEST(FlitSim, SsspDeadlocksOnFigure2Ring) {
+  // The paper's Figure 2: 5-switch ring, 2-hop clockwise shift, SSSP routes
+  // everything clockwise; with finite buffers the network must wedge.
+  Topology topo = make_ring(5, 1);
+  RoutingOutcome out = SsspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  Rng rng(1);
+  FlitSimOptions opts;
+  opts.buffer_slots = 1;
+  opts.packets_per_flow = 16;
+  FlitSimResult r = simulate_flit_level(topo.net, out.table, two_hop_shift(topo.net),
+                                        opts, rng);
+  EXPECT_TRUE(r.deadlocked);
+  EXPECT_FALSE(r.drained);
+  EXPECT_GT(r.in_flight_at_end, 0U);
+}
+
+TEST(FlitSim, DfssspDrainsTheSameTraffic) {
+  Topology topo = make_ring(5, 1);
+  RoutingOutcome out = DfssspRouter().route(topo);
+  ASSERT_TRUE(out.ok) << out.error;
+  Rng rng(1);
+  FlitSimOptions opts;
+  opts.buffer_slots = 1;
+  opts.packets_per_flow = 16;
+  FlitSimResult r = simulate_flit_level(topo.net, out.table, two_hop_shift(topo.net),
+                                        opts, rng);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(r.delivered, 5U * 16U);
+}
+
+TEST(FlitSim, UpDownDrainsRingTraffic) {
+  Topology topo = make_ring(6, 1);
+  RoutingOutcome out = UpDownRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  Rng rng(2);
+  FlitSimOptions opts;
+  opts.buffer_slots = 1;
+  opts.packets_per_flow = 8;
+  FlitSimResult r = simulate_flit_level(topo.net, out.table, two_hop_shift(topo.net),
+                                        opts, rng);
+  EXPECT_TRUE(r.drained);
+}
+
+TEST(FlitSim, BiggerBuffersCanHideTheDeadlockBriefly) {
+  // With buffers larger than the traffic, the Figure 2 cycle never fills:
+  // packet counts below the buffer capacity drain even under SSSP.
+  Topology topo = make_ring(5, 1);
+  RoutingOutcome out = SsspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  Rng rng(3);
+  FlitSimOptions opts;
+  opts.buffer_slots = 64;
+  opts.packets_per_flow = 2;
+  FlitSimResult r = simulate_flit_level(topo.net, out.table, two_hop_shift(topo.net),
+                                        opts, rng);
+  EXPECT_TRUE(r.drained);
+}
+
+TEST(FlitSim, DeliversPointToPoint) {
+  Topology topo = make_kary_ntree(2, 2);
+  RoutingOutcome out = DfssspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  Rng rng(4);
+  Flows flows{{topo.net.terminal_by_index(0), topo.net.terminal_by_index(3)}};
+  FlitSimOptions opts;
+  opts.packets_per_flow = 10;
+  FlitSimResult r = simulate_flit_level(topo.net, out.table, flows, opts, rng);
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(r.delivered, 10U);
+  // 10 packets over >= 3 hops need more than 10 cycles (1 packet/cycle/link).
+  EXPECT_GT(r.cycles, 10U);
+}
+
+TEST(FlitSim, IntraSwitchFlowsAndSelfFlowsHandled) {
+  Topology topo = make_single_switch(4);
+  RoutingOutcome out = DfssspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  Rng rng(5);
+  Flows flows{{topo.net.terminal_by_index(0), topo.net.terminal_by_index(1)},
+              {topo.net.terminal_by_index(2), topo.net.terminal_by_index(2)}};
+  FlitSimOptions opts;
+  opts.packets_per_flow = 4;
+  FlitSimResult r = simulate_flit_level(topo.net, out.table, flows, opts, rng);
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(r.delivered, 4U);  // the self-flow is skipped
+}
+
+}  // namespace
+}  // namespace dfsssp

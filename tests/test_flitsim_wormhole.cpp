@@ -1,0 +1,71 @@
+// Multi-flit packet serialization in the flit-level simulator.
+#include <gtest/gtest.h>
+
+#include "routing/dfsssp.hpp"
+#include "routing/sssp.hpp"
+#include "sim/flitsim.hpp"
+#include "topology/generators.hpp"
+
+namespace dfsssp {
+namespace {
+
+TEST(FlitSimMultiFlit, SerializationScalesDrainTime) {
+  Topology topo = make_path(3, 1);
+  RoutingOutcome out = DfssspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  Flows flows{{topo.net.terminal_by_index(0), topo.net.terminal_by_index(2)}};
+
+  FlitSimOptions unit;
+  unit.packets_per_flow = 32;
+  Rng r1(1);
+  FlitSimResult one = simulate_flit_level(topo.net, out.table, flows, unit, r1);
+  ASSERT_TRUE(one.drained);
+
+  FlitSimOptions big = unit;
+  big.flits_per_packet = 4;
+  Rng r2(1);
+  FlitSimResult four = simulate_flit_level(topo.net, out.table, flows, big, r2);
+  ASSERT_TRUE(four.drained);
+
+  // 32 packets over a pipeline: roughly 4x the cycles with 4-flit packets.
+  EXPECT_GT(four.cycles, one.cycles * 3);
+  EXPECT_LT(four.cycles, one.cycles * 6);
+}
+
+TEST(FlitSimMultiFlit, StillDetectsDeadlock) {
+  Topology topo = make_ring(5, 1);
+  RoutingOutcome out = SsspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  Flows flows;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    flows.emplace_back(topo.net.terminal_by_index(i),
+                       topo.net.terminal_by_index((i + 2) % 5));
+  }
+  FlitSimOptions opts;
+  opts.buffer_slots = 1;
+  opts.packets_per_flow = 16;
+  opts.flits_per_packet = 3;
+  Rng rng(2);
+  FlitSimResult r = simulate_flit_level(topo.net, out.table, flows, opts, rng);
+  EXPECT_TRUE(r.deadlocked);
+}
+
+TEST(FlitSimMultiFlit, ThroughputReflectsContention) {
+  // Two flows share one link: each gets about half the packet rate.
+  Topology topo = make_path(2, 2);
+  RoutingOutcome out = DfssspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  Flows flows{{topo.net.terminal_by_index(0), topo.net.terminal_by_index(2)},
+              {topo.net.terminal_by_index(1), topo.net.terminal_by_index(3)}};
+  FlitSimOptions opts;
+  opts.packets_per_flow = 64;
+  opts.buffer_slots = 4;
+  Rng rng(3);
+  FlitSimResult r = simulate_flit_level(topo.net, out.table, flows, opts, rng);
+  ASSERT_TRUE(r.drained);
+  EXPECT_GT(r.avg_flow_throughput, 0.3);
+  EXPECT_LT(r.avg_flow_throughput, 0.7);
+}
+
+}  // namespace
+}  // namespace dfsssp

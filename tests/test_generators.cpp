@@ -1,0 +1,221 @@
+#include "topology/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dfsssp {
+namespace {
+
+std::size_t num_links(const Network& net) {
+  std::size_t n = 0;
+  for (ChannelId c = 0; c < net.num_channels(); ++c) {
+    if (net.is_switch_channel(c) && c < net.channel(c).reverse) ++n;
+  }
+  return n;
+}
+
+TEST(Generators, SingleSwitch) {
+  Topology t = make_single_switch(16);
+  EXPECT_EQ(t.net.num_switches(), 1U);
+  EXPECT_EQ(t.net.num_terminals(), 16U);
+  EXPECT_TRUE(t.net.connected());
+}
+
+TEST(Generators, RingStructure) {
+  Topology t = make_ring(5, 1);
+  EXPECT_EQ(t.net.num_switches(), 5U);
+  EXPECT_EQ(num_links(t.net), 5U);
+  for (NodeId sw : t.net.switches()) EXPECT_EQ(t.net.switch_degree(sw), 2U);
+  EXPECT_TRUE(t.meta.wraparound);
+}
+
+TEST(Generators, Torus2D) {
+  std::uint32_t dims[2] = {4, 3};
+  Topology t = make_torus(dims, 2, true);
+  EXPECT_EQ(t.net.num_switches(), 12U);
+  EXPECT_EQ(t.net.num_terminals(), 24U);
+  // 2-D torus: every switch has degree 4 (radix >2 in both dims... dim of 3
+  // and 4 both wrap).
+  for (NodeId sw : t.net.switches()) EXPECT_EQ(t.net.switch_degree(sw), 4U);
+  EXPECT_EQ(num_links(t.net), 24U);
+  EXPECT_TRUE(t.net.connected());
+  EXPECT_EQ(t.meta.sw_coord.size(), 24U);
+}
+
+TEST(Generators, MeshHasBoundaries) {
+  std::uint32_t dims[2] = {4, 4};
+  Topology t = make_torus(dims, 1, false);
+  // Mesh links: 2 * 4 * 3 = 24.
+  EXPECT_EQ(num_links(t.net), 24U);
+  std::multiset<std::uint32_t> degrees;
+  for (NodeId sw : t.net.switches()) degrees.insert(t.net.switch_degree(sw));
+  EXPECT_EQ(degrees.count(2), 4U);  // corners
+  EXPECT_EQ(degrees.count(3), 8U);  // edges
+  EXPECT_EQ(degrees.count(4), 4U);  // interior
+}
+
+TEST(Generators, TorusRadix2NoDuplicateLinks) {
+  std::uint32_t dims[1] = {2};
+  Topology t = make_torus(dims, 1, true);
+  EXPECT_EQ(num_links(t.net), 1U);  // wrap would duplicate the 0-1 link
+}
+
+TEST(Generators, Hypercube) {
+  Topology t = make_hypercube(4, 1);
+  EXPECT_EQ(t.net.num_switches(), 16U);
+  for (NodeId sw : t.net.switches()) EXPECT_EQ(t.net.switch_degree(sw), 4U);
+  EXPECT_EQ(num_links(t.net), 32U);
+}
+
+TEST(Generators, KaryNTreeCounts) {
+  // 4-ary 3-tree: 3 levels x 16 switches, 64 terminals.
+  Topology t = make_kary_ntree(4, 3);
+  EXPECT_EQ(t.net.num_switches(), 48U);
+  EXPECT_EQ(t.net.num_terminals(), 64U);
+  EXPECT_TRUE(t.net.connected());
+  // Leaves: 4 terminals + 4 ups. Middle: 4 down + 4 up. Roots: 4 down.
+  for (NodeId sw : t.net.switches()) {
+    const std::int32_t level = t.meta.sw_level[t.net.node(sw).type_index];
+    const std::uint32_t deg = t.net.switch_degree(sw);
+    if (level == 0) {
+      EXPECT_EQ(deg, 4U);
+    } else if (level == 1) {
+      EXPECT_EQ(deg, 8U);
+    } else {
+      EXPECT_EQ(deg, 4U);
+    }
+  }
+}
+
+TEST(Generators, XgftMatchesTableOneSizes) {
+  // XGFT(2;14,14;7,7) pairs with the 14-ary 3-tree row of Table I: 2744
+  // endpoints (see generators.hpp header).
+  std::uint32_t ms[2] = {14, 14};
+  std::uint32_t ws[2] = {7, 7};
+  Topology t = make_xgft(2, ms, ws);
+  EXPECT_EQ(t.net.num_terminals(), 14U * 14U * 14U);
+  // Level counts: 196 leaves, 14*7=98 mid, 49 roots.
+  std::size_t by_level[3] = {0, 0, 0};
+  for (NodeId sw : t.net.switches()) {
+    ++by_level[t.meta.sw_level[t.net.node(sw).type_index]];
+  }
+  EXPECT_EQ(by_level[0], 196U);
+  EXPECT_EQ(by_level[1], 98U);
+  EXPECT_EQ(by_level[2], 49U);
+  EXPECT_TRUE(t.net.connected());
+}
+
+TEST(Generators, XgftPortBudgetFitsRadix36) {
+  // The paper assumes 36-port switches for Table I (XGFT(2;18,18;9,9)).
+  std::uint32_t ms[2] = {18, 18};
+  std::uint32_t ws[2] = {9, 9};
+  Topology t = make_xgft(2, ms, ws);
+  for (NodeId sw : t.net.switches()) {
+    const std::uint32_t ports =
+        t.net.switch_degree(sw) + t.net.terminals_on(sw);
+    EXPECT_LE(ports, 36U);
+  }
+}
+
+TEST(Generators, KautzVertexCount) {
+  // |K(b,n)| = (b+1) * b^(n-1).
+  EXPECT_EQ(make_kautz(2, 2, 10).net.num_switches(), 6U);
+  EXPECT_EQ(make_kautz(2, 3, 10).net.num_switches(), 12U);
+  EXPECT_EQ(make_kautz(3, 3, 10).net.num_switches(), 36U);
+  EXPECT_EQ(make_kautz(4, 3, 10).net.num_switches(), 80U);
+}
+
+TEST(Generators, KautzConnectedAndTerminalsRoundRobin) {
+  Topology t = make_kautz(3, 3, 512);
+  EXPECT_EQ(t.net.num_terminals(), 512U);
+  EXPECT_TRUE(t.net.connected());
+  // Round-robin: every switch gets 14 or 15 terminals (512 / 36).
+  for (NodeId sw : t.net.switches()) {
+    EXPECT_GE(t.net.terminals_on(sw), 14U);
+    EXPECT_LE(t.net.terminals_on(sw), 15U);
+  }
+}
+
+TEST(Generators, RandomRespectsLinkAndPortBudget) {
+  Rng rng(5);
+  Topology t = make_random(32, 4, 80, 8, rng);
+  EXPECT_EQ(t.net.num_switches(), 32U);
+  EXPECT_EQ(num_links(t.net), 80U);
+  EXPECT_TRUE(t.net.connected());
+  for (NodeId sw : t.net.switches()) {
+    EXPECT_LE(t.net.switch_degree(sw), 8U);
+  }
+}
+
+TEST(Generators, RandomRejectsInfeasible) {
+  Rng rng(6);
+  EXPECT_THROW(make_random(10, 1, 5, 4, rng), std::invalid_argument);
+  EXPECT_THROW(make_random(10, 1, 100, 4, rng), std::invalid_argument);
+}
+
+TEST(Generators, RandomIsSeedDeterministic) {
+  Rng r1(77), r2(77);
+  Topology a = make_random(16, 2, 40, 8, r1);
+  Topology b = make_random(16, 2, 40, 8, r2);
+  ASSERT_EQ(a.net.num_channels(), b.net.num_channels());
+  for (ChannelId c = 0; c < a.net.num_channels(); ++c) {
+    EXPECT_EQ(a.net.channel(c).src, b.net.channel(c).src);
+    EXPECT_EQ(a.net.channel(c).dst, b.net.channel(c).dst);
+  }
+}
+
+TEST(Generators, Clos2) {
+  Topology t = make_clos2(4, 2, 1, 8);
+  EXPECT_EQ(t.net.num_switches(), 6U);
+  EXPECT_EQ(t.net.num_terminals(), 32U);
+  EXPECT_EQ(num_links(t.net), 8U);
+  EXPECT_TRUE(t.meta.has_levels());
+}
+
+TEST(Generators, DragonflyBalanced) {
+  // a=2, h=1, g=3: 6 switches; every group pair gets one global link.
+  Topology t = make_dragonfly(2, 2, 1, 3);
+  EXPECT_EQ(t.net.num_switches(), 6U);
+  EXPECT_TRUE(t.net.connected());
+  // Global links: g*(g-1)/2 = 3; intra: 3 groups * 1 = 3.
+  EXPECT_EQ(num_links(t.net), 6U);
+  EXPECT_THROW(make_dragonfly(2, 2, 2, 4), std::invalid_argument);
+}
+
+TEST(Generators, RealSystemStandIns) {
+  struct Expected {
+    const char* name;
+    std::uint32_t terminals;
+  };
+  const Expected expected[] = {{"odin", 128},     {"chic", 550},
+                               {"deimos", 724},   {"tsubame", 1430},
+                               {"juropa", 3288},  {"ranger", 3936}};
+  auto systems = make_all_real_systems();
+  ASSERT_EQ(systems.size(), 6U);
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    EXPECT_EQ(systems[i].name, expected[i].name);
+    EXPECT_EQ(systems[i].net.num_terminals(), expected[i].terminals)
+        << expected[i].name;
+    EXPECT_TRUE(systems[i].net.connected()) << expected[i].name;
+  }
+}
+
+TEST(Generators, DeimosShape) {
+  Topology t = make_deimos();
+  // 3 director switches x (24 leaf chips + 6 spine chips, 2:1 internal
+  // oversubscription).
+  EXPECT_EQ(t.net.num_switches(), 3U * 30U);
+  EXPECT_EQ(t.net.num_terminals(), 724U);
+  // 2 x 30 inter-director links + 3 x 144 internal links.
+  EXPECT_EQ(num_links(t.net), 60U + 3U * 24U * 6U);
+}
+
+TEST(Generators, PathTopology) {
+  Topology t = make_path(4, 2);
+  EXPECT_EQ(num_links(t.net), 3U);
+  EXPECT_TRUE(t.net.connected());
+}
+
+}  // namespace
+}  // namespace dfsssp

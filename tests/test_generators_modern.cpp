@@ -1,0 +1,80 @@
+// HyperX / flattened-butterfly and complete-graph generators (extensions).
+#include <gtest/gtest.h>
+
+#include "routing/dfsssp.hpp"
+#include "routing/collect.hpp"
+#include "routing/verify.hpp"
+#include "topology/generators.hpp"
+
+namespace dfsssp {
+namespace {
+
+std::size_t num_links(const Network& net) {
+  std::size_t n = 0;
+  for (ChannelId c = 0; c < net.num_channels(); ++c) {
+    if (net.is_switch_channel(c) && c < net.channel(c).reverse) ++n;
+  }
+  return n;
+}
+
+TEST(HyperX, StructureCounts) {
+  std::uint32_t dims[2] = {4, 3};
+  Topology t = make_hyperx(dims, 2);
+  EXPECT_EQ(t.net.num_switches(), 12U);
+  // Per row of 4: C(4,2)=6 links x 3 rows; per column of 3: C(3,2)=3 x 4.
+  EXPECT_EQ(num_links(t.net), 6U * 3U + 3U * 4U);
+  for (NodeId sw : t.net.switches()) {
+    EXPECT_EQ(t.net.switch_degree(sw), 3U + 2U);
+  }
+  EXPECT_TRUE(t.net.connected());
+  EXPECT_TRUE(t.meta.has_coords());
+}
+
+TEST(HyperX, DiameterEqualsDimensions) {
+  // One hop fixes a whole coordinate, so diameter == #dims.
+  std::uint32_t dims[3] = {3, 3, 3};
+  Topology t = make_hyperx(dims, 1);
+  std::vector<ChannelId> seq;
+  RoutingOutcome out = DfssspRouter().route(t);
+  ASSERT_TRUE(out.ok);
+  for (NodeId s : t.net.switches()) {
+    for (NodeId term : t.net.terminals()) {
+      if (t.net.switch_of(term) == s) continue;
+      ASSERT_TRUE(out.table.extract_path(t.net, s, term, seq));
+      EXPECT_LE(seq.size(), 3U);
+    }
+  }
+}
+
+TEST(HyperX, DfssspHandlesIt) {
+  std::uint32_t dims[2] = {4, 4};
+  Topology t = make_hyperx(dims, 2);
+  RoutingOutcome out = DfssspRouter().route(t);
+  ASSERT_TRUE(out.ok) << out.error;
+  VerifyReport report = verify_routing(t.net, out.table);
+  EXPECT_TRUE(report.connected());
+  EXPECT_TRUE(report.minimal());
+  EXPECT_TRUE(routing_is_deadlock_free(t.net, out.table));
+}
+
+TEST(FullyConnected, Structure) {
+  Topology t = make_fully_connected(6, 2);
+  EXPECT_EQ(num_links(t.net), 15U);
+  for (NodeId sw : t.net.switches()) {
+    EXPECT_EQ(t.net.switch_degree(sw), 5U);
+  }
+}
+
+TEST(FullyConnected, OneLayerSuffices) {
+  // All minimal paths are single hops: the CDG has no edges at all.
+  Topology t = make_fully_connected(5, 2);
+  RoutingOutcome out =
+      DfssspRouter(DfssspOptions{.balance = false}).route(t);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.stats.layers_used, 1);
+  EXPECT_EQ(out.stats.cycles_broken, 0U);
+  EXPECT_TRUE(verify_routing(t.net, out.table).minimal());
+}
+
+}  // namespace
+}  // namespace dfsssp

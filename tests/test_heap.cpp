@@ -1,0 +1,91 @@
+#include "common/heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dfsssp {
+namespace {
+
+TEST(MinHeap, PopsInSortedOrder) {
+  MinHeap<int> heap(10);
+  const int keys[10] = {5, 3, 8, 1, 9, 2, 7, 0, 6, 4};
+  for (std::uint32_t i = 0; i < 10; ++i) heap.push(keys[i], i);
+  int last = -1;
+  while (!heap.empty()) {
+    auto [k, item] = heap.pop();
+    EXPECT_GE(k, last);
+    EXPECT_EQ(k, keys[item]);
+    last = k;
+  }
+}
+
+TEST(MinHeap, DecreaseKeyMovesItemUp) {
+  MinHeap<int> heap(4);
+  heap.push(10, 0);
+  heap.push(20, 1);
+  heap.push(30, 2);
+  heap.decrease_key(5, 2);
+  EXPECT_EQ(heap.pop().second, 2U);
+}
+
+TEST(MinHeap, ContainsTracksMembership) {
+  MinHeap<int> heap(3);
+  EXPECT_FALSE(heap.contains(1));
+  heap.push(7, 1);
+  EXPECT_TRUE(heap.contains(1));
+  heap.pop();
+  EXPECT_FALSE(heap.contains(1));
+}
+
+TEST(MinHeap, PushOrDecreaseIgnoresLargerKey) {
+  MinHeap<int> heap(2);
+  heap.push_or_decrease(5, 0);
+  heap.push_or_decrease(9, 0);  // larger: no-op
+  EXPECT_EQ(heap.key_of(0), 5);
+  heap.push_or_decrease(2, 0);
+  EXPECT_EQ(heap.key_of(0), 2);
+}
+
+TEST(MinHeap, RandomizedAgainstSort) {
+  Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 1 + rng.next_below(200);
+    MinHeap<std::uint64_t> heap(n);
+    std::vector<std::uint64_t> keys(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      keys[i] = rng.next_below(1000);
+      heap.push(keys[i], i);
+    }
+    // Random decrease-keys.
+    for (int d = 0; d < 50; ++d) {
+      std::uint32_t item = static_cast<std::uint32_t>(rng.next_below(n));
+      std::uint64_t nk = rng.next_below(keys[item] + 1);
+      heap.decrease_key(nk, item);
+      keys[item] = nk;
+    }
+    std::vector<std::uint64_t> sorted = keys;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::uint64_t expect : sorted) {
+      ASSERT_FALSE(heap.empty());
+      EXPECT_EQ(heap.pop().first, expect);
+    }
+    EXPECT_TRUE(heap.empty());
+  }
+}
+
+TEST(MinHeap, ResetClears) {
+  MinHeap<int> heap(5);
+  heap.push(1, 0);
+  heap.reset(8);
+  EXPECT_TRUE(heap.empty());
+  EXPECT_FALSE(heap.contains(0));
+  heap.push(1, 7);
+  EXPECT_EQ(heap.pop().second, 7U);
+}
+
+}  // namespace
+}  // namespace dfsssp

@@ -1,0 +1,134 @@
+// Cross-module integration: every routing engine against every topology
+// family, checking the invariants each engine advertises.
+#include <gtest/gtest.h>
+
+#include "routing/collect.hpp"
+#include "routing/router.hpp"
+#include "routing/verify.hpp"
+#include "sim/congestion.hpp"
+#include "topology/generators.hpp"
+
+namespace dfsssp {
+namespace {
+
+std::vector<Topology> small_zoo() {
+  std::vector<Topology> zoo;
+  zoo.push_back(make_single_switch(8));
+  zoo.push_back(make_path(4, 2));
+  zoo.push_back(make_ring(7, 2));
+  std::uint32_t dims[2] = {3, 4};
+  zoo.push_back(make_torus(dims, 1, true));
+  zoo.push_back(make_torus(dims, 1, false));
+  zoo.push_back(make_hypercube(3, 1));
+  zoo.push_back(make_kary_ntree(3, 2));
+  std::uint32_t ms[2] = {4, 4};
+  std::uint32_t ws[2] = {2, 2};
+  zoo.push_back(make_xgft(2, ms, ws));
+  zoo.push_back(make_kautz(2, 2, 12));
+  Rng rng(123);
+  zoo.push_back(make_random(12, 2, 30, 8, rng));
+  zoo.push_back(make_clos2(4, 2, 1, 4));
+  zoo.push_back(make_dragonfly(2, 2, 1, 3));
+  return zoo;
+}
+
+TEST(Integration, EveryEngineOnEveryTopology) {
+  auto routers = make_all_routers();
+  for (const Topology& topo : small_zoo()) {
+    for (const auto& router : routers) {
+      RoutingOutcome out = router->route(topo);
+      if (!out.ok) {
+        // Failing is allowed (fat-tree on a ring, DOR without coords), but
+        // must come with an explanation.
+        EXPECT_FALSE(out.error.empty())
+            << router->name() << " on " << topo.name;
+        continue;
+      }
+      VerifyReport report = verify_routing(topo.net, out.table);
+      EXPECT_TRUE(report.connected())
+          << router->name() << " on " << topo.name << ": " << report.broken
+          << " broken paths";
+      if (router->deadlock_free()) {
+        EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table))
+            << router->name() << " claims deadlock freedom on " << topo.name;
+      }
+    }
+  }
+}
+
+TEST(Integration, ShortestPathEnginesAreMinimal) {
+  auto zoo = small_zoo();
+  for (const Topology& topo : zoo) {
+    for (const char* name : {"MinHop", "SSSP", "DFSSSP", "LASH"}) {
+      for (const auto& router : make_all_routers()) {
+        if (router->name() != name) continue;
+        RoutingOutcome out = router->route(topo);
+        if (!out.ok) continue;
+        VerifyReport report = verify_routing(topo.net, out.table);
+        EXPECT_TRUE(report.minimal())
+            << name << " on " << topo.name << ": " << report.non_minimal
+            << " of " << report.total_paths << " paths non-minimal";
+      }
+    }
+  }
+}
+
+TEST(Integration, SsspAndDfssspShareForwardingPorts) {
+  for (const Topology& topo : small_zoo()) {
+    RoutingOutcome sssp, dfsssp;
+    for (const auto& router : make_all_routers()) {
+      if (router->name() == "SSSP") sssp = router->route(topo);
+      if (router->name() == "DFSSSP") dfsssp = router->route(topo);
+    }
+    if (!sssp.ok || !dfsssp.ok) continue;
+    for (NodeId s : topo.net.switches()) {
+      for (NodeId t : topo.net.terminals()) {
+        if (topo.net.switch_of(t) == s) continue;
+        ASSERT_EQ(sssp.table.next(s, t), dfsssp.table.next(s, t))
+            << topo.name;
+      }
+    }
+  }
+}
+
+TEST(Integration, EbbComparableAcrossEngines) {
+  // On an oversubscribed Clos the global balancers (SSSP/DFSSSP) must not
+  // lose to MinHop by more than noise, and every eBB lies in (0, 1].
+  Topology topo = make_clos2(6, 3, 1, 6);
+  Rng rng(99);
+  RankMap map = RankMap::round_robin(topo.net, 36);
+  double minhop_ebb = 0, dfsssp_ebb = 0;
+  for (const auto& router : make_all_routers()) {
+    RoutingOutcome out = router->route(topo);
+    if (!out.ok) continue;
+    Rng pat(2718);
+    EbbResult ebb =
+        effective_bisection_bandwidth(topo.net, out.table, map, 40, pat);
+    EXPECT_GT(ebb.ebb, 0.0) << router->name();
+    EXPECT_LE(ebb.ebb, 1.0 + 1e-9) << router->name();
+    if (router->name() == "MinHop") minhop_ebb = ebb.ebb;
+    if (router->name() == "DFSSSP") dfsssp_ebb = ebb.ebb;
+  }
+  ASSERT_GT(minhop_ebb, 0.0);
+  ASSERT_GT(dfsssp_ebb, 0.0);
+  EXPECT_GE(dfsssp_ebb, minhop_ebb * 0.9);
+}
+
+TEST(Integration, RealSystemStandInsRouteAndVerify) {
+  // Keep to the two smaller systems here; the large ones run in benches.
+  for (Topology topo : {make_odin(), make_chic()}) {
+    for (const auto& router : make_all_routers()) {
+      RoutingOutcome out = router->route(topo);
+      if (!out.ok) continue;
+      EXPECT_TRUE(verify_routing(topo.net, out.table).connected())
+          << router->name() << " on " << topo.name;
+      if (router->deadlock_free()) {
+        EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table))
+            << router->name() << " on " << topo.name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dfsssp

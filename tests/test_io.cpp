@@ -1,0 +1,86 @@
+#include "topology/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "topology/generators.hpp"
+
+namespace dfsssp {
+namespace {
+
+TEST(Io, NetfileRoundTrip) {
+  Topology original = make_ring(5, 2);
+  std::ostringstream out;
+  write_netfile(original.net, out);
+
+  std::istringstream in(out.str());
+  Topology parsed = read_netfile(in, "ring");
+  EXPECT_EQ(parsed.net.num_switches(), original.net.num_switches());
+  EXPECT_EQ(parsed.net.num_terminals(), original.net.num_terminals());
+  EXPECT_EQ(parsed.net.num_channels(), original.net.num_channels());
+  EXPECT_TRUE(parsed.net.connected());
+}
+
+TEST(Io, NetfileParsesCommentsAndBlankLines) {
+  std::istringstream in(R"(# a comment
+switch s0
+
+switch s1   # trailing comment
+link s0 s1
+terminal t0 s0
+)");
+  Topology t = read_netfile(in);
+  EXPECT_EQ(t.net.num_switches(), 2U);
+  EXPECT_EQ(t.net.num_terminals(), 1U);
+}
+
+TEST(Io, NetfileErrorsCarryLineNumbers) {
+  std::istringstream bad1("switch s0\nlink s0 missing\n");
+  try {
+    read_netfile(bad1);
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("netfile:2"), std::string::npos);
+  }
+
+  std::istringstream bad2("frobnicate x\n");
+  EXPECT_THROW(read_netfile(bad2), std::runtime_error);
+
+  std::istringstream bad3("switch s0\nswitch s0\n");
+  EXPECT_THROW(read_netfile(bad3), std::runtime_error);
+
+  std::istringstream bad4("switch s0\nterminal t0 s0\nlink s0 t0\n");
+  EXPECT_THROW(read_netfile(bad4), std::runtime_error);
+}
+
+TEST(Io, DotOutputMentionsAllNodes) {
+  Topology t = make_path(2, 1);
+  std::ostringstream out;
+  write_dot(t.net, out);
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("graph network"), std::string::npos);
+  EXPECT_NE(dot.find("sw0"), std::string::npos);
+  EXPECT_NE(dot.find("sw1"), std::string::npos);
+  EXPECT_NE(dot.find("t0"), std::string::npos);
+  EXPECT_NE(dot.find("--"), std::string::npos);
+}
+
+TEST(Io, NetfilePreservesParallelLinks) {
+  Network net;
+  NodeId a = net.add_switch("a");
+  NodeId b = net.add_switch("b");
+  net.add_link(a, b);
+  net.add_link(a, b);
+  net.add_terminal(a, "t");
+  net.freeze();
+  std::ostringstream out;
+  write_netfile(net, out);
+  std::istringstream in(out.str());
+  Topology parsed = read_netfile(in);
+  EXPECT_EQ(parsed.net.out_switch_channels(parsed.net.switch_by_index(0)).size(),
+            2U);
+}
+
+}  // namespace
+}  // namespace dfsssp

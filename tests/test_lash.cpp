@@ -1,0 +1,97 @@
+#include "routing/lash.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/collect.hpp"
+#include "routing/verify.hpp"
+#include "topology/generators.hpp"
+
+namespace dfsssp {
+namespace {
+
+TEST(Lash, ConnectedMinimalDeadlockFreeOnRing) {
+  Topology topo = make_ring(8, 2);
+  RoutingOutcome out = LashRouter().route(topo);
+  ASSERT_TRUE(out.ok) << out.error;
+  VerifyReport report = verify_routing(topo.net, out.table);
+  EXPECT_TRUE(report.connected());
+  EXPECT_TRUE(report.minimal());
+  EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table));
+  EXPECT_GE(out.stats.layers_used, 2);  // the ring needs >= 2 layers
+}
+
+TEST(Lash, TorusNeedsFewLayers) {
+  // LASH was designed for tori; it should succeed with few layers.
+  std::uint32_t dims[2] = {4, 4};
+  Topology topo = make_torus(dims, 1, true);
+  RoutingOutcome out = LashRouter().route(topo);
+  ASSERT_TRUE(out.ok) << out.error;
+  EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table));
+  EXPECT_LE(out.stats.layers_used, 4);
+}
+
+TEST(Lash, StructuredSelectionBeatsHashedOnTori) {
+  // LASH's layer demand is highly path-selection sensitive: construction-
+  // order (DOR-like) paths conflict far less on tori than arbitrary
+  // shortest paths.
+  std::uint32_t dims[2] = {8, 8};
+  Topology topo = make_torus(dims, 1, true);
+  RoutingOutcome structured =
+      LashRouter(LashOptions{
+          .max_layers = 16,
+          .selection = LashOptions::PathSelection::kFirstCandidate})
+          .route(topo);
+  RoutingOutcome hashed =
+      LashRouter(LashOptions{.max_layers = 16}).route(topo);
+  ASSERT_TRUE(structured.ok) << structured.error;
+  ASSERT_TRUE(hashed.ok) << hashed.error;
+  EXPECT_LT(structured.stats.layers_used, hashed.stats.layers_used);
+  EXPECT_TRUE(routing_is_deadlock_free(topo.net, structured.table));
+  EXPECT_TRUE(verify_routing(topo.net, structured.table).minimal());
+}
+
+TEST(Lash, TreeNeedsOneLayer) {
+  Topology topo = make_kary_ntree(3, 2);
+  RoutingOutcome out = LashRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.stats.layers_used, 1);
+  EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table));
+}
+
+TEST(Lash, FailsWhenLayersExhausted) {
+  Topology topo = make_ring(12, 1);
+  RoutingOutcome out = LashRouter(LashOptions{.max_layers = 1}).route(topo);
+  EXPECT_FALSE(out.ok);
+  EXPECT_NE(out.error.find("virtual layers"), std::string::npos);
+}
+
+TEST(Lash, LayerSharedByAllTerminalPairsOfSwitchPair) {
+  Topology topo = make_ring(5, 3);
+  RoutingOutcome out = LashRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  const Network& net = topo.net;
+  for (NodeId s : net.switches()) {
+    for (NodeId t1 : net.terminals()) {
+      for (NodeId t2 : net.terminals()) {
+        if (net.switch_of(t1) != net.switch_of(t2)) continue;
+        if (net.switch_of(t1) == s) continue;
+        EXPECT_EQ(out.table.layer(s, t1), out.table.layer(s, t2));
+      }
+    }
+  }
+}
+
+TEST(Lash, RandomTopologiesStayDeadlockFree) {
+  Rng rng(404);
+  for (int i = 0; i < 3; ++i) {
+    Topology topo = make_random(16, 2, 40, 10, rng);
+    RoutingOutcome out = LashRouter().route(topo);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_TRUE(verify_routing(topo.net, out.table).connected());
+    EXPECT_TRUE(verify_routing(topo.net, out.table).minimal());
+    EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table));
+  }
+}
+
+}  // namespace
+}  // namespace dfsssp

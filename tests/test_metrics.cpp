@@ -1,0 +1,85 @@
+#include "topology/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/generators.hpp"
+
+namespace dfsssp {
+namespace {
+
+TEST(Metrics, RingValues) {
+  Topology topo = make_ring(6, 2);
+  NetworkMetrics m = compute_metrics(topo.net);
+  EXPECT_EQ(m.diameter, 3U);
+  EXPECT_EQ(m.min_degree, 2U);
+  EXPECT_EQ(m.max_degree, 2U);
+  EXPECT_DOUBLE_EQ(m.avg_degree, 2.0);
+  EXPECT_EQ(m.num_links, 6U);
+  EXPECT_EQ(m.min_terminals, 2U);
+  EXPECT_EQ(m.max_terminals, 2U);
+  // Ring of 6: distances 1,1,2,2,3 from each node -> avg 1.8.
+  EXPECT_NEAR(m.avg_path_length, 1.8, 1e-9);
+}
+
+TEST(Metrics, SingleSwitch) {
+  Topology topo = make_single_switch(8);
+  NetworkMetrics m = compute_metrics(topo.net);
+  EXPECT_EQ(m.diameter, 0U);
+  EXPECT_EQ(m.num_links, 0U);
+  EXPECT_DOUBLE_EQ(m.avg_path_length, 0.0);
+}
+
+TEST(Metrics, TorusDiameter) {
+  std::uint32_t dims[2] = {4, 4};
+  Topology topo = make_torus(dims, 1, true);
+  EXPECT_EQ(compute_metrics(topo.net).diameter, 4U);  // 2 + 2
+  Topology mesh = make_torus(dims, 1, false);
+  EXPECT_EQ(compute_metrics(mesh.net).diameter, 6U);  // 3 + 3
+}
+
+TEST(Metrics, KaryNTreeDiameter) {
+  // Leaf to leaf under a different root path: up n-1, down n-1... the
+  // switch-graph diameter of a k-ary n-tree is 2(n-1).
+  Topology topo = make_kary_ntree(4, 3);
+  EXPECT_EQ(compute_metrics(topo.net).diameter, 4U);
+}
+
+TEST(Metrics, BisectionWidthRing) {
+  // Any balanced cut of a ring crosses exactly 2 links.
+  Topology topo = make_ring(8, 2);
+  Rng rng(1);
+  EXPECT_EQ(estimate_bisection_width(topo.net, rng), 2U);
+}
+
+TEST(Metrics, BisectionWidthClos) {
+  // 4 leaves x 2 spines, 1 link each: splitting the leaves 2/2 cuts 8 of
+  // the 8 links... each side keeps its links to both spines; crossing
+  // links = leaf-spine links from leaves to spines on the "other side":
+  // spines carry no terminals so the optimizer parks them for free; the
+  // minimum balanced cut is 4.
+  Topology topo = make_clos2(4, 2, 1, 4);
+  Rng rng(2);
+  EXPECT_LE(estimate_bisection_width(topo.net, rng), 4U);
+  EXPECT_GE(estimate_bisection_width(topo.net, rng), 2U);
+}
+
+TEST(Metrics, CeilingBoundsSimulatedEbb) {
+  // The structural ceiling must upper-bound what any routing achieves.
+  Topology topo = make_clos2(4, 1, 1, 4);  // heavy oversubscription
+  Rng rng(3);
+  double ceiling = bisection_bandwidth_ceiling(topo.net, rng);
+  EXPECT_LE(ceiling, 1.0);
+  EXPECT_GT(ceiling, 0.0);
+}
+
+TEST(Metrics, DeimosStandInShape) {
+  Topology topo = make_deimos();
+  NetworkMetrics m = compute_metrics(topo.net);
+  EXPECT_GE(m.diameter, 4U);  // d1 leaf chip to d3 leaf chip via two hops
+                              // of inter-director links and internal spines
+  EXPECT_EQ(m.min_terminals, 0U);  // spine chips host no terminals
+  EXPECT_GT(m.max_terminals, 0U);
+}
+
+}  // namespace
+}  // namespace dfsssp

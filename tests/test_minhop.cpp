@@ -1,0 +1,79 @@
+#include "routing/minhop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/verify.hpp"
+#include "topology/generators.hpp"
+
+namespace dfsssp {
+namespace {
+
+TEST(MinHop, ConnectedAndMinimalOnRing) {
+  Topology topo = make_ring(6, 2);
+  RoutingOutcome out = MinHopRouter().route(topo);
+  ASSERT_TRUE(out.ok) << out.error;
+  VerifyReport report = verify_routing(topo.net, out.table);
+  EXPECT_TRUE(report.connected());
+  EXPECT_TRUE(report.minimal());
+  EXPECT_EQ(report.total_paths, 6U * 12U - 12U);
+}
+
+TEST(MinHop, ConnectedAndMinimalOnTree) {
+  Topology topo = make_kary_ntree(4, 2);
+  RoutingOutcome out = MinHopRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  VerifyReport report = verify_routing(topo.net, out.table);
+  EXPECT_TRUE(report.connected());
+  EXPECT_TRUE(report.minimal());
+}
+
+TEST(MinHop, BalancesOverParallelLinks) {
+  // Two switches, four parallel links, many destinations: the local
+  // balancing must use all four links.
+  Network net;
+  NodeId a = net.add_switch();
+  NodeId b = net.add_switch();
+  std::vector<ChannelId> links;
+  for (int i = 0; i < 4; ++i) links.push_back(net.add_link(a, b));
+  for (int i = 0; i < 8; ++i) net.add_terminal(b);
+  net.add_terminal(a);
+  net.freeze();
+  Topology topo{"par", std::move(net), {}};
+
+  RoutingOutcome out = MinHopRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  std::vector<int> used(4, 0);
+  for (NodeId t : topo.net.terminals()) {
+    if (topo.net.switch_of(t) != b) continue;
+    ChannelId c = out.table.next(a, t);
+    for (int i = 0; i < 4; ++i) {
+      if (links[i] == c) ++used[i];
+    }
+  }
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(used[i], 2) << "link " << i;
+}
+
+TEST(MinHop, FailsOnDisconnected) {
+  Network net;
+  NodeId a = net.add_switch();
+  NodeId b = net.add_switch();
+  net.add_terminal(a);
+  net.add_terminal(b);
+  net.freeze();
+  Topology topo{"disc", std::move(net), {}};
+  RoutingOutcome out = MinHopRouter().route(topo);
+  EXPECT_FALSE(out.ok);
+  EXPECT_NE(out.error.find("disconnected"), std::string::npos);
+}
+
+TEST(MinHop, SingleSwitchTrivial) {
+  Topology topo = make_single_switch(4);
+  RoutingOutcome out = MinHopRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  VerifyReport report = verify_routing(topo.net, out.table);
+  EXPECT_TRUE(report.connected());
+  EXPECT_EQ(report.total_paths, 0U);  // all traffic is intra-switch
+}
+
+}  // namespace
+}  // namespace dfsssp

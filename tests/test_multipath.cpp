@@ -1,0 +1,96 @@
+#include "routing/multipath.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/verify.hpp"
+#include "sim/multipath_sim.hpp"
+#include "topology/generators.hpp"
+
+namespace dfsssp {
+namespace {
+
+TEST(Multipath, PlaneCountFollowsLmc) {
+  Topology topo = make_ring(5, 1);
+  EXPECT_EQ(route_sssp_multipath(topo, 0).planes.size(), 1U);
+  EXPECT_EQ(route_sssp_multipath(topo, 1).planes.size(), 2U);
+  EXPECT_EQ(route_sssp_multipath(topo, 2).planes.size(), 4U);
+  EXPECT_FALSE(route_sssp_multipath(topo, 4).ok);
+}
+
+TEST(Multipath, EveryPlaneIsConnectedAndMinimal) {
+  Rng rng(5);
+  Topology topo = make_random(12, 2, 28, 8, rng);
+  MultipathOutcome out = route_sssp_multipath(topo, 2);
+  ASSERT_TRUE(out.ok) << out.error;
+  for (const RoutingTable& plane : out.planes) {
+    VerifyReport report = verify_routing(topo.net, plane);
+    EXPECT_TRUE(report.connected());
+    EXPECT_TRUE(report.minimal());
+  }
+}
+
+TEST(Multipath, PlanesActuallyDiversify) {
+  // On a 2-spine Clos the shared weight map must push consecutive planes
+  // onto different spines for at least some (switch, dst) entries.
+  Topology topo = make_clos2(2, 2, 1, 4);
+  MultipathOutcome out = route_sssp_multipath(topo, 1);
+  ASSERT_TRUE(out.ok);
+  std::size_t different = 0, total = 0;
+  for (NodeId s : topo.net.switches()) {
+    for (NodeId t : topo.net.terminals()) {
+      if (topo.net.switch_of(t) == s) continue;
+      ++total;
+      if (out.planes[0].next(s, t) != out.planes[1].next(s, t)) ++different;
+    }
+  }
+  EXPECT_GT(different, total / 4);
+}
+
+TEST(Multipath, DfssspJointLayeringIsDeadlockFree) {
+  Topology topo = make_ring(7, 2);
+  MultipathOutcome out = route_dfsssp_multipath(topo, 1);
+  ASSERT_TRUE(out.ok) << out.error;
+  EXPECT_TRUE(multipath_is_deadlock_free(topo.net, out.planes));
+  EXPECT_GE(out.stats.layers_used, 2);
+  // Every plane individually is also deadlock-free (a subset of an acyclic
+  // union stays acyclic).
+  for (const RoutingTable& plane : out.planes) {
+    EXPECT_TRUE(verify_routing(topo.net, plane).connected());
+  }
+}
+
+TEST(Multipath, SsspPlanesAloneAreNotDeadlockFreeOnRing) {
+  Topology topo = make_ring(5, 1);
+  MultipathOutcome out = route_sssp_multipath(topo, 1);
+  ASSERT_TRUE(out.ok);
+  EXPECT_FALSE(multipath_is_deadlock_free(topo.net, out.planes));
+}
+
+TEST(Multipath, SimulationUsesAllPlanes) {
+  Topology topo = make_clos2(2, 2, 1, 8);
+  MultipathOutcome out = route_dfsssp_multipath(topo, 1);
+  ASSERT_TRUE(out.ok);
+  Rng rng(9);
+  RankMap map = RankMap::round_robin(topo.net, 16);
+  EbbResult multi = effective_bisection_bandwidth_multipath(
+      topo.net, out.planes, map, 50, rng);
+  EXPECT_GT(multi.ebb, 0.0);
+  EXPECT_LE(multi.ebb, 1.0 + 1e-9);
+}
+
+TEST(Multipath, Lmc1ImprovesAdversarialPattern) {
+  // A fixed permutation that hurts a single-path routing: with two planes
+  // the flows spread, so the bottleneck share cannot get worse.
+  Topology topo = make_clos2(4, 2, 1, 4);
+  MultipathOutcome multi = route_dfsssp_multipath(topo, 1);
+  ASSERT_TRUE(multi.ok);
+  RankMap map = RankMap::round_robin(topo.net, 16);
+  Flows flows = map.to_flows(ring_shift(16, 4));  // leaf-to-leaf shift
+  PatternResult single = simulate_pattern_multipath(
+      topo.net, {multi.planes[0]}, flows);
+  PatternResult both = simulate_pattern_multipath(topo.net, multi.planes, flows);
+  EXPECT_GE(both.avg_flow_bandwidth, single.avg_flow_bandwidth - 1e-9);
+}
+
+}  // namespace
+}  // namespace dfsssp

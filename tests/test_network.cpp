@@ -1,0 +1,137 @@
+#include "topology/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dfsssp {
+namespace {
+
+TEST(Network, SwitchAndTerminalBookkeeping) {
+  Network net;
+  NodeId s0 = net.add_switch("alpha");
+  NodeId s1 = net.add_switch();
+  NodeId t0 = net.add_terminal(s0);
+  NodeId t1 = net.add_terminal(s0);
+  NodeId t2 = net.add_terminal(s1);
+  net.add_link(s0, s1);
+  net.freeze();
+
+  EXPECT_EQ(net.num_switches(), 2U);
+  EXPECT_EQ(net.num_terminals(), 3U);
+  EXPECT_TRUE(net.is_switch(s0));
+  EXPECT_TRUE(net.is_terminal(t0));
+  EXPECT_EQ(net.switch_of(t0), s0);
+  EXPECT_EQ(net.switch_of(t2), s1);
+  EXPECT_EQ(net.terminals_on(s0), 2U);
+  EXPECT_EQ(net.terminals_on(s1), 1U);
+  EXPECT_EQ(net.node(s0).name, "alpha");
+  (void)t1;
+  net.validate();
+}
+
+TEST(Network, ChannelsArePairedReverses) {
+  Network net;
+  NodeId a = net.add_switch();
+  NodeId b = net.add_switch();
+  ChannelId ab = net.add_link(a, b);
+  net.freeze();
+  const Channel& fwd = net.channel(ab);
+  const Channel& rev = net.channel(fwd.reverse);
+  EXPECT_EQ(fwd.src, a);
+  EXPECT_EQ(fwd.dst, b);
+  EXPECT_EQ(rev.src, b);
+  EXPECT_EQ(rev.dst, a);
+  EXPECT_EQ(rev.reverse, ab);
+}
+
+TEST(Network, InjectionAndEjection) {
+  Network net;
+  NodeId s = net.add_switch();
+  NodeId t = net.add_terminal(s);
+  net.freeze();
+  ChannelId inj = net.injection_channel(t);
+  ChannelId ej = net.ejection_channel(t);
+  EXPECT_EQ(net.channel(inj).src, t);
+  EXPECT_EQ(net.channel(inj).dst, s);
+  EXPECT_EQ(net.channel(ej).src, s);
+  EXPECT_EQ(net.channel(ej).dst, t);
+  EXPECT_FALSE(net.is_switch_channel(inj));
+}
+
+TEST(Network, OutSwitchChannelsSkipTerminals) {
+  Network net;
+  NodeId a = net.add_switch();
+  NodeId b = net.add_switch();
+  net.add_terminal(a);
+  net.add_terminal(a);
+  net.add_link(a, b);
+  net.freeze();
+  EXPECT_EQ(net.out_channels(a).size(), 3U);       // 2 ejection + 1 link
+  EXPECT_EQ(net.out_switch_channels(a).size(), 1U);
+  EXPECT_EQ(net.switch_degree(a), 1U);
+}
+
+TEST(Network, ParallelLinksAllowed) {
+  Network net;
+  NodeId a = net.add_switch();
+  NodeId b = net.add_switch();
+  net.add_link(a, b);
+  net.add_link(a, b);
+  net.freeze();
+  EXPECT_EQ(net.out_switch_channels(a).size(), 2U);
+  net.validate();
+}
+
+TEST(Network, MutationAfterFreezeThrows) {
+  Network net;
+  NodeId a = net.add_switch();
+  net.add_switch();
+  net.freeze();
+  EXPECT_THROW(net.add_switch(), std::logic_error);
+  EXPECT_THROW(net.add_terminal(a), std::logic_error);
+}
+
+TEST(Network, RejectsBadArguments) {
+  Network net;
+  NodeId a = net.add_switch();
+  NodeId t = net.add_terminal(a);
+  EXPECT_THROW(net.add_link(a, a), std::invalid_argument);
+  EXPECT_THROW(net.add_link(a, t), std::invalid_argument);
+  EXPECT_THROW(net.add_terminal(t), std::invalid_argument);
+}
+
+TEST(Network, ConnectedDetection) {
+  Network net;
+  NodeId a = net.add_switch();
+  NodeId b = net.add_switch();
+  NodeId c = net.add_switch();
+  net.add_link(a, b);
+  net.freeze();
+  EXPECT_FALSE(net.connected());  // c is isolated
+  (void)c;
+
+  Network net2;
+  NodeId x = net2.add_switch();
+  NodeId y = net2.add_switch();
+  net2.add_link(x, y);
+  net2.add_terminal(x);
+  net2.freeze();
+  EXPECT_TRUE(net2.connected());
+}
+
+TEST(Network, TypeIndexIsDense) {
+  Network net;
+  NodeId s0 = net.add_switch();
+  NodeId t0 = net.add_terminal(s0);
+  NodeId s1 = net.add_switch();
+  NodeId t1 = net.add_terminal(s1);
+  net.freeze();
+  EXPECT_EQ(net.node(s0).type_index, 0U);
+  EXPECT_EQ(net.node(s1).type_index, 1U);
+  EXPECT_EQ(net.node(t0).type_index, 0U);
+  EXPECT_EQ(net.node(t1).type_index, 1U);
+  EXPECT_EQ(net.switch_by_index(1), s1);
+  EXPECT_EQ(net.terminal_by_index(1), t1);
+}
+
+}  // namespace
+}  // namespace dfsssp

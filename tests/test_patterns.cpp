@@ -1,0 +1,124 @@
+#include "traffic/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/generators.hpp"
+
+namespace dfsssp {
+namespace {
+
+TEST(Patterns, RandomBisectionIsPerfectMatching) {
+  Rng rng(1);
+  for (std::uint32_t n : {8U, 64U, 100U}) {
+    RankPattern p = random_bisection(n, rng);
+    EXPECT_EQ(p.size(), n / 2);
+    std::set<std::uint32_t> used;
+    for (auto [a, b] : p) {
+      EXPECT_NE(a, b);
+      EXPECT_TRUE(used.insert(a).second);
+      EXPECT_TRUE(used.insert(b).second);
+    }
+    EXPECT_EQ(used.size(), n);
+  }
+}
+
+TEST(Patterns, RandomBisectionOddDropsOne) {
+  Rng rng(2);
+  RankPattern p = random_bisection(9, rng);
+  EXPECT_EQ(p.size(), 4U);
+}
+
+TEST(Patterns, RandomPermutationIsFixedPointFree) {
+  Rng rng(3);
+  RankPattern p = random_permutation(16, rng);
+  EXPECT_EQ(p.size(), 16U);
+  std::set<std::uint32_t> sources, targets;
+  for (auto [a, b] : p) {
+    EXPECT_NE(a, b);
+    sources.insert(a);
+    targets.insert(b);
+  }
+  EXPECT_EQ(sources.size(), 16U);
+  EXPECT_EQ(targets.size(), 16U);
+}
+
+TEST(Patterns, AllToAllCount) {
+  RankPattern p = all_to_all(5);
+  EXPECT_EQ(p.size(), 20U);
+}
+
+TEST(Patterns, RingShiftWraps) {
+  RankPattern p = ring_shift(5, 2);
+  EXPECT_EQ(p.size(), 5U);
+  EXPECT_EQ(p[3].second, 0U);
+  EXPECT_EQ(p[4].second, 1U);
+}
+
+TEST(Patterns, Stencil2dNeighborCount) {
+  RankPattern p = stencil2d(4, 4);
+  // 16 ranks x 4 neighbors, all distinct on a 4x4 periodic grid.
+  EXPECT_EQ(p.size(), 64U);
+  for (auto [a, b] : p) {
+    EXPECT_LT(a, 16U);
+    EXPECT_LT(b, 16U);
+    EXPECT_NE(a, b);
+  }
+}
+
+TEST(Patterns, Stencil3dNeighborCount) {
+  RankPattern p = stencil3d(3, 3, 3);
+  EXPECT_EQ(p.size(), 27U * 6U);
+}
+
+TEST(Patterns, Stencil2dDegenerateDimsDropSelfPairs) {
+  // A 2x1 grid: the +x and -x neighbors coincide; self-pairs are dropped.
+  RankPattern p = stencil2d(2, 1);
+  for (auto [a, b] : p) EXPECT_NE(a, b);
+}
+
+TEST(Patterns, ButterflyStagePairs) {
+  RankPattern p = butterfly_stage(8, 1);
+  EXPECT_EQ(p.size(), 8U);
+  for (auto [a, b] : p) EXPECT_EQ(a ^ 2U, b);
+}
+
+TEST(Patterns, RankMapRoundRobin) {
+  Topology topo = make_ring(4, 2);  // 8 terminals
+  RankMap map = RankMap::round_robin(topo.net, 6);
+  EXPECT_EQ(map.num_ranks(), 6U);
+  // nodes_used = 6: ranks map to distinct terminals.
+  std::set<NodeId> used;
+  for (std::uint32_t r = 0; r < 6; ++r) used.insert(map.terminal(r));
+  EXPECT_EQ(used.size(), 6U);
+}
+
+TEST(Patterns, RankMapOversubscription) {
+  Topology topo = make_ring(4, 1);  // 4 terminals
+  RankMap map = RankMap::round_robin(topo.net, 10, 4);
+  EXPECT_EQ(map.terminal(0), map.terminal(4));
+  EXPECT_EQ(map.terminal(1), map.terminal(5));
+}
+
+TEST(Patterns, RankMapRandomAllocationDeterministicPerSeed) {
+  Topology topo = make_ring(8, 2);
+  Rng r1(9), r2(9);
+  RankMap a = RankMap::random_allocation(topo.net, 8, 8, r1);
+  RankMap b = RankMap::random_allocation(topo.net, 8, 8, r2);
+  for (std::uint32_t r = 0; r < 8; ++r) {
+    EXPECT_EQ(a.terminal(r), b.terminal(r));
+  }
+}
+
+TEST(Patterns, ToFlowsMapsThroughRanks) {
+  Topology topo = make_ring(4, 1);
+  RankMap map = RankMap::round_robin(topo.net, 4);
+  Flows flows = map.to_flows({{0, 2}, {1, 3}});
+  ASSERT_EQ(flows.size(), 2U);
+  EXPECT_EQ(flows[0].first, topo.net.terminal_by_index(0));
+  EXPECT_EQ(flows[0].second, topo.net.terminal_by_index(2));
+}
+
+}  // namespace
+}  // namespace dfsssp

@@ -1,0 +1,98 @@
+// The classical adversarial permutations and the load-report analysis.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "routing/dor.hpp"
+#include "routing/sssp.hpp"
+#include "sim/congestion.hpp"
+#include "topology/generators.hpp"
+#include "traffic/patterns.hpp"
+
+namespace dfsssp {
+namespace {
+
+TEST(AdversarialPatterns, BitReversalIsInvolution) {
+  RankPattern p = bit_reversal(16);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen(p.begin(), p.end());
+  for (auto [a, b] : p) {
+    EXPECT_TRUE(seen.count({b, a})) << a << "->" << b;
+  }
+  // Palindromic ranks (0, 6, 9, 15 for 4 bits) map to themselves: dropped.
+  EXPECT_EQ(p.size(), 12U);
+  EXPECT_THROW(bit_reversal(12), std::invalid_argument);
+}
+
+TEST(AdversarialPatterns, BitComplementPairsExtremes) {
+  RankPattern p = bit_complement(8);
+  EXPECT_EQ(p.size(), 8U);
+  EXPECT_EQ(p[0], (std::pair<std::uint32_t, std::uint32_t>{0, 7}));
+  EXPECT_EQ(p[3], (std::pair<std::uint32_t, std::uint32_t>{3, 4}));
+}
+
+TEST(AdversarialPatterns, Transpose2d) {
+  RankPattern p = transpose2d(3);
+  EXPECT_EQ(p.size(), 6U);  // 9 ranks minus 3 diagonal fixed points
+  for (auto [a, b] : p) {
+    EXPECT_EQ((a % 3) * 3 + a / 3, b);
+  }
+}
+
+TEST(AdversarialPatterns, TornadoShift) {
+  RankPattern p = tornado(8);
+  // shift = ceil(8/2) - 1 = 3.
+  EXPECT_EQ(p[0].second, 3U);
+  EXPECT_EQ(p.size(), 8U);
+}
+
+TEST(AdversarialPatterns, GatherIsIncast) {
+  RankPattern p = gather_to(6, 2);
+  EXPECT_EQ(p.size(), 5U);
+  for (auto [a, b] : p) {
+    EXPECT_EQ(b, 2U);
+    EXPECT_NE(a, 2U);
+  }
+}
+
+TEST(AdversarialPatterns, TornadoCongestsDorRing) {
+  // The textbook result: tornado traffic on a ring under minimal routing
+  // loads one direction with ~n/2 flows per link.
+  std::uint32_t dims[1] = {8};
+  Topology topo = make_torus(dims, 1, true);
+  RoutingOutcome out = DorRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  RankMap map = RankMap::round_robin(topo.net, 8);
+  Flows flows = map.to_flows(tornado(8));
+  PatternResult r = simulate_pattern(topo.net, out.table, flows);
+  EXPECT_GE(r.max_congestion, 3U);
+}
+
+TEST(LoadReportTest, CountsFabricAndTerminalLoads) {
+  Topology topo = make_path(2, 2);
+  RoutingOutcome out = SsspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  // Both left terminals send to terminal 2 (on the right switch).
+  Flows flows{{topo.net.terminal_by_index(0), topo.net.terminal_by_index(2)},
+              {topo.net.terminal_by_index(1), topo.net.terminal_by_index(2)}};
+  LoadReport report = analyze_load(topo.net, out.table, flows);
+  EXPECT_EQ(report.max_terminal_load, 2U);   // shared ejection channel
+  EXPECT_EQ(report.max_fabric_load, 2U);     // the single inter-switch link
+  EXPECT_EQ(report.used_fabric_channels, 1U);
+  EXPECT_EQ(report.total_fabric_channels, 2U);
+  EXPECT_DOUBLE_EQ(report.imbalance, 1.0);
+}
+
+TEST(LoadReportTest, BalancedRoutingHasLowerImbalance) {
+  Topology topo = make_clos2(4, 4, 1, 4);
+  RoutingOutcome balanced = SsspRouter().route(topo);
+  ASSERT_TRUE(balanced.ok);
+  Rng rng(5);
+  RankMap map = RankMap::round_robin(topo.net, 16);
+  Flows flows = map.to_flows(all_to_all(16));
+  LoadReport report = analyze_load(topo.net, balanced.table, flows);
+  EXPECT_GT(report.used_fabric_channels, 0U);
+  EXPECT_LE(report.imbalance, 2.5);
+}
+
+}  // namespace
+}  // namespace dfsssp

@@ -1,0 +1,88 @@
+#include "routing/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/generators.hpp"
+
+namespace dfsssp {
+namespace {
+
+/// path-of-3 fixture: sw0 - sw1 - sw2, one terminal each.
+struct Fixture {
+  Topology topo = make_path(3, 1);
+  RoutingTable table{topo.net};
+  NodeId sw(std::uint32_t i) { return topo.net.switch_by_index(i); }
+  NodeId t(std::uint32_t i) { return topo.net.terminal_by_index(i); }
+  ChannelId link(NodeId a, NodeId b) {
+    for (ChannelId c : topo.net.out_switch_channels(a)) {
+      if (topo.net.channel(c).dst == b) return c;
+    }
+    return kInvalidChannel;
+  }
+};
+
+TEST(RoutingTableTest, DefaultsAreInvalid) {
+  Fixture f;
+  EXPECT_EQ(f.table.next(f.sw(0), f.t(2)), kInvalidChannel);
+  EXPECT_EQ(f.table.layer(f.sw(0), f.t(2)), 0);
+  EXPECT_EQ(f.table.num_layers(), 1);
+}
+
+TEST(RoutingTableTest, ExtractPathWalksForwarding) {
+  Fixture f;
+  f.table.set_next(f.sw(0), f.t(2), f.link(f.sw(0), f.sw(1)));
+  f.table.set_next(f.sw(1), f.t(2), f.link(f.sw(1), f.sw(2)));
+  std::vector<ChannelId> seq;
+  ASSERT_TRUE(f.table.extract_path(f.topo.net, f.sw(0), f.t(2), seq));
+  ASSERT_EQ(seq.size(), 2U);
+  EXPECT_EQ(f.topo.net.channel(seq[0]).src, f.sw(0));
+  EXPECT_EQ(f.topo.net.channel(seq[1]).dst, f.sw(2));
+  EXPECT_EQ(f.table.path_hops(f.topo.net, f.sw(0), f.t(2)), 2);
+}
+
+TEST(RoutingTableTest, ExtractPathEmptyForLocalDestination) {
+  Fixture f;
+  std::vector<ChannelId> seq{123};
+  ASSERT_TRUE(f.table.extract_path(f.topo.net, f.sw(1), f.t(1), seq));
+  EXPECT_TRUE(seq.empty());  // destination attached to the start switch
+}
+
+TEST(RoutingTableTest, DeadEndDetected) {
+  Fixture f;
+  f.table.set_next(f.sw(0), f.t(2), f.link(f.sw(0), f.sw(1)));
+  // sw1 has no entry for t2 -> dead end.
+  std::vector<ChannelId> seq;
+  EXPECT_FALSE(f.table.extract_path(f.topo.net, f.sw(0), f.t(2), seq));
+  EXPECT_EQ(f.table.path_hops(f.topo.net, f.sw(0), f.t(2)), -1);
+}
+
+TEST(RoutingTableTest, ForwardingLoopDetected) {
+  Fixture f;
+  f.table.set_next(f.sw(0), f.t(2), f.link(f.sw(0), f.sw(1)));
+  f.table.set_next(f.sw(1), f.t(2), f.link(f.sw(1), f.sw(0)));  // bounce back
+  std::vector<ChannelId> seq;
+  EXPECT_FALSE(f.table.extract_path(f.topo.net, f.sw(0), f.t(2), seq));
+}
+
+TEST(RoutingTableTest, LayerStorageIsPerSourceSwitch) {
+  Fixture f;
+  f.table.set_num_layers(4);
+  f.table.set_layer(f.sw(0), f.t(2), 3);
+  f.table.set_layer(f.sw(1), f.t(2), 1);
+  EXPECT_EQ(f.table.layer(f.sw(0), f.t(2)), 3);
+  EXPECT_EQ(f.table.layer(f.sw(1), f.t(2)), 1);
+  EXPECT_EQ(f.table.layer(f.sw(0), f.t(1)), 0);  // untouched slot
+  EXPECT_EQ(f.table.num_layers(), 4);
+}
+
+TEST(RoutingTableTest, RejectsWrongChannelSource) {
+  // A forwarding entry whose channel does not start at the switch is
+  // reported as broken by extract_path, not followed.
+  Fixture f;
+  f.table.set_next(f.sw(0), f.t(2), f.link(f.sw(1), f.sw(2)));
+  std::vector<ChannelId> seq;
+  EXPECT_FALSE(f.table.extract_path(f.topo.net, f.sw(0), f.t(2), seq));
+}
+
+}  // namespace
+}  // namespace dfsssp

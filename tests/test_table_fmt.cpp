@@ -1,0 +1,52 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dfsssp {
+namespace {
+
+TEST(TableFmt, CollectsRows) {
+  Table t("demo", {"a", "b"});
+  t.row().cell("x").cell(1.5, 1);
+  t.row().cell(std::uint64_t{7}).cell("y");
+  EXPECT_EQ(t.num_rows(), 2U);
+  EXPECT_EQ(t.rows()[0][1], "1.5");
+  EXPECT_EQ(t.rows()[1][0], "7");
+}
+
+TEST(TableFmt, CellBeforeRowThrows) {
+  Table t("demo", {"a"});
+  EXPECT_THROW(t.cell("x"), std::logic_error);
+}
+
+TEST(TableFmt, CsvRoundTrip) {
+  Table t("demo", {"name", "value"});
+  t.row().cell("plain").cell(3);
+  t.row().cell("with,comma").cell("with\"quote");
+  const std::string path = ::testing::TempDir() + "/table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,3");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with,comma\",\"with\"\"quote\"");
+  std::remove(path.c_str());
+}
+
+TEST(TableFmt, NegativeAndDoubleFormatting) {
+  Table t("demo", {"v"});
+  t.row().cell(-42);
+  t.row().cell(0.12345, 3);
+  EXPECT_EQ(t.rows()[0][0], "-42");
+  EXPECT_EQ(t.rows()[1][0], "0.123");
+}
+
+}  // namespace
+}  // namespace dfsssp

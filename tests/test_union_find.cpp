@@ -1,0 +1,42 @@
+#include "common/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dfsssp {
+namespace {
+
+TEST(UnionFind, StartsFullyDisjoint) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5U);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(uf.find(i), i);
+}
+
+TEST(UnionFind, UniteMergesAndCounts) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));  // already joined
+  EXPECT_EQ(uf.num_sets(), 3U);
+  EXPECT_EQ(uf.find(0), uf.find(1));
+  EXPECT_NE(uf.find(0), uf.find(2));
+}
+
+TEST(UnionFind, TransitiveMerge) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(1, 2);
+  EXPECT_EQ(uf.find(0), uf.find(3));
+  EXPECT_EQ(uf.size_of(0), 4U);
+  EXPECT_EQ(uf.num_sets(), 3U);
+}
+
+TEST(UnionFind, ResetRestores) {
+  UnionFind uf(3);
+  uf.unite(0, 2);
+  uf.reset(3);
+  EXPECT_EQ(uf.num_sets(), 3U);
+  EXPECT_NE(uf.find(0), uf.find(2));
+}
+
+}  // namespace
+}  // namespace dfsssp

@@ -1,0 +1,71 @@
+// Direct tests of the routing verification report (the oracle other tests
+// lean on deserves its own scrutiny).
+#include "routing/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/minhop.hpp"
+#include "topology/generators.hpp"
+
+namespace dfsssp {
+namespace {
+
+TEST(VerifyModule, CountsTotalPaths) {
+  Topology topo = make_ring(4, 2);  // 4 switches x 2 terminals
+  RoutingOutcome out = MinHopRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  VerifyReport report = verify_routing(topo.net, out.table);
+  // Per terminal: 3 foreign switches -> 8 * 3 = 24 (src switch, dst) pairs.
+  EXPECT_EQ(report.total_paths, 24U);
+  EXPECT_EQ(report.broken, 0U);
+  EXPECT_EQ(report.non_minimal, 0U);
+}
+
+TEST(VerifyModule, DetectsBrokenEntries) {
+  Topology topo = make_ring(4, 1);
+  RoutingOutcome out = MinHopRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  // Damage one entry: switch 0 loses its route to terminal 2.
+  out.table.set_next(topo.net.switch_by_index(0),
+                     topo.net.terminal_by_index(2), kInvalidChannel);
+  VerifyReport report = verify_routing(topo.net, out.table);
+  EXPECT_EQ(report.broken, 1U);
+  EXPECT_FALSE(report.connected());
+}
+
+TEST(VerifyModule, DetectsNonMinimalPaths) {
+  // Force the long way around a 5-ring for one (switch, dst) pair.
+  Topology topo = make_ring(5, 1);
+  RoutingOutcome out = MinHopRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  const Network& net = topo.net;
+  NodeId sw0 = net.switch_by_index(0);
+  NodeId t2 = net.terminal_by_index(2);  // minimal from 0: 0-1-2, 2 hops
+  // Redirect 0 -> 4; switch 4 routes on to 2 via 3 (its own minimal side),
+  // so the path becomes 0-4-3-2: valid but 3 hops.
+  ChannelId wrong = kInvalidChannel;
+  for (ChannelId c : net.out_switch_channels(sw0)) {
+    if (net.channel(c).dst == net.switch_by_index(4)) wrong = c;
+  }
+  ASSERT_NE(wrong, kInvalidChannel);
+  out.table.set_next(sw0, t2, wrong);
+  ASSERT_EQ(out.table.path_hops(topo.net, sw0, t2), 3);
+  VerifyReport report = verify_routing(topo.net, out.table);
+  EXPECT_TRUE(report.connected());
+  EXPECT_EQ(report.non_minimal, 1U);
+  EXPECT_FALSE(report.minimal());
+}
+
+TEST(VerifyModule, SkipsSwitchesWithoutTerminals) {
+  // Spine switches originate no traffic; their (broken) entries are not
+  // counted as paths.
+  Topology topo = make_clos2(2, 1, 1, 2);
+  RoutingOutcome out = MinHopRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  VerifyReport report = verify_routing(topo.net, out.table);
+  // Sources: 2 leaves x 4 terminals minus own-switch 2 each = 2 * 2 = 4.
+  EXPECT_EQ(report.total_paths, 4U);
+}
+
+}  // namespace
+}  // namespace dfsssp
