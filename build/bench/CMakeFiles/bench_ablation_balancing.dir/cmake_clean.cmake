@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_balancing.dir/bench_ablation_balancing.cpp.o"
+  "CMakeFiles/bench_ablation_balancing.dir/bench_ablation_balancing.cpp.o.d"
+  "bench_ablation_balancing"
+  "bench_ablation_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

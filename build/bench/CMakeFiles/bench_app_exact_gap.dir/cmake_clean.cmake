@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_app_exact_gap.dir/bench_app_exact_gap.cpp.o"
+  "CMakeFiles/bench_app_exact_gap.dir/bench_app_exact_gap.cpp.o.d"
+  "bench_app_exact_gap"
+  "bench_app_exact_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_exact_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

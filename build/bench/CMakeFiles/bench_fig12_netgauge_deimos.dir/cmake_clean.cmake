@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_netgauge_deimos.dir/bench_fig12_netgauge_deimos.cpp.o"
+  "CMakeFiles/bench_fig12_netgauge_deimos.dir/bench_fig12_netgauge_deimos.cpp.o.d"
+  "bench_fig12_netgauge_deimos"
+  "bench_fig12_netgauge_deimos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_netgauge_deimos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_alltoall.dir/bench_fig13_alltoall.cpp.o"
+  "CMakeFiles/bench_fig13_alltoall.dir/bench_fig13_alltoall.cpp.o.d"
+  "bench_fig13_alltoall"
+  "bench_fig13_alltoall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_nas_bt.dir/bench_fig14_nas_bt.cpp.o"
+  "CMakeFiles/bench_fig14_nas_bt.dir/bench_fig14_nas_bt.cpp.o.d"
+  "bench_fig14_nas_bt"
+  "bench_fig14_nas_bt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_nas_bt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

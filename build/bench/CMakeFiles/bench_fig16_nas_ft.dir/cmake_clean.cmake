@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_nas_ft.dir/bench_fig16_nas_ft.cpp.o"
+  "CMakeFiles/bench_fig16_nas_ft.dir/bench_fig16_nas_ft.cpp.o.d"
+  "bench_fig16_nas_ft"
+  "bench_fig16_nas_ft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_nas_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_realworld_ebb.dir/bench_fig4_realworld_ebb.cpp.o"
+  "CMakeFiles/bench_fig4_realworld_ebb.dir/bench_fig4_realworld_ebb.cpp.o.d"
+  "bench_fig4_realworld_ebb"
+  "bench_fig4_realworld_ebb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_realworld_ebb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

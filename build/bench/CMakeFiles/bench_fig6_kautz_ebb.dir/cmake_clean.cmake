@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_kautz_ebb.dir/bench_fig6_kautz_ebb.cpp.o"
+  "CMakeFiles/bench_fig6_kautz_ebb.dir/bench_fig6_kautz_ebb.cpp.o.d"
+  "bench_fig6_kautz_ebb"
+  "bench_fig6_kautz_ebb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_kautz_ebb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

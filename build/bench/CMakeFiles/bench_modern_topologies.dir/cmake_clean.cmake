@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_modern_topologies.dir/bench_modern_topologies.cpp.o"
+  "CMakeFiles/bench_modern_topologies.dir/bench_modern_topologies.cpp.o.d"
+  "bench_modern_topologies"
+  "bench_modern_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_modern_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

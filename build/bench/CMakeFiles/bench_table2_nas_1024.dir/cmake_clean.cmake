@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_nas_1024.dir/bench_table2_nas_1024.cpp.o"
+  "CMakeFiles/bench_table2_nas_1024.dir/bench_table2_nas_1024.cpp.o.d"
+  "bench_table2_nas_1024"
+  "bench_table2_nas_1024.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_nas_1024.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table2_nas_1024.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_torus_routing.dir/bench_torus_routing.cpp.o"
+  "CMakeFiles/bench_torus_routing.dir/bench_torus_routing.cpp.o.d"
+  "bench_torus_routing"
+  "bench_torus_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_torus_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_compare.dir/cluster_compare.cpp.o"
+  "CMakeFiles/cluster_compare.dir/cluster_compare.cpp.o.d"
+  "cluster_compare"
+  "cluster_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

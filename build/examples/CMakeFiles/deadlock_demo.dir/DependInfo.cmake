@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/deadlock_demo.cpp" "examples/CMakeFiles/deadlock_demo.dir/deadlock_demo.cpp.o" "gcc" "examples/CMakeFiles/deadlock_demo.dir/deadlock_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dfs_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdg/CMakeFiles/dfs_cdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/dfs_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dfs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

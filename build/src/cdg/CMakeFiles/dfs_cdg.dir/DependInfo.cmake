@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdg/app.cpp" "src/cdg/CMakeFiles/dfs_cdg.dir/app.cpp.o" "gcc" "src/cdg/CMakeFiles/dfs_cdg.dir/app.cpp.o.d"
+  "/root/repo/src/cdg/cdg.cpp" "src/cdg/CMakeFiles/dfs_cdg.dir/cdg.cpp.o" "gcc" "src/cdg/CMakeFiles/dfs_cdg.dir/cdg.cpp.o.d"
+  "/root/repo/src/cdg/online.cpp" "src/cdg/CMakeFiles/dfs_cdg.dir/online.cpp.o" "gcc" "src/cdg/CMakeFiles/dfs_cdg.dir/online.cpp.o.d"
+  "/root/repo/src/cdg/report.cpp" "src/cdg/CMakeFiles/dfs_cdg.dir/report.cpp.o" "gcc" "src/cdg/CMakeFiles/dfs_cdg.dir/report.cpp.o.d"
+  "/root/repo/src/cdg/verify.cpp" "src/cdg/CMakeFiles/dfs_cdg.dir/verify.cpp.o" "gcc" "src/cdg/CMakeFiles/dfs_cdg.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dfs_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

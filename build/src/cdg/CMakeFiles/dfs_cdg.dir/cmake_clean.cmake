@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_cdg.dir/app.cpp.o"
+  "CMakeFiles/dfs_cdg.dir/app.cpp.o.d"
+  "CMakeFiles/dfs_cdg.dir/cdg.cpp.o"
+  "CMakeFiles/dfs_cdg.dir/cdg.cpp.o.d"
+  "CMakeFiles/dfs_cdg.dir/online.cpp.o"
+  "CMakeFiles/dfs_cdg.dir/online.cpp.o.d"
+  "CMakeFiles/dfs_cdg.dir/report.cpp.o"
+  "CMakeFiles/dfs_cdg.dir/report.cpp.o.d"
+  "CMakeFiles/dfs_cdg.dir/verify.cpp.o"
+  "CMakeFiles/dfs_cdg.dir/verify.cpp.o.d"
+  "libdfs_cdg.a"
+  "libdfs_cdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_cdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_common.dir/cli.cpp.o"
+  "CMakeFiles/dfs_common.dir/cli.cpp.o.d"
+  "CMakeFiles/dfs_common.dir/rng.cpp.o"
+  "CMakeFiles/dfs_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dfs_common.dir/table.cpp.o"
+  "CMakeFiles/dfs_common.dir/table.cpp.o.d"
+  "CMakeFiles/dfs_common.dir/union_find.cpp.o"
+  "CMakeFiles/dfs_common.dir/union_find.cpp.o.d"
+  "libdfs_common.a"
+  "libdfs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/collect.cpp" "src/routing/CMakeFiles/dfs_routing.dir/collect.cpp.o" "gcc" "src/routing/CMakeFiles/dfs_routing.dir/collect.cpp.o.d"
+  "/root/repo/src/routing/dfsssp.cpp" "src/routing/CMakeFiles/dfs_routing.dir/dfsssp.cpp.o" "gcc" "src/routing/CMakeFiles/dfs_routing.dir/dfsssp.cpp.o.d"
+  "/root/repo/src/routing/dor.cpp" "src/routing/CMakeFiles/dfs_routing.dir/dor.cpp.o" "gcc" "src/routing/CMakeFiles/dfs_routing.dir/dor.cpp.o.d"
+  "/root/repo/src/routing/dor_dateline.cpp" "src/routing/CMakeFiles/dfs_routing.dir/dor_dateline.cpp.o" "gcc" "src/routing/CMakeFiles/dfs_routing.dir/dor_dateline.cpp.o.d"
+  "/root/repo/src/routing/dump.cpp" "src/routing/CMakeFiles/dfs_routing.dir/dump.cpp.o" "gcc" "src/routing/CMakeFiles/dfs_routing.dir/dump.cpp.o.d"
+  "/root/repo/src/routing/fattree.cpp" "src/routing/CMakeFiles/dfs_routing.dir/fattree.cpp.o" "gcc" "src/routing/CMakeFiles/dfs_routing.dir/fattree.cpp.o.d"
+  "/root/repo/src/routing/lash.cpp" "src/routing/CMakeFiles/dfs_routing.dir/lash.cpp.o" "gcc" "src/routing/CMakeFiles/dfs_routing.dir/lash.cpp.o.d"
+  "/root/repo/src/routing/minhop.cpp" "src/routing/CMakeFiles/dfs_routing.dir/minhop.cpp.o" "gcc" "src/routing/CMakeFiles/dfs_routing.dir/minhop.cpp.o.d"
+  "/root/repo/src/routing/multipath.cpp" "src/routing/CMakeFiles/dfs_routing.dir/multipath.cpp.o" "gcc" "src/routing/CMakeFiles/dfs_routing.dir/multipath.cpp.o.d"
+  "/root/repo/src/routing/router.cpp" "src/routing/CMakeFiles/dfs_routing.dir/router.cpp.o" "gcc" "src/routing/CMakeFiles/dfs_routing.dir/router.cpp.o.d"
+  "/root/repo/src/routing/spath.cpp" "src/routing/CMakeFiles/dfs_routing.dir/spath.cpp.o" "gcc" "src/routing/CMakeFiles/dfs_routing.dir/spath.cpp.o.d"
+  "/root/repo/src/routing/sssp.cpp" "src/routing/CMakeFiles/dfs_routing.dir/sssp.cpp.o" "gcc" "src/routing/CMakeFiles/dfs_routing.dir/sssp.cpp.o.d"
+  "/root/repo/src/routing/table.cpp" "src/routing/CMakeFiles/dfs_routing.dir/table.cpp.o" "gcc" "src/routing/CMakeFiles/dfs_routing.dir/table.cpp.o.d"
+  "/root/repo/src/routing/updown.cpp" "src/routing/CMakeFiles/dfs_routing.dir/updown.cpp.o" "gcc" "src/routing/CMakeFiles/dfs_routing.dir/updown.cpp.o.d"
+  "/root/repo/src/routing/verify.cpp" "src/routing/CMakeFiles/dfs_routing.dir/verify.cpp.o" "gcc" "src/routing/CMakeFiles/dfs_routing.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dfs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdg/CMakeFiles/dfs_cdg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_routing.dir/collect.cpp.o"
+  "CMakeFiles/dfs_routing.dir/collect.cpp.o.d"
+  "CMakeFiles/dfs_routing.dir/dfsssp.cpp.o"
+  "CMakeFiles/dfs_routing.dir/dfsssp.cpp.o.d"
+  "CMakeFiles/dfs_routing.dir/dor.cpp.o"
+  "CMakeFiles/dfs_routing.dir/dor.cpp.o.d"
+  "CMakeFiles/dfs_routing.dir/dor_dateline.cpp.o"
+  "CMakeFiles/dfs_routing.dir/dor_dateline.cpp.o.d"
+  "CMakeFiles/dfs_routing.dir/dump.cpp.o"
+  "CMakeFiles/dfs_routing.dir/dump.cpp.o.d"
+  "CMakeFiles/dfs_routing.dir/fattree.cpp.o"
+  "CMakeFiles/dfs_routing.dir/fattree.cpp.o.d"
+  "CMakeFiles/dfs_routing.dir/lash.cpp.o"
+  "CMakeFiles/dfs_routing.dir/lash.cpp.o.d"
+  "CMakeFiles/dfs_routing.dir/minhop.cpp.o"
+  "CMakeFiles/dfs_routing.dir/minhop.cpp.o.d"
+  "CMakeFiles/dfs_routing.dir/multipath.cpp.o"
+  "CMakeFiles/dfs_routing.dir/multipath.cpp.o.d"
+  "CMakeFiles/dfs_routing.dir/router.cpp.o"
+  "CMakeFiles/dfs_routing.dir/router.cpp.o.d"
+  "CMakeFiles/dfs_routing.dir/spath.cpp.o"
+  "CMakeFiles/dfs_routing.dir/spath.cpp.o.d"
+  "CMakeFiles/dfs_routing.dir/sssp.cpp.o"
+  "CMakeFiles/dfs_routing.dir/sssp.cpp.o.d"
+  "CMakeFiles/dfs_routing.dir/table.cpp.o"
+  "CMakeFiles/dfs_routing.dir/table.cpp.o.d"
+  "CMakeFiles/dfs_routing.dir/updown.cpp.o"
+  "CMakeFiles/dfs_routing.dir/updown.cpp.o.d"
+  "CMakeFiles/dfs_routing.dir/verify.cpp.o"
+  "CMakeFiles/dfs_routing.dir/verify.cpp.o.d"
+  "libdfs_routing.a"
+  "libdfs_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

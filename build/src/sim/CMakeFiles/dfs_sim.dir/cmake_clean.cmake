@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_sim.dir/appmodel.cpp.o"
+  "CMakeFiles/dfs_sim.dir/appmodel.cpp.o.d"
+  "CMakeFiles/dfs_sim.dir/congestion.cpp.o"
+  "CMakeFiles/dfs_sim.dir/congestion.cpp.o.d"
+  "CMakeFiles/dfs_sim.dir/flitsim.cpp.o"
+  "CMakeFiles/dfs_sim.dir/flitsim.cpp.o.d"
+  "CMakeFiles/dfs_sim.dir/multipath_sim.cpp.o"
+  "CMakeFiles/dfs_sim.dir/multipath_sim.cpp.o.d"
+  "libdfs_sim.a"
+  "libdfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/generators.cpp" "src/topology/CMakeFiles/dfs_topology.dir/generators.cpp.o" "gcc" "src/topology/CMakeFiles/dfs_topology.dir/generators.cpp.o.d"
+  "/root/repo/src/topology/io.cpp" "src/topology/CMakeFiles/dfs_topology.dir/io.cpp.o" "gcc" "src/topology/CMakeFiles/dfs_topology.dir/io.cpp.o.d"
+  "/root/repo/src/topology/metrics.cpp" "src/topology/CMakeFiles/dfs_topology.dir/metrics.cpp.o" "gcc" "src/topology/CMakeFiles/dfs_topology.dir/metrics.cpp.o.d"
+  "/root/repo/src/topology/network.cpp" "src/topology/CMakeFiles/dfs_topology.dir/network.cpp.o" "gcc" "src/topology/CMakeFiles/dfs_topology.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_topology.dir/generators.cpp.o"
+  "CMakeFiles/dfs_topology.dir/generators.cpp.o.d"
+  "CMakeFiles/dfs_topology.dir/io.cpp.o"
+  "CMakeFiles/dfs_topology.dir/io.cpp.o.d"
+  "CMakeFiles/dfs_topology.dir/metrics.cpp.o"
+  "CMakeFiles/dfs_topology.dir/metrics.cpp.o.d"
+  "CMakeFiles/dfs_topology.dir/network.cpp.o"
+  "CMakeFiles/dfs_topology.dir/network.cpp.o.d"
+  "libdfs_topology.a"
+  "libdfs_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

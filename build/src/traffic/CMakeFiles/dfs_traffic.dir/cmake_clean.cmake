@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_traffic.dir/patterns.cpp.o"
+  "CMakeFiles/dfs_traffic.dir/patterns.cpp.o.d"
+  "libdfs_traffic.a"
+  "libdfs_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_app.cpp" "tests/CMakeFiles/dfs_tests.dir/test_app.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_app.cpp.o.d"
+  "/root/repo/tests/test_appmodel.cpp" "tests/CMakeFiles/dfs_tests.dir/test_appmodel.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_appmodel.cpp.o.d"
+  "/root/repo/tests/test_cdg.cpp" "tests/CMakeFiles/dfs_tests.dir/test_cdg.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_cdg.cpp.o.d"
+  "/root/repo/tests/test_cdg_report.cpp" "tests/CMakeFiles/dfs_tests.dir/test_cdg_report.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_cdg_report.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/dfs_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_congestion.cpp" "tests/CMakeFiles/dfs_tests.dir/test_congestion.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_congestion.cpp.o.d"
+  "/root/repo/tests/test_determinism.cpp" "tests/CMakeFiles/dfs_tests.dir/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_determinism.cpp.o.d"
+  "/root/repo/tests/test_dfsssp.cpp" "tests/CMakeFiles/dfs_tests.dir/test_dfsssp.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_dfsssp.cpp.o.d"
+  "/root/repo/tests/test_dor.cpp" "tests/CMakeFiles/dfs_tests.dir/test_dor.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_dor.cpp.o.d"
+  "/root/repo/tests/test_dor_dateline.cpp" "tests/CMakeFiles/dfs_tests.dir/test_dor_dateline.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_dor_dateline.cpp.o.d"
+  "/root/repo/tests/test_dump.cpp" "tests/CMakeFiles/dfs_tests.dir/test_dump.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_dump.cpp.o.d"
+  "/root/repo/tests/test_fattree.cpp" "tests/CMakeFiles/dfs_tests.dir/test_fattree.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_fattree.cpp.o.d"
+  "/root/repo/tests/test_fault.cpp" "tests/CMakeFiles/dfs_tests.dir/test_fault.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_fault.cpp.o.d"
+  "/root/repo/tests/test_flitsim.cpp" "tests/CMakeFiles/dfs_tests.dir/test_flitsim.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_flitsim.cpp.o.d"
+  "/root/repo/tests/test_flitsim_wormhole.cpp" "tests/CMakeFiles/dfs_tests.dir/test_flitsim_wormhole.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_flitsim_wormhole.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/dfs_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_generators_modern.cpp" "tests/CMakeFiles/dfs_tests.dir/test_generators_modern.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_generators_modern.cpp.o.d"
+  "/root/repo/tests/test_heap.cpp" "tests/CMakeFiles/dfs_tests.dir/test_heap.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_heap.cpp.o.d"
+  "/root/repo/tests/test_ibnetdiscover.cpp" "tests/CMakeFiles/dfs_tests.dir/test_ibnetdiscover.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_ibnetdiscover.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/dfs_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/dfs_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_lash.cpp" "tests/CMakeFiles/dfs_tests.dir/test_lash.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_lash.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/dfs_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_minhop.cpp" "tests/CMakeFiles/dfs_tests.dir/test_minhop.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_minhop.cpp.o.d"
+  "/root/repo/tests/test_multipath.cpp" "tests/CMakeFiles/dfs_tests.dir/test_multipath.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_multipath.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/dfs_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_online_cdg.cpp" "tests/CMakeFiles/dfs_tests.dir/test_online_cdg.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_online_cdg.cpp.o.d"
+  "/root/repo/tests/test_patterns.cpp" "tests/CMakeFiles/dfs_tests.dir/test_patterns.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_patterns.cpp.o.d"
+  "/root/repo/tests/test_patterns_adversarial.cpp" "tests/CMakeFiles/dfs_tests.dir/test_patterns_adversarial.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_patterns_adversarial.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/dfs_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/dfs_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_routing_table.cpp" "tests/CMakeFiles/dfs_tests.dir/test_routing_table.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_routing_table.cpp.o.d"
+  "/root/repo/tests/test_sssp.cpp" "tests/CMakeFiles/dfs_tests.dir/test_sssp.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_sssp.cpp.o.d"
+  "/root/repo/tests/test_table_fmt.cpp" "tests/CMakeFiles/dfs_tests.dir/test_table_fmt.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_table_fmt.cpp.o.d"
+  "/root/repo/tests/test_union_find.cpp" "tests/CMakeFiles/dfs_tests.dir/test_union_find.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_union_find.cpp.o.d"
+  "/root/repo/tests/test_updown.cpp" "tests/CMakeFiles/dfs_tests.dir/test_updown.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_updown.cpp.o.d"
+  "/root/repo/tests/test_verify_module.cpp" "tests/CMakeFiles/dfs_tests.dir/test_verify_module.cpp.o" "gcc" "tests/CMakeFiles/dfs_tests.dir/test_verify_module.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dfs_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdg/CMakeFiles/dfs_cdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/dfs_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dfs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
