@@ -31,6 +31,7 @@ std::uint64_t heaviest_layer_weight(const Topology& topo,
 
 int main(int argc, char** argv) {
   BenchConfig cfg = BenchConfig::parse(argc, argv);
+  const ExecContext exec = cfg.exec();
 
   Table table("Ablation: balancing mechanisms",
               {"topology", "variant", "eBB", "load imbalance", "VLs",
@@ -72,7 +73,8 @@ int main(int argc, char** argv) {
       }
       Rng pat(0xAB1E);
       EbbResult ebb = effective_bisection_bandwidth(topo.net, v.out.table, map,
-                                                    cfg.patterns, pat);
+                                                    cfg.patterns, pat, {},
+                                                    exec);
       Rng pat2(0xAB1E);
       Flows flows = map.to_flows(random_bisection(map.num_ranks(), pat2));
       LoadReport load = analyze_load(topo.net, v.out.table, flows);

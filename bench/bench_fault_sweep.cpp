@@ -54,6 +54,7 @@ Topology remove_links(const Topology& src_topo, std::uint32_t kill, Rng& rng) {
 
 int main(int argc, char** argv) {
   BenchConfig cfg = BenchConfig::parse(argc, argv);
+  const ExecContext exec = cfg.exec();
   Topology pristine = make_kary_ntree(8, 2);
 
   Table table("Extension: k-ary n-tree under link failures",
@@ -70,8 +71,8 @@ int main(int argc, char** argv) {
     UpDownRouter updown;
     // balance=false so the VL column shows demand, not the spread-out count.
     DfssspRouter dfsssp(DfssspOptions{.max_layers = 16, .balance = false});
-    const double mh = ebb_for(topo, minhop, cfg.patterns, 0xFA17);
-    const double ud = ebb_for(topo, updown, cfg.patterns, 0xFA17);
+    const double mh = ebb_for(topo, minhop, cfg.patterns, 0xFA17, exec);
+    const double ud = ebb_for(topo, updown, cfg.patterns, 0xFA17, exec);
     RoutingOutcome df = dfsssp.route(topo);
     double df_ebb = -1;
     bool minimal = false;
@@ -80,9 +81,9 @@ int main(int argc, char** argv) {
           topo.net, static_cast<std::uint32_t>(topo.net.num_terminals()));
       Rng pat(0xFA17);
       df_ebb = effective_bisection_bandwidth(topo.net, df.table, map,
-                                             cfg.patterns, pat)
+                                             cfg.patterns, pat, {}, exec)
                    .ebb;
-      minimal = verify_routing(topo.net, df.table).minimal();
+      minimal = verify_routing(topo.net, df.table, exec).minimal();
     }
     table.row()
         .cell(kill)

@@ -23,6 +23,7 @@ using namespace dfsssp::bench;
 
 int main(int argc, char** argv) {
   BenchConfig cfg = BenchConfig::parse(argc, argv);
+  const ExecContext exec = cfg.exec();
   Topology topo = make_deimos();
   const double link_mib = 946.0;
 
@@ -67,7 +68,7 @@ int main(int argc, char** argv) {
         Rng pat(0xBEEFULL + a);
         EbbResult r = effective_bisection_bandwidth(
             topo.net, engines[e].out.table, map, cfg.patterns / allocs + 1,
-            pat, copts);
+            pat, copts, exec);
         share[e] += r.ebb / allocs;
       }
       // One flit-level bisection per allocation; one packet = one 2 KiB MTU

@@ -12,23 +12,13 @@ using namespace dfsssp::bench;
 
 int main(int argc, char** argv) {
   BenchConfig cfg = BenchConfig::parse(argc, argv);
-  auto routers = make_all_routers();
-
-  std::vector<std::string> columns{"system", "terminals"};
-  for (const auto& r : routers) columns.push_back(r->name());
-  Table table("Figure 4: eBB on real-world systems (relative, 1.0 = none congested)",
-              columns);
-
-  for (const Topology& topo : make_all_real_systems()) {
-    table.row().cell(topo.name).cell(topo.net.num_terminals());
-    for (const auto& router : routers) {
-      const double ebb = ebb_for(topo, *router, cfg.patterns, 0xF16'4);
-      table.cell(fmt_or_dash(ebb, 4));
-    }
-    std::printf(".");
-    std::fflush(stdout);
-  }
-  std::printf("\n");
+  Table table = run_roster(
+      "Figure 4: eBB on real-world systems (relative, 1.0 = none congested)",
+      {"system", "terminals"}, "", make_all_real_systems(), make_all_routers(),
+      [](Table& t, const Topology& topo, std::size_t) {
+        t.cell(topo.name).cell(topo.net.num_terminals());
+      },
+      ebb_cell(cfg, 0xF16'4));
   cfg.emit(table);
   return 0;
 }

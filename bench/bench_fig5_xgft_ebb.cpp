@@ -13,29 +13,30 @@ using namespace dfsssp::bench;
 
 int main(int argc, char** argv) {
   BenchConfig cfg = BenchConfig::parse(argc, argv);
-  auto routers = make_all_routers();
-
-  std::vector<std::string> columns{"endpoints(nominal)", "XGFT", "actual"};
-  for (const auto& r : routers) columns.push_back(r->name());
-  Table table("Figure 5: eBB on XGFTs (relative)", columns);
-
-  for (const TableOneRow& row : table_one(cfg.full)) {
-    Topology topo = make_xgft(static_cast<std::uint32_t>(row.xgft_ms.size()),
-                              row.xgft_ms, row.xgft_ws);
-    std::string params = "(" + std::to_string(row.xgft_ms.size()) + ";";
-    for (auto m : row.xgft_ms) params += std::to_string(m) + ",";
-    params.back() = ';';
-    for (auto w : row.xgft_ws) params += std::to_string(w) + ",";
-    params.back() = ')';
-    table.row().cell(row.nominal_endpoints).cell(params)
-        .cell(topo.net.num_terminals());
-    for (const auto& router : routers) {
-      table.cell(fmt_or_dash(ebb_for(topo, *router, cfg.patterns, 0xF16'5), 4));
-    }
-    std::printf(".");
-    std::fflush(stdout);
+  const std::vector<TableOneRow> rows = table_one(cfg.full);
+  std::vector<Topology> topos;
+  std::vector<std::string> params;
+  for (const TableOneRow& row : rows) {
+    topos.push_back(make_xgft(static_cast<std::uint32_t>(row.xgft_ms.size()),
+                              row.xgft_ms, row.xgft_ws));
+    std::string p = "(";
+    p += std::to_string(row.xgft_ms.size());
+    p += ';';
+    for (auto m : row.xgft_ms) p += std::to_string(m) + ",";
+    p.back() = ';';
+    for (auto w : row.xgft_ws) p += std::to_string(w) + ",";
+    p.back() = ')';
+    params.push_back(std::move(p));
   }
-  std::printf("\n");
+
+  Table table = run_roster(
+      "Figure 5: eBB on XGFTs (relative)",
+      {"endpoints(nominal)", "XGFT", "actual"}, "", topos, make_all_routers(),
+      [&](Table& t, const Topology& topo, std::size_t i) {
+        t.cell(rows[i].nominal_endpoints).cell(params[i])
+            .cell(topo.net.num_terminals());
+      },
+      ebb_cell(cfg, 0xF16'5));
   cfg.emit(table);
   return 0;
 }

@@ -9,26 +9,27 @@ using namespace dfsssp::bench;
 
 int main(int argc, char** argv) {
   BenchConfig cfg = BenchConfig::parse(argc, argv);
-  auto routers = make_all_routers();
-
-  std::vector<std::string> columns{"endpoints", "Kautz(b;n)", "switches"};
-  for (const auto& r : routers) columns.push_back(r->name());
-  Table table("Figure 6: eBB on Kautz networks (relative)", columns);
-
-  for (const TableOneRow& row : table_one(cfg.full)) {
-    Topology topo =
-        make_kautz(row.kautz_b, row.kautz_n, row.nominal_endpoints);
-    table.row().cell(row.nominal_endpoints)
-        .cell("(" + std::to_string(row.kautz_b) + ";" +
-              std::to_string(row.kautz_n) + ")")
-        .cell(topo.net.num_switches());
-    for (const auto& router : routers) {
-      table.cell(fmt_or_dash(ebb_for(topo, *router, cfg.patterns, 0xF16'6), 4));
-    }
-    std::printf(".");
-    std::fflush(stdout);
+  const std::vector<TableOneRow> rows = table_one(cfg.full);
+  std::vector<Topology> topos;
+  for (const TableOneRow& row : rows) {
+    topos.push_back(make_kautz(row.kautz_b, row.kautz_n,
+                               row.nominal_endpoints));
   }
-  std::printf("\n");
+
+  Table table = run_roster(
+      "Figure 6: eBB on Kautz networks (relative)",
+      {"endpoints", "Kautz(b;n)", "switches"}, "", topos, make_all_routers(),
+      [&](Table& t, const Topology& topo, std::size_t i) {
+        std::string bn = "(";
+        bn += std::to_string(rows[i].kautz_b);
+        bn += ';';
+        bn += std::to_string(rows[i].kautz_n);
+        bn += ')';
+        t.cell(rows[i].nominal_endpoints)
+            .cell(bn)
+            .cell(topo.net.num_switches());
+      },
+      ebb_cell(cfg, 0xF16'6));
   cfg.emit(table);
   return 0;
 }

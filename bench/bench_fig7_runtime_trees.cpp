@@ -9,28 +9,21 @@ using namespace dfsssp::bench;
 
 int main(int argc, char** argv) {
   BenchConfig cfg = BenchConfig::parse(argc, argv);
-  auto routers = make_all_routers();
-
-  std::vector<std::string> columns{"tree", "endpoints"};
-  for (const auto& r : routers) columns.push_back(r->name() + " [ms]");
-  Table table("Figure 7: routing runtime on k-ary n-trees", columns);
-
-  for (const TableOneRow& row : table_one(cfg.full)) {
-    Topology topo = make_kary_ntree(row.tree_k, row.tree_n);
-    table.row()
-        .cell(std::to_string(row.tree_k) + "-ary " +
-              std::to_string(row.tree_n) + "-tree")
-        .cell(topo.net.num_terminals());
-    for (const auto& router : routers) {
-      Timer timer;
-      RoutingOutcome out = router->route(topo);
-      const double ms = timer.milliseconds();
-      table.cell(out.ok ? fmt_or_dash(ms, 1) : "-");
-    }
-    std::printf(".");
-    std::fflush(stdout);
+  const std::vector<TableOneRow> rows = table_one(cfg.full);
+  std::vector<Topology> topos;
+  for (const TableOneRow& row : rows) {
+    topos.push_back(make_kary_ntree(row.tree_k, row.tree_n));
   }
-  std::printf("\n");
+
+  Table table = run_roster(
+      "Figure 7: routing runtime on k-ary n-trees", {"tree", "endpoints"},
+      " [ms]", topos, make_all_routers(),
+      [&](Table& t, const Topology& topo, std::size_t i) {
+        t.cell(std::to_string(rows[i].tree_k) + "-ary " +
+               std::to_string(rows[i].tree_n) + "-tree")
+            .cell(topo.net.num_terminals());
+      },
+      runtime_cell);
   cfg.emit(table);
   return 0;
 }

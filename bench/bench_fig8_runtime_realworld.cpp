@@ -8,24 +8,14 @@ using namespace dfsssp::bench;
 
 int main(int argc, char** argv) {
   BenchConfig cfg = BenchConfig::parse(argc, argv);
-  auto routers = make_all_routers();
-
-  std::vector<std::string> columns{"system", "terminals"};
-  for (const auto& r : routers) columns.push_back(r->name() + " [ms]");
-  Table table("Figure 8: routing runtime on real-world systems", columns);
-
-  for (const Topology& topo : make_all_real_systems()) {
-    table.row().cell(topo.name).cell(topo.net.num_terminals());
-    for (const auto& router : routers) {
-      Timer timer;
-      RoutingOutcome out = router->route(topo);
-      const double ms = timer.milliseconds();
-      table.cell(out.ok ? fmt_or_dash(ms, 1) : "-");
-    }
-    std::printf(".");
-    std::fflush(stdout);
-  }
-  std::printf("\n");
+  Table table = run_roster(
+      "Figure 8: routing runtime on real-world systems",
+      {"system", "terminals"}, " [ms]", make_all_real_systems(),
+      make_all_routers(),
+      [](Table& t, const Topology& topo, std::size_t) {
+        t.cell(topo.name).cell(topo.net.num_terminals());
+      },
+      runtime_cell);
   cfg.emit(table);
   return 0;
 }

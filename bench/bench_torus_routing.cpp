@@ -15,6 +15,7 @@ using namespace dfsssp::bench;
 
 int main(int argc, char** argv) {
   BenchConfig cfg = BenchConfig::parse(argc, argv);
+  const ExecContext exec = cfg.exec();
 
   Table table("Extension: routing tori (eBB | VLs | deadlock-free)",
               {"torus", "terminals", "DOR", "DOR-dateline",
@@ -47,8 +48,9 @@ int main(int argc, char** argv) {
           topo.net, static_cast<std::uint32_t>(topo.net.num_terminals()));
       Rng pat(0x7040);
       EbbResult ebb = effective_bisection_bandwidth(topo.net, out.table, map,
-                                                    cfg.patterns, pat);
-      const bool df = routing_is_deadlock_free(topo.net, out.table);
+                                                    cfg.patterns, pat, {},
+                                                    exec);
+      const bool df = routing_is_deadlock_free(topo.net, out.table, exec);
       char cell[64];
       std::snprintf(cell, sizeof(cell), "%.4f | %u | %s", ebb.ebb,
                     unsigned(out.stats.layers_used), df ? "yes" : "NO");

@@ -4,17 +4,23 @@
 //   --full        run the largest paper configurations too (slower)
 //   --patterns=N  random bisection patterns per eBB data point
 //   --seeds=N     repetitions for randomized experiments
+//   --threads=N   worker threads for the parallel layers (default: one per
+//                 hardware core; results are identical at any N)
 //   --csv=FILE    additionally dump the table as CSV
 // Default sizes finish in seconds so `for b in build/bench/*; do $b; done`
 // stays practical; --full reproduces the paper's largest configurations.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "routing/router.hpp"
@@ -27,6 +33,8 @@ struct BenchConfig {
   bool full = false;
   std::uint32_t patterns = 100;
   std::uint32_t seeds = 10;
+  /// 0 = one thread per hardware core.
+  std::uint32_t threads = 0;
   std::string csv;
 
   static BenchConfig parse(int argc, char** argv) {
@@ -35,9 +43,17 @@ struct BenchConfig {
     cfg.full = cli.get_bool("full", false);
     cfg.patterns = static_cast<std::uint32_t>(cli.get_int("patterns", 100));
     cfg.seeds = static_cast<std::uint32_t>(cli.get_int("seeds", 10));
+    // Negative counts would wrap to billions of workers; treat them as the
+    // hardware default, like --threads=0.
+    cfg.threads = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(0, cli.get_int("threads", 0)));
     cfg.csv = cli.get("csv", "");
     return cfg;
   }
+
+  /// Execution context for the parallel layers. Build it once per binary:
+  /// each call spins up a fresh thread pool.
+  ExecContext exec() const { return ExecContext(threads); }
 
   void emit(Table& table) const {
     table.print();
@@ -51,13 +67,15 @@ struct BenchConfig {
 /// eBB over all terminals with a fixed pattern stream (so engines see
 /// identical patterns). Returns -1 when the engine refused the topology.
 inline double ebb_for(const Topology& topo, const Router& router,
-                      std::uint32_t patterns, std::uint64_t pattern_seed) {
+                      std::uint32_t patterns, std::uint64_t pattern_seed,
+                      const ExecContext& exec = {}) {
   RoutingOutcome out = router.route(topo);
   if (!out.ok) return -1.0;
   RankMap map = RankMap::round_robin(
       topo.net, static_cast<std::uint32_t>(topo.net.num_terminals()));
   Rng rng(pattern_seed);
-  return effective_bisection_bandwidth(topo.net, out.table, map, patterns, rng)
+  return effective_bisection_bandwidth(topo.net, out.table, map, patterns, rng,
+                                       {}, exec)
       .ebb;
 }
 
@@ -66,6 +84,54 @@ inline std::string fmt_or_dash(double v, int precision = 3) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
+}
+
+/// The engine×topology loop shared by the roster figures (4-8): one table
+/// row per topology, one column per engine. `prefix` fills the leading
+/// cells of a row; `cell` computes one engine cell. Replaces the loop that
+/// used to be copy-pasted into every per-figure binary.
+inline Table run_roster(
+    const std::string& title, std::vector<std::string> prefix_columns,
+    const std::string& engine_column_suffix,
+    const std::vector<Topology>& topos,
+    const std::vector<std::unique_ptr<Router>>& routers,
+    const std::function<void(Table&, const Topology&, std::size_t)>& prefix,
+    const std::function<std::string(const Topology&, const Router&,
+                                    std::size_t)>& cell) {
+  std::vector<std::string> columns = std::move(prefix_columns);
+  for (const auto& r : routers) columns.push_back(r->name() +
+                                                  engine_column_suffix);
+  Table table(title, std::move(columns));
+  for (std::size_t i = 0; i < topos.size(); ++i) {
+    table.row();
+    prefix(table, topos[i], i);
+    for (const auto& router : routers) {
+      table.cell(cell(topos[i], *router, i));
+    }
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  return table;
+}
+
+/// Canned run_roster cell: eBB under `cfg`'s pattern count and thread
+/// count, with the pattern stream keyed by `pattern_seed`.
+inline std::function<std::string(const Topology&, const Router&, std::size_t)>
+ebb_cell(const BenchConfig& cfg, std::uint64_t pattern_seed) {
+  return [patterns = cfg.patterns, exec = cfg.exec(), pattern_seed](
+             const Topology& topo, const Router& router, std::size_t) {
+    return fmt_or_dash(ebb_for(topo, router, patterns, pattern_seed, exec), 4);
+  };
+}
+
+/// Canned run_roster cell: wall-clock routing time in milliseconds.
+inline std::string runtime_cell(const Topology& topo, const Router& router,
+                                std::size_t) {
+  Timer timer;
+  RoutingOutcome out = router.route(topo);
+  const double ms = timer.milliseconds();
+  return out.ok ? fmt_or_dash(ms, 1) : "-";
 }
 
 /// Table I of the paper, as data.

@@ -1,6 +1,7 @@
 #include "cdg/verify.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <set>
 
@@ -49,20 +50,25 @@ bool paths_are_acyclic(const PathSet& paths,
 
 bool layering_is_deadlock_free(const PathSet& paths,
                                std::span<const Layer> layer,
-                               std::uint32_t num_channels) {
+                               std::uint32_t num_channels,
+                               const ExecContext& exec) {
   if (layer.size() != paths.size()) return false;
   Layer max_layer = 0;
   for (std::uint32_t p = 0; p < paths.size(); ++p) {
     max_layer = std::max(max_layer, layer[p]);
   }
-  for (Layer l = 0; l <= max_layer; ++l) {
-    std::vector<std::uint32_t> members;
-    for (std::uint32_t p = 0; p < paths.size(); ++p) {
-      if (layer[p] == l) members.push_back(p);
-    }
-    if (!paths_are_acyclic(paths, members, num_channels)) return false;
+  std::vector<std::vector<std::uint32_t>> members(max_layer + 1);
+  for (std::uint32_t p = 0; p < paths.size(); ++p) {
+    members[layer[p]].push_back(p);
   }
-  return true;
+  // One independent CDG build + cycle search per virtual layer.
+  std::atomic<bool> all_acyclic{true};
+  parallel_for(exec, members.size(), [&](std::size_t l) {
+    if (!paths_are_acyclic(paths, members[l], num_channels)) {
+      all_acyclic.store(false, std::memory_order_relaxed);
+    }
+  });
+  return all_acyclic.load();
 }
 
 Layer count_used_layers(const PathSet& paths, std::span<const Layer> layer) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cdg/paths.hpp"
+#include "common/parallel.hpp"
 #include "common/types.hpp"
 
 namespace dfsssp {
@@ -21,10 +22,13 @@ bool paths_are_acyclic(const PathSet& paths,
                        std::uint32_t num_channels);
 
 /// True when every layer's CDG is acyclic for the given assignment —
-/// the paper's (sufficient) deadlock-freedom condition.
+/// the paper's (sufficient) deadlock-freedom condition. Layers are
+/// independent, so each layer's CDG is built and searched on its own
+/// thread under `exec`.
 bool layering_is_deadlock_free(const PathSet& paths,
                                std::span<const Layer> layer,
-                               std::uint32_t num_channels);
+                               std::uint32_t num_channels,
+                               const ExecContext& exec = {});
 
 /// Number of distinct layers carrying at least one dependency-inducing path.
 Layer count_used_layers(const PathSet& paths, std::span<const Layer> layer);

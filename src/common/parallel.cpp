@@ -1,0 +1,117 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+
+namespace dfsssp {
+
+// ---- ThreadPool -------------------------------------------------------------
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  num_threads = std::max(1u, num_threads);
+  workers_.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::drain_job(std::unique_lock<std::mutex>& lock) {
+  while (job_.cursor < job_.n && !job_.error) {
+    const std::size_t begin = job_.cursor;
+    const std::size_t end = std::min(job_.n, begin + job_.chunk);
+    job_.cursor = end;
+    ++job_.in_flight;
+    const auto* body = job_.body;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      (*body)(begin, end);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error && !job_.error) job_.error = error;
+    --job_.in_flight;
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    work_cv_.wait(lock, [this, seen_generation] {
+      return stopping_ ||
+             (job_.generation != seen_generation && job_.cursor < job_.n);
+    });
+    if (stopping_) return;
+    seen_generation = job_.generation;
+    drain_job(lock);
+    if (job_.in_flight == 0 && (job_.cursor >= job_.n || job_.error)) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_chunked(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  job_.n = n;
+  job_.chunk = std::max<std::size_t>(1, chunk);
+  job_.cursor = 0;
+  job_.in_flight = 0;
+  ++job_.generation;
+  job_.body = &body;
+  job_.error = nullptr;
+  work_cv_.notify_all();
+  // The calling thread works too, so ExecContext{N} uses N cores.
+  drain_job(lock);
+  done_cv_.wait(lock, [this] { return job_.in_flight == 0; });
+  job_.n = 0;  // park the workers until the next generation
+  if (job_.error) {
+    std::exception_ptr error = job_.error;
+    job_.error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+// ---- ExecContext ------------------------------------------------------------
+
+ExecContext::ExecContext(unsigned num_threads) : threads_(num_threads) {
+  if (threads_ == 0) {
+    threads_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (threads_ > 1) {
+    // One pool worker per extra thread; the thread calling run_chunked
+    // participates as well.
+    pool_ = std::make_shared<ThreadPool>(threads_ - 1);
+  }
+}
+
+void parallel_for_chunks(
+    const ExecContext& exec, std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (exec.is_serial() || n == 1) {
+    body(0, n);
+    return;
+  }
+  // ~8 chunks per thread: fine enough to balance uneven items, coarse
+  // enough to keep cursor contention negligible.
+  const std::size_t chunks = static_cast<std::size_t>(exec.num_threads()) * 8;
+  const std::size_t chunk = std::max<std::size_t>(1, (n + chunks - 1) / chunks);
+  exec.pool()->run_chunked(n, chunk, body);
+}
+
+}  // namespace dfsssp

@@ -10,6 +10,13 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t stream_seed(std::uint64_t base, std::uint64_t index) {
+  // Decorrelate neighbouring indices with one SplitMix64 scramble; Rng's
+  // constructor runs further SplitMix64 steps on top.
+  std::uint64_t state = base ^ ((index + 1) * 0x9E3779B97F4A7C15ULL);
+  return splitmix64(state);
+}
+
 namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));

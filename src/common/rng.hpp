@@ -16,6 +16,12 @@ namespace dfsssp {
 /// SplitMix64 step; used to expand a single 64-bit seed into generator state.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Seed of the `index`-th independent stream of an experiment keyed by
+/// `base`. This is the seed-per-work-item rule of the parallel execution
+/// layer: work item i draws from Rng(stream_seed(base, i)) instead of a
+/// shared sequential stream, so results cannot depend on thread count.
+std::uint64_t stream_seed(std::uint64_t base, std::uint64_t index);
+
 /// xoshiro256** 1.0 (Blackman/Vigna) — the library-wide PRNG.
 class Rng {
  public:

@@ -36,11 +36,12 @@ std::vector<Layer> collect_layers(const Network& net, const RoutingTable& table,
   return layers;
 }
 
-bool routing_is_deadlock_free(const Network& net, const RoutingTable& table) {
+bool routing_is_deadlock_free(const Network& net, const RoutingTable& table,
+                              const ExecContext& exec) {
   PathSet paths = collect_paths(net, table);
   std::vector<Layer> layers = collect_layers(net, table, paths);
-  return layering_is_deadlock_free(paths, layers,
-                                   static_cast<std::uint32_t>(net.num_channels()));
+  return layering_is_deadlock_free(
+      paths, layers, static_cast<std::uint32_t>(net.num_channels()), exec);
 }
 
 }  // namespace dfsssp

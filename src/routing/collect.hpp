@@ -2,6 +2,7 @@
 #pragma once
 
 #include "cdg/paths.hpp"
+#include "common/parallel.hpp"
 #include "routing/table.hpp"
 #include "topology/network.hpp"
 
@@ -20,6 +21,8 @@ std::vector<Layer> collect_layers(const Network& net, const RoutingTable& table,
 
 /// True when every virtual layer's channel dependency graph is acyclic —
 /// the paper's deadlock-freedom criterion applied to a finished routing.
-bool routing_is_deadlock_free(const Network& net, const RoutingTable& table);
+/// Layers verify independently on `exec`'s threads.
+bool routing_is_deadlock_free(const Network& net, const RoutingTable& table,
+                              const ExecContext& exec = {});
 
 }  // namespace dfsssp

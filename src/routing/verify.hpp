@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/parallel.hpp"
 #include "routing/table.hpp"
 #include "topology/network.hpp"
 
@@ -21,6 +22,10 @@ struct VerifyReport {
 };
 
 /// Walks every (source switch with terminals, destination terminal) pair.
-VerifyReport verify_routing(const Network& net, const RoutingTable& table);
+/// Destinations are independent (each owns its BFS distance field and its
+/// path walks), so they spread across `exec`'s threads; the per-destination
+/// counters are reduced in destination order.
+VerifyReport verify_routing(const Network& net, const RoutingTable& table,
+                            const ExecContext& exec = {});
 
 }  // namespace dfsssp

@@ -151,18 +151,25 @@ std::uint32_t kernel_ranks(const AppKernel& kernel) {
 
 AppRunResult run_app_model(const Network& net, const RoutingTable& table,
                            const RankMap& map, const AppKernel& kernel,
-                           const AppModelOptions& options) {
+                           const AppModelOptions& options,
+                           const ExecContext& exec) {
   AppRunResult result;
   CongestionOptions copts;
   copts.link_capacity = options.link_bandwidth_bytes;
+  std::vector<Flows> phase_flows;
+  phase_flows.reserve(kernel.phases.size());
   for (const auto& phase : kernel.phases) {
-    Flows flows = map.to_flows(phase.pattern);
-    if (flows.empty()) continue;
-    PatternResult r = simulate_pattern(net, table, flows, copts);
+    phase_flows.push_back(map.to_flows(phase.pattern));
+  }
+  const std::vector<PatternResult> sims =
+      simulate_patterns(net, table, phase_flows, copts, exec);
+  for (std::size_t i = 0; i < kernel.phases.size(); ++i) {
+    if (phase_flows[i].empty()) continue;
     // Phases are synchronized: the slowest flow gates each repetition.
     const double once = options.message_latency_seconds +
-                        phase.bytes_per_flow / r.min_flow_bandwidth;
-    result.comm_seconds += once * phase.repeat;
+                        kernel.phases[i].bytes_per_flow /
+                            sims[i].min_flow_bandwidth;
+    result.comm_seconds += once * kernel.phases[i].repeat;
   }
   const std::uint32_t p = map.num_ranks();
   result.compute_seconds = kernel.flops_per_iteration /

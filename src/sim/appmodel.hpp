@@ -78,8 +78,11 @@ struct AppModelOptions {
 std::uint32_t kernel_ranks(const AppKernel& kernel);
 
 /// Replays one iteration of the kernel under the given routing and mapping.
+/// The kernel's communication phases simulate as one batch on `exec`'s
+/// threads; the phase-time reduction runs in phase order.
 AppRunResult run_app_model(const Network& net, const RoutingTable& table,
                            const RankMap& map, const AppKernel& kernel,
-                           const AppModelOptions& options = {});
+                           const AppModelOptions& options = {},
+                           const ExecContext& exec = {});
 
 }  // namespace dfsssp

@@ -51,24 +51,32 @@ PatternResult simulate_pattern(const Network& net, const RoutingTable& table,
   } else {
     // Progressive filling: raise all unfrozen flows together; at each step
     // the tightest channel saturates and freezes its flows at the fair rate.
+    //
+    // Per freeze round only the channels still carrying an unfrozen flow
+    // (`used`) and the unfrozen flows themselves (`alive`) are visited;
+    // both lists compact as flows freeze, so a round costs O(used + alive)
+    // instead of rescanning every channel and every flow. Both lists stay
+    // in ascending order, which keeps the arithmetic (and therefore the
+    // result bits) identical to the full-scan formulation.
     std::vector<double> remaining(net.num_channels(), options.link_capacity);
     std::vector<std::uint32_t> active(net.num_channels(), 0);
     for (const auto& p : paths) {
       for (ChannelId c : p) ++active[c];
     }
-    std::vector<bool> frozen(flows.size(), false);
-    std::size_t left = flows.size();
-    while (left > 0) {
+    std::vector<ChannelId> used;
+    for (ChannelId c = 0; c < net.num_channels(); ++c) {
+      if (active[c] > 0) used.push_back(c);
+    }
+    std::vector<std::uint32_t> alive(flows.size());
+    for (std::uint32_t f = 0; f < flows.size(); ++f) alive[f] = f;
+    while (!alive.empty()) {
       double tightest = std::numeric_limits<double>::infinity();
-      for (ChannelId c = 0; c < net.num_channels(); ++c) {
-        if (active[c] > 0) {
-          tightest = std::min(tightest, remaining[c] / active[c]);
-        }
+      for (ChannelId c : used) {
+        tightest = std::min(tightest, remaining[c] / active[c]);
       }
       // Freeze every flow crossing a channel that saturates at `tightest`.
-      bool froze_any = false;
-      for (std::size_t f = 0; f < flows.size(); ++f) {
-        if (frozen[f]) continue;
+      std::size_t kept = 0;
+      for (std::uint32_t f : alive) {
         bool saturated = false;
         for (ChannelId c : paths[f]) {
           if (active[c] > 0 &&
@@ -77,24 +85,27 @@ PatternResult simulate_pattern(const Network& net, const RoutingTable& table,
             break;
           }
         }
-        if (!saturated) continue;
-        frozen[f] = true;
-        froze_any = true;
+        if (!saturated) {
+          alive[kept++] = f;
+          continue;
+        }
         bw[f] += tightest;
-        --left;
         for (ChannelId c : paths[f]) {
           remaining[c] -= tightest;
           --active[c];
         }
       }
-      if (!froze_any) break;  // numerical safety net
+      if (kept == alive.size()) break;  // numerical safety net
+      alive.resize(kept);
       // Unfrozen flows keep the allocation they accumulated so far.
-      for (std::size_t f = 0; f < flows.size(); ++f) {
-        if (!frozen[f]) bw[f] += tightest;
+      for (std::uint32_t f : alive) bw[f] += tightest;
+      std::size_t used_kept = 0;
+      for (ChannelId c : used) {
+        if (active[c] == 0) continue;
+        remaining[c] -= tightest * active[c];
+        used[used_kept++] = c;
       }
-      for (ChannelId c = 0; c < net.num_channels(); ++c) {
-        if (active[c] > 0) remaining[c] -= tightest * active[c];
-      }
+      used.resize(used_kept);
     }
   }
 
@@ -138,21 +149,41 @@ LoadReport analyze_load(const Network& net, const RoutingTable& table,
   return report;
 }
 
+std::vector<PatternResult> simulate_patterns(const Network& net,
+                                             const RoutingTable& table,
+                                             const std::vector<Flows>& patterns,
+                                             const CongestionOptions& options,
+                                             const ExecContext& exec) {
+  return parallel_map(exec, patterns.size(), [&](std::size_t i) {
+    return simulate_pattern(net, table, patterns[i], options);
+  });
+}
+
 EbbResult effective_bisection_bandwidth(const Network& net,
                                         const RoutingTable& table,
                                         const RankMap& map,
                                         std::uint32_t num_patterns, Rng& rng,
-                                        const CongestionOptions& options) {
+                                        const CongestionOptions& options,
+                                        const ExecContext& exec) {
   EbbResult out;
   out.min_pattern = std::numeric_limits<double>::infinity();
-  double sum = 0.0;
-  for (std::uint32_t i = 0; i < num_patterns; ++i) {
-    Flows flows = map.to_flows(random_bisection(map.num_ranks(), rng));
-    PatternResult r = simulate_pattern(net, table, flows, options);
-    sum += r.avg_flow_bandwidth;
-    out.min_pattern = std::min(out.min_pattern, r.avg_flow_bandwidth);
-    out.max_pattern = std::max(out.max_pattern, r.avg_flow_bandwidth);
-  }
+  // One base value from the caller's stream; pattern i generates and
+  // simulates with its own Rng seeded from (base, i), and the reduction
+  // below runs in pattern order — bitwise identical at any thread count.
+  const std::uint64_t base = rng.next();
+  double sum = parallel_map_reduce(
+      exec, num_patterns, 0.0,
+      [&](std::size_t i) {
+        Rng pattern_rng(stream_seed(base, i));
+        Flows flows = map.to_flows(random_bisection(map.num_ranks(),
+                                                    pattern_rng));
+        return simulate_pattern(net, table, flows, options).avg_flow_bandwidth;
+      },
+      [&out](double acc, double avg) {
+        out.min_pattern = std::min(out.min_pattern, avg);
+        out.max_pattern = std::max(out.max_pattern, avg);
+        return acc + avg;
+      });
   out.ebb = num_patterns > 0 ? sum / num_patterns : 0.0;
   return out;
 }

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "routing/table.hpp"
 #include "topology/network.hpp"
@@ -54,6 +55,14 @@ PatternResult simulate_pattern(const Network& net, const RoutingTable& table,
                                const Flows& flows,
                                const CongestionOptions& options = {});
 
+/// Simulates a batch of flow sets, one result per input set, in input order.
+/// Patterns are independent, so they spread across `exec`'s threads; the
+/// returned vector is identical at any thread count.
+std::vector<PatternResult> simulate_patterns(
+    const Network& net, const RoutingTable& table,
+    const std::vector<Flows>& patterns, const CongestionOptions& options = {},
+    const ExecContext& exec = {});
+
 /// Per-channel load distribution of one flow set — the balancing quality
 /// the weight updates of Algorithm 1 are after.
 struct LoadReport {
@@ -80,10 +89,15 @@ struct EbbResult {
 
 /// Effective bisection bandwidth over `num_patterns` random bisections of
 /// the ranks in `map` (use all terminals for the paper's Figures 4-6).
+///
+/// `rng` contributes a single base value; pattern i then draws from its own
+/// stream seeded from (base, i) and the per-pattern results are reduced in
+/// pattern order, so the outcome is bitwise identical at any thread count.
 EbbResult effective_bisection_bandwidth(const Network& net,
                                         const RoutingTable& table,
                                         const RankMap& map,
                                         std::uint32_t num_patterns, Rng& rng,
-                                        const CongestionOptions& options = {});
+                                        const CongestionOptions& options = {},
+                                        const ExecContext& exec = {});
 
 }  // namespace dfsssp

@@ -47,17 +47,24 @@ PatternResult simulate_pattern_multipath(const Network& net,
 EbbResult effective_bisection_bandwidth_multipath(
     const Network& net, const std::vector<RoutingTable>& planes,
     const RankMap& map, std::uint32_t num_patterns, Rng& rng,
-    const CongestionOptions& options) {
+    const CongestionOptions& options, const ExecContext& exec) {
   EbbResult out;
   out.min_pattern = std::numeric_limits<double>::infinity();
-  double sum = 0.0;
-  for (std::uint32_t i = 0; i < num_patterns; ++i) {
-    Flows flows = map.to_flows(random_bisection(map.num_ranks(), rng));
-    PatternResult r = simulate_pattern_multipath(net, planes, flows, options);
-    sum += r.avg_flow_bandwidth;
-    out.min_pattern = std::min(out.min_pattern, r.avg_flow_bandwidth);
-    out.max_pattern = std::max(out.max_pattern, r.avg_flow_bandwidth);
-  }
+  const std::uint64_t base = rng.next();
+  double sum = parallel_map_reduce(
+      exec, num_patterns, 0.0,
+      [&](std::size_t i) {
+        Rng pattern_rng(stream_seed(base, i));
+        Flows flows = map.to_flows(random_bisection(map.num_ranks(),
+                                                    pattern_rng));
+        return simulate_pattern_multipath(net, planes, flows, options)
+            .avg_flow_bandwidth;
+      },
+      [&out](double acc, double avg) {
+        out.min_pattern = std::min(out.min_pattern, avg);
+        out.max_pattern = std::max(out.max_pattern, avg);
+        return acc + avg;
+      });
   out.ebb = num_patterns > 0 ? sum / num_patterns : 0.0;
   return out;
 }

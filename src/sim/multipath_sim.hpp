@@ -16,9 +16,11 @@ PatternResult simulate_pattern_multipath(const Network& net,
                                          const Flows& flows,
                                          const CongestionOptions& options = {});
 
+/// Same pattern-index seeding and ordered reduction as
+/// effective_bisection_bandwidth: bitwise identical at any thread count.
 EbbResult effective_bisection_bandwidth_multipath(
     const Network& net, const std::vector<RoutingTable>& planes,
     const RankMap& map, std::uint32_t num_patterns, Rng& rng,
-    const CongestionOptions& options = {});
+    const CongestionOptions& options = {}, const ExecContext& exec = {});
 
 }  // namespace dfsssp

@@ -115,6 +115,30 @@ TEST(Congestion, EbbDropsOnOversubscribedTree) {
   EXPECT_LE(ebb.ebb, ebb.max_pattern);
 }
 
+TEST(Congestion, BatchSimulationMatchesSingleCalls) {
+  Topology topo = make_kautz(2, 3, 24);
+  RoutingOutcome out = SsspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  RankMap map = RankMap::round_robin(topo.net, 24);
+  Rng rng(11);
+  std::vector<Flows> patterns;
+  for (int i = 0; i < 12; ++i) {
+    patterns.push_back(map.to_flows(random_bisection(24, rng)));
+  }
+  std::vector<PatternResult> serial =
+      simulate_patterns(topo.net, out.table, patterns, {}, ExecContext{1});
+  std::vector<PatternResult> threaded =
+      simulate_patterns(topo.net, out.table, patterns, {}, ExecContext{4});
+  ASSERT_EQ(serial.size(), patterns.size());
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    PatternResult one = simulate_pattern(topo.net, out.table, patterns[i]);
+    EXPECT_EQ(serial[i].avg_flow_bandwidth, one.avg_flow_bandwidth);
+    EXPECT_EQ(serial[i].max_congestion, one.max_congestion);
+    EXPECT_EQ(threaded[i].avg_flow_bandwidth, one.avg_flow_bandwidth);
+    EXPECT_EQ(threaded[i].min_flow_bandwidth, one.min_flow_bandwidth);
+  }
+}
+
 TEST(Congestion, EbbIsSeedDeterministic) {
   Topology topo = make_ring(6, 2);
   RoutingOutcome out = SsspRouter().route(topo);

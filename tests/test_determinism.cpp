@@ -5,10 +5,12 @@
 #include <functional>
 #include <memory>
 
+#include "routing/collect.hpp"
 #include "routing/dfsssp.hpp"
 #include "routing/lash.hpp"
 #include "routing/minhop.hpp"
 #include "routing/updown.hpp"
+#include "routing/verify.hpp"
 #include "sim/congestion.hpp"
 #include "topology/generators.hpp"
 
@@ -58,6 +60,36 @@ TEST(Determinism, SimulationIsSeedStable) {
   EXPECT_DOUBLE_EQ(a.ebb, b.ebb);
   EXPECT_DOUBLE_EQ(a.min_pattern, b.min_pattern);
   EXPECT_DOUBLE_EQ(a.max_pattern, b.max_pattern);
+}
+
+TEST(Determinism, EbbIsThreadCountInvariant) {
+  // The determinism contract of the parallel layer: simulated numbers are
+  // bitwise identical no matter how many threads computed them.
+  Topology topo = make_kautz(2, 3, 48);
+  RoutingOutcome out = DfssspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  RankMap map = RankMap::round_robin(topo.net, 48);
+  Rng r1(777), r8(777);
+  EbbResult serial = effective_bisection_bandwidth(topo.net, out.table, map,
+                                                   50, r1, {}, ExecContext{1});
+  EbbResult parallel = effective_bisection_bandwidth(
+      topo.net, out.table, map, 50, r8, {}, ExecContext{8});
+  EXPECT_EQ(serial.ebb, parallel.ebb);
+  EXPECT_EQ(serial.min_pattern, parallel.min_pattern);
+  EXPECT_EQ(serial.max_pattern, parallel.max_pattern);
+}
+
+TEST(Determinism, VerificationIsThreadCountInvariant) {
+  Rng rng(901);
+  Topology topo = make_random(20, 2, 50, 8, rng);
+  RoutingOutcome out = DfssspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  VerifyReport serial = verify_routing(topo.net, out.table, ExecContext{1});
+  VerifyReport parallel = verify_routing(topo.net, out.table, ExecContext{8});
+  EXPECT_EQ(serial.total_paths, parallel.total_paths);
+  EXPECT_EQ(serial.broken, parallel.broken);
+  EXPECT_EQ(serial.non_minimal, parallel.non_minimal);
+  EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table, ExecContext{8}));
 }
 
 TEST(Determinism, RoutingIndependentOfPriorRouting) {
