@@ -12,6 +12,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -19,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/certificate.hpp"
 #include "common/cli.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
@@ -132,6 +134,34 @@ inline std::string runtime_cell(const Topology& topo, const Router& router,
   RoutingOutcome out = router.route(topo);
   const double ms = timer.milliseconds();
   return out.ok ? fmt_or_dash(ms, 1) : "-";
+}
+
+/// Emits a deadlock-freedom certificate for a finished routing into
+/// `<dir>/<name>.cert` — after validating it with the independent checker,
+/// so a bench run doubles as an end-to-end certificate round trip. Returns
+/// a one-line status for the bench log.
+inline std::string emit_certificate(const Topology& topo,
+                                    const RoutingTable& table,
+                                    const std::string& dir,
+                                    std::string name,
+                                    const ExecContext& exec = {}) {
+  for (char& c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '-' &&
+        c != '_') {
+      c = '-';
+    }
+  }
+  const std::string file = dir + "/" + name + ".cert";
+  CertificateResult cert = make_certificate(topo.net, table, exec);
+  if (!cert.ok) {
+    return file + ": FAILED (layer " +
+           std::to_string(unsigned(cert.cyclic_layer)) + " CDG is cyclic)";
+  }
+  const CertCheckResult check = check_certificate(topo.net, table, cert.cert);
+  if (!check.ok) return file + ": FAILED self-check: " + check.error;
+  write_certificate_path(topo.net, cert.cert, file);
+  return file + ": ok (" + std::to_string(check.paths_checked) + " paths, " +
+         std::to_string(check.deps_checked) + " deps)";
 }
 
 /// Table I of the paper, as data.

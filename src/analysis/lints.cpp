@@ -1,0 +1,206 @@
+#include "analysis/lints.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <queue>
+
+namespace dfsssp {
+
+const char* to_string(LintKind kind) {
+  switch (kind) {
+    case LintKind::kUnreachableDestination: return "unreachable-destination";
+    case LintKind::kNonMinimalPath: return "non-minimal-path";
+    case LintKind::kLayerSkew: return "layer-skew";
+    case LintKind::kExcessVirtualLayers: return "excess-virtual-layers";
+    case LintKind::kDanglingLftEntry: return "dangling-lft-entry";
+    case LintKind::kDuplicateLftEntry: return "duplicate-lft-entry";
+    case LintKind::kSlOutOfRange: return "sl-out-of-range";
+    case LintKind::kEmptyLayer: return "empty-layer";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Everything one destination terminal contributes, produced independently
+/// per destination and folded in destination order.
+struct DestFindings {
+  std::vector<Lint> lints;  // capped at max_reports_per_kind per kind
+  std::array<std::uint64_t, kNumLintKinds> counts{};
+  std::vector<std::uint64_t> layer_weight;  // indexed by layer
+  std::uint64_t paths_checked = 0;
+};
+
+/// BFS hop distance from every switch to `dst_sw`. Links are bidirectional
+/// (every channel has a reverse), so the forward BFS distance equals the
+/// reverse one.
+std::vector<std::uint32_t> bfs_distances(const Network& net, NodeId dst_sw) {
+  constexpr std::uint32_t kInf = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> dist(net.num_switches(), kInf);
+  std::queue<NodeId> bfs;
+  dist[net.node(dst_sw).type_index] = 0;
+  bfs.push(dst_sw);
+  while (!bfs.empty()) {
+    const NodeId u = bfs.front();
+    bfs.pop();
+    const std::uint32_t du = dist[net.node(u).type_index];
+    for (ChannelId c : net.out_switch_channels(u)) {
+      const NodeId v = net.channel(c).dst;
+      std::uint32_t& dv = dist[net.node(v).type_index];
+      if (dv == kInf) {
+        dv = du + 1;
+        bfs.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+LintReport lint_routing(const Network& net, const RoutingTable& table,
+                        const LintOptions& options, const DumpStats* dump,
+                        const ExecContext& exec) {
+  const Layer num_layers = std::max<Layer>(1, table.num_layers());
+  const std::uint32_t cap = std::max<std::uint32_t>(1,
+                                                    options.max_reports_per_kind);
+
+  auto per_dest = parallel_map(
+      exec, net.num_terminals(), [&](std::size_t ti) {
+        DestFindings f;
+        f.layer_weight.assign(num_layers, 0);
+        const NodeId dst = net.terminal_by_index(
+            static_cast<std::uint32_t>(ti));
+        const NodeId dst_sw = net.switch_of(dst);
+        const auto dist = bfs_distances(net, dst_sw);
+        auto emit = [&](LintKind kind, std::string msg) {
+          const auto k = static_cast<std::size_t>(kind);
+          ++f.counts[k];
+          std::uint32_t reported = 0;
+          for (const Lint& l : f.lints) reported += l.kind == kind ? 1 : 0;
+          if (reported < cap) f.lints.push_back({kind, std::move(msg)});
+        };
+        std::vector<ChannelId> seq;
+        for (NodeId sw : net.switches()) {
+          if (sw == dst_sw) {
+            if (table.next(sw, dst) != kInvalidChannel) {
+              emit(LintKind::kDanglingLftEntry,
+                   "lft entry at " + net.node(sw).name + " for local terminal " +
+                       net.node(dst).name + " (should eject, not forward)");
+            }
+            continue;
+          }
+          // Source switches without terminals originate no paths; their LFT
+          // entries are exercised as transit hops of the walks below.
+          if (net.terminals_on(sw) == 0) continue;
+          const std::string pair_name =
+              net.node(sw).name + " -> " + net.node(dst).name;
+          const Layer l = table.layer(sw, dst);
+          if (l >= table.num_layers()) {
+            emit(LintKind::kSlOutOfRange,
+                 "sl entry " + pair_name + " selects layer " +
+                     std::to_string(unsigned(l)) + " but only " +
+                     std::to_string(unsigned(table.num_layers())) +
+                     " layers are declared");
+          }
+          if (table.next(sw, dst) == kInvalidChannel) {
+            emit(LintKind::kUnreachableDestination,
+                 "no lft entry for " + pair_name);
+            continue;
+          }
+          if (!table.extract_path(net, sw, dst, seq)) {
+            emit(LintKind::kUnreachableDestination,
+                 "forwarding walk " + pair_name + " dead-ends or loops");
+            continue;
+          }
+          ++f.paths_checked;
+          if (l < num_layers && net.terminals_on(sw) > 0) {
+            f.layer_weight[l] += net.terminals_on(sw);
+          }
+          const std::uint32_t d = dist[net.node(sw).type_index];
+          if (seq.size() > d) {
+            emit(LintKind::kNonMinimalPath,
+                 "path " + pair_name + " takes " +
+                     std::to_string(seq.size()) + " hops, BFS distance is " +
+                     std::to_string(d));
+          }
+        }
+        return f;
+      });
+
+  LintReport report;
+  std::vector<std::uint64_t> layer_weight(num_layers, 0);
+  std::array<std::uint32_t, kNumLintKinds> reported{};
+  for (DestFindings& f : per_dest) {
+    report.paths_checked += f.paths_checked;
+    for (std::size_t k = 0; k < kNumLintKinds; ++k) {
+      report.counts[k] += f.counts[k];
+    }
+    for (Layer l = 0; l < num_layers; ++l) layer_weight[l] += f.layer_weight[l];
+    for (Lint& lint : f.lints) {
+      std::uint32_t& seen = reported[static_cast<std::size_t>(lint.kind)];
+      if (seen < cap) {
+        ++seen;
+        report.lints.push_back(std::move(lint));
+      }
+    }
+  }
+
+  auto emit_global = [&](LintKind kind, std::string msg) {
+    ++report.counts[static_cast<std::size_t>(kind)];
+    report.lints.push_back({kind, std::move(msg)});
+  };
+
+  // Layer-level lints (global, computed after the fold).
+  if (table.num_layers() > options.hardware_vls) {
+    emit_global(
+        LintKind::kExcessVirtualLayers,
+        "routing declares " + std::to_string(unsigned(table.num_layers())) +
+            " virtual layers but the hardware offers " +
+            std::to_string(unsigned(options.hardware_vls)) +
+            " VLs (cf. the paper's Figure 9/10 LASH-vs-DFSSSP VL counts)");
+  }
+  std::uint64_t total_weight = 0, max_weight = 0;
+  for (Layer l = 0; l < num_layers; ++l) {
+    total_weight += layer_weight[l];
+    max_weight = std::max(max_weight, layer_weight[l]);
+    if (table.num_layers() > 1 && layer_weight[l] == 0) {
+      emit_global(LintKind::kEmptyLayer,
+                  "layer " + std::to_string(unsigned(l)) +
+                      " is declared but carries no paths");
+    }
+  }
+  if (total_weight > 0 && num_layers > 1) {
+    const double mean =
+        static_cast<double>(total_weight) / static_cast<double>(num_layers);
+    const double skew = static_cast<double>(max_weight) / mean;
+    if (skew > options.skew_threshold) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "weighted layer load is skewed: max/mean = %.2f "
+                    "(threshold %.2f); consider balancing",
+                    skew, options.skew_threshold);
+      emit_global(LintKind::kLayerSkew, buf);
+    }
+  }
+
+  // File-level lints only the dump reader can see.
+  if (dump != nullptr) {
+    if (dump->duplicate_lft > 0) {
+      emit_global(LintKind::kDuplicateLftEntry,
+                  std::to_string(dump->duplicate_lft) +
+                      " duplicate lft line(s) in the dump "
+                      "(later lines overwrote earlier ones)");
+    }
+    if (dump->duplicate_sl > 0) {
+      emit_global(LintKind::kDuplicateLftEntry,
+                  std::to_string(dump->duplicate_sl) +
+                      " duplicate sl line(s) in the dump");
+    }
+    // dump->local_lft needs no extra lint: the loaded table carries those
+    // entries, so the per-destination dangling check above reports them.
+  }
+  return report;
+}
+
+}  // namespace dfsssp

@@ -1,0 +1,175 @@
+#include "analysis/witness.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+#include <queue>
+
+#include "cdg/cdg.hpp"
+#include "routing/collect.hpp"
+
+namespace dfsssp {
+
+namespace {
+
+constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+
+/// Global edge index of u -> v in the Cdg, or kUnset.
+std::uint32_t find_cdg_edge(const Cdg& cdg, ChannelId u, ChannelId v) {
+  const auto edges = cdg.out_edges(u);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (edges[i].to == v) return cdg.first_edge(u) + static_cast<std::uint32_t>(i);
+  }
+  return kUnset;
+}
+
+}  // namespace
+
+DeadlockWitness extract_witness(const PathSet& paths,
+                                std::span<const Layer> layer, Layer which,
+                                std::uint32_t num_channels,
+                                std::uint32_t max_paths_per_edge) {
+  DeadlockWitness witness;
+  witness.layer = which;
+
+  std::vector<std::uint32_t> members;
+  for (std::uint32_t p = 0; p < paths.size(); ++p) {
+    if (layer[p] == which && paths.channels(p).size() >= 2) {
+      members.push_back(p);
+    }
+  }
+  if (members.empty()) return witness;
+  Cdg cdg(paths, members, num_channels);
+
+  // Kahn peel; what survives is the cyclic core plus its descendants, and
+  // every shortest cycle lives entirely inside it.
+  std::vector<std::uint32_t> indegree(num_channels, 0);
+  std::vector<std::uint8_t> present(num_channels, 0);
+  for (ChannelId u = 0; u < num_channels; ++u) {
+    for (const Cdg::Edge& e : cdg.out_edges(u)) {
+      ++indegree[e.to];
+      present[u] = 1;
+      present[e.to] = 1;
+    }
+  }
+  std::queue<ChannelId> ready;
+  for (ChannelId u = 0; u < num_channels; ++u) {
+    if (present[u] && indegree[u] == 0) ready.push(u);
+  }
+  std::vector<std::uint8_t> residual = present;
+  while (!ready.empty()) {
+    const ChannelId u = ready.front();
+    ready.pop();
+    residual[u] = 0;
+    for (const Cdg::Edge& e : cdg.out_edges(u)) {
+      if (--indegree[e.to] == 0) ready.push(e.to);
+    }
+  }
+  bool any_residual = false;
+  for (ChannelId u = 0; u < num_channels; ++u) any_residual |= residual[u] != 0;
+  if (!any_residual) return witness;  // acyclic
+
+  // Shortest cycle: BFS from every residual node over residual edges until
+  // an edge closes back to the BFS root. Roots ascend, strictly shorter
+  // cycles win, so the witness is deterministic.
+  std::vector<ChannelId> best_cycle;  // node sequence, first != last
+  std::vector<std::uint32_t> dist(num_channels);
+  std::vector<ChannelId> parent(num_channels);
+  for (ChannelId s = 0; s < num_channels; ++s) {
+    if (!residual[s]) continue;
+    if (!best_cycle.empty() && best_cycle.size() <= 2) break;  // can't beat 2
+    std::fill(dist.begin(), dist.end(), kUnset);
+    std::fill(parent.begin(), parent.end(), kUnset);
+    dist[s] = 0;
+    std::queue<ChannelId> bfs;
+    bfs.push(s);
+    bool closed = false;
+    while (!bfs.empty() && !closed) {
+      const ChannelId u = bfs.front();
+      bfs.pop();
+      if (!best_cycle.empty() && dist[u] + 1 >= best_cycle.size()) break;
+      for (const Cdg::Edge& e : cdg.out_edges(u)) {
+        if (!residual[e.to]) continue;
+        if (e.to == s) {
+          // Cycle s -> ... -> u -> s of length dist[u] + 1.
+          std::vector<ChannelId> cycle;
+          for (ChannelId n = u; n != kUnset; n = parent[n]) cycle.push_back(n);
+          std::reverse(cycle.begin(), cycle.end());  // now s, ..., u
+          if (best_cycle.empty() || cycle.size() < best_cycle.size()) {
+            best_cycle = std::move(cycle);
+          }
+          closed = true;
+          break;
+        }
+        if (dist[e.to] == kUnset) {
+          dist[e.to] = dist[u] + 1;
+          parent[e.to] = u;
+          bfs.push(e.to);
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < best_cycle.size(); ++i) {
+    const ChannelId u = best_cycle[i];
+    const ChannelId v = best_cycle[(i + 1) % best_cycle.size()];
+    const std::uint32_t edge_index = find_cdg_edge(cdg, u, v);
+    WitnessEdge edge;
+    edge.from = u;
+    edge.to = v;
+    if (edge_index != kUnset) {
+      edge.inducing_paths = cdg.edge(edge_index).path_count;
+      for (std::uint32_t p : cdg.edge_paths(edge_index)) {
+        if (edge.examples.size() >= max_paths_per_edge) break;
+        edge.examples.push_back({p, paths.src_switch_index(p),
+                                 paths.dst_terminal_index(p),
+                                 paths.weight(p)});
+      }
+    }
+    witness.edges.push_back(std::move(edge));
+  }
+  return witness;
+}
+
+DeadlockWitness extract_witness(const Network& net, const RoutingTable& table,
+                                std::uint32_t max_paths_per_edge) {
+  const PathSet paths = collect_paths(net, table);
+  const std::vector<Layer> layers = collect_layers(net, table, paths);
+  Layer num_layers = table.num_layers();
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    num_layers = std::max<Layer>(num_layers, layers[p] + 1);
+  }
+  for (Layer l = 0; l < num_layers; ++l) {
+    DeadlockWitness w = extract_witness(
+        paths, layers, l, static_cast<std::uint32_t>(net.num_channels()),
+        max_paths_per_edge);
+    if (!w.empty()) return w;
+  }
+  return DeadlockWitness{};
+}
+
+void write_witness(const Network& net, const DeadlockWitness& witness,
+                   std::ostream& out) {
+  if (witness.empty()) {
+    out << "no deadlock witness (layer CDGs are acyclic)\n";
+    return;
+  }
+  auto channel_name = [&](ChannelId c) {
+    const Channel& ch = net.channel(c);
+    return net.node(ch.src).name + "->" + net.node(ch.dst).name;
+  };
+  out << "deadlock witness: layer " << unsigned(witness.layer)
+      << ", cycle of " << witness.edges.size() << " channels\n";
+  for (const WitnessEdge& e : witness.edges) {
+    out << "  " << channel_name(e.from) << " => " << channel_name(e.to)
+        << "  (" << e.inducing_paths << " inducing path"
+        << (e.inducing_paths == 1 ? "" : "s") << ")\n";
+    for (const WitnessPathRef& p : e.examples) {
+      out << "    via " << net.node(net.switch_by_index(p.src_switch)).name
+          << " -> " << net.node(net.terminal_by_index(p.dst_terminal)).name
+          << " (weight " << p.weight << ")\n";
+    }
+  }
+}
+
+}  // namespace dfsssp

@@ -15,15 +15,17 @@ ThreadPool::ThreadPool(unsigned num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
-  }
+  // Explicit lock()/unlock() rather than a guard object: the thread-safety
+  // analysis follows direct capability calls, so this function stays fully
+  // checked.
+  mu_.lock();
+  stopping_ = true;
+  mu_.unlock();
   work_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::drain_job(std::unique_lock<std::mutex>& lock) {
+void ThreadPool::drain_job(std::unique_lock<Mutex>& lock) {
   while (job_.cursor < job_.n && !job_.error) {
     const std::size_t begin = job_.cursor;
     const std::size_t end = std::min(job_.n, begin + job_.chunk);
@@ -44,7 +46,7 @@ void ThreadPool::drain_job(std::unique_lock<std::mutex>& lock) {
 }
 
 void ThreadPool::worker_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<Mutex> lock(mu_);
   std::uint64_t seen_generation = 0;
   for (;;) {
     work_cv_.wait(lock, [this, seen_generation] {
@@ -64,8 +66,8 @@ void ThreadPool::run_chunked(
     std::size_t n, std::size_t chunk,
     const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
-  std::lock_guard<std::mutex> run_lock(run_mu_);
-  std::unique_lock<std::mutex> lock(mu_);
+  std::lock_guard<Mutex> run_lock(run_mu_);
+  std::unique_lock<Mutex> lock(mu_);
   job_.n = n;
   job_.chunk = std::max<std::size_t>(1, chunk);
   job_.cursor = 0;

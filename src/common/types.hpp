@@ -29,6 +29,11 @@ inline constexpr ChannelId kInvalidChannel =
 /// hardware 8; we keep the type wide enough for either.
 using Layer = std::uint8_t;
 
+/// Most virtual layers any routing artifact may declare (the IB spec's 16
+/// virtual lanes). File readers reject counts beyond this before trusting
+/// any per-path layer value.
+inline constexpr Layer kMaxLayers = 16;
+
 /// Sentinel for "no layer assigned yet".
 inline constexpr Layer kInvalidLayer = std::numeric_limits<Layer>::max();
 

@@ -5,12 +5,10 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 namespace dfsssp {
 
-namespace {
-
-/// (neighbor, parallel-index) of a channel within its source's out list.
 std::pair<NodeId, std::uint32_t> channel_slot(const Network& net,
                                               ChannelId target) {
   const Channel& ch = net.channel(target);
@@ -33,8 +31,6 @@ ChannelId channel_from_slot(const Network& net, NodeId src, NodeId neighbor,
   }
   return kInvalidChannel;
 }
-
-}  // namespace
 
 void write_forwarding_dump(const Network& net, const RoutingTable& table,
                            std::ostream& out) {
@@ -69,21 +65,27 @@ void write_forwarding_dump(const Network& net, const RoutingTable& table,
   write_forwarding_dump(net, table, out);
 }
 
-RoutingTable read_forwarding_dump(const Network& net, std::istream& in) {
+RoutingTable read_forwarding_dump(const Network& net, std::istream& in,
+                                  const std::string& source,
+                                  DumpStats* stats) {
   std::map<std::string, NodeId> by_name;
   for (NodeId n = 0; n < net.num_nodes(); ++n) {
     by_name[net.node(n).name] = n;
   }
-  auto lookup = [&](const std::string& name, std::size_t lineno) {
-    auto it = by_name.find(name);
-    if (it == by_name.end()) {
-      throw std::runtime_error("dump:" + std::to_string(lineno) +
-                               ": unknown node '" + name + "'");
-    }
-    return it->second;
-  };
 
   RoutingTable table(net);
+  // Per (switch index, terminal index) "already set" flags so duplicate
+  // lines are reported instead of silently overwriting.
+  const std::size_t slots = net.num_switches() * net.num_terminals();
+  std::vector<std::uint8_t> lft_seen(slots, 0), sl_seen(slots, 0);
+  auto slot_of = [&](NodeId sw, NodeId dst) {
+    return static_cast<std::size_t>(net.node(sw).type_index) *
+               net.num_terminals() +
+           net.node(dst).type_index;
+  };
+
+  DumpStats local_stats;
+  bool layers_declared = false;
   std::string line;
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
@@ -94,11 +96,23 @@ RoutingTable read_forwarding_dump(const Network& net, std::istream& in) {
     std::string kind;
     if (!(ls >> kind)) continue;
     auto fail = [&](const std::string& msg) {
-      throw std::runtime_error("dump:" + std::to_string(lineno) + ": " + msg);
+      throw std::runtime_error(source + ":" + std::to_string(lineno) + ": " +
+                               msg);
+    };
+    auto lookup = [&](const std::string& name) {
+      auto it = by_name.find(name);
+      if (it == by_name.end()) fail("unknown node '" + name + "'");
+      return it->second;
     };
     if (kind == "layers") {
       unsigned n = 0;
-      if (!(ls >> n) || n == 0 || n > 255) fail("bad layer count");
+      if (!(ls >> n)) fail("bad layer count");
+      if (n == 0 || n > kMaxLayers) {
+        fail("layer count " + std::to_string(n) + " outside [1, " +
+             std::to_string(unsigned(kMaxLayers)) + "]");
+      }
+      if (layers_declared) fail("duplicate layers line");
+      layers_declared = true;
       table.set_num_layers(static_cast<Layer>(n));
     } else if (kind == "lft") {
       std::string sw_name, dst_name, nbr_name;
@@ -106,35 +120,51 @@ RoutingTable read_forwarding_dump(const Network& net, std::istream& in) {
       if (!(ls >> sw_name >> dst_name >> nbr_name >> index)) {
         fail("lft needs <switch> <dst> <neighbor> <index>");
       }
-      const NodeId sw = lookup(sw_name, lineno);
-      const NodeId dst = lookup(dst_name, lineno);
-      const NodeId nbr = lookup(nbr_name, lineno);
+      const NodeId sw = lookup(sw_name);
+      const NodeId dst = lookup(dst_name);
+      const NodeId nbr = lookup(nbr_name);
       if (!net.is_switch(sw) || !net.is_terminal(dst)) fail("bad node kinds");
       const ChannelId c = channel_from_slot(net, sw, nbr, index);
       if (c == kInvalidChannel) fail("no such channel slot");
+      ++local_stats.lft_entries;
+      if (net.switch_of(dst) == sw) ++local_stats.local_lft;
+      std::uint8_t& seen = lft_seen[slot_of(sw, dst)];
+      if (seen) ++local_stats.duplicate_lft;
+      seen = 1;
       table.set_next(sw, dst, c);
     } else if (kind == "sl") {
       std::string sw_name, dst_name;
       unsigned layer = 0;
-      if (!(ls >> sw_name >> dst_name >> layer) || layer > 255) {
+      if (!(ls >> sw_name >> dst_name >> layer)) {
         fail("sl needs <switch> <dst> <layer>");
       }
-      const NodeId sw = lookup(sw_name, lineno);
-      const NodeId dst = lookup(dst_name, lineno);
+      if (!layers_declared) fail("sl line before layers line");
+      if (layer >= table.num_layers()) {
+        fail("layer " + std::to_string(layer) + " >= declared count " +
+             std::to_string(unsigned(table.num_layers())));
+      }
+      const NodeId sw = lookup(sw_name);
+      const NodeId dst = lookup(dst_name);
       if (!net.is_switch(sw) || !net.is_terminal(dst)) fail("bad node kinds");
+      ++local_stats.sl_entries;
+      std::uint8_t& seen = sl_seen[slot_of(sw, dst)];
+      if (seen) ++local_stats.duplicate_sl;
+      seen = 1;
       table.set_layer(sw, dst, static_cast<Layer>(layer));
     } else {
       fail("unknown keyword '" + kind + "'");
     }
   }
+  if (stats != nullptr) *stats = local_stats;
   return table;
 }
 
 RoutingTable read_forwarding_dump_path(const Network& net,
-                                       const std::string& path) {
+                                       const std::string& path,
+                                       DumpStats* stats) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open dump: " + path);
-  return read_forwarding_dump(net, in);
+  return read_forwarding_dump(net, in, path, stats);
 }
 
 }  // namespace dfsssp

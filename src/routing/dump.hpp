@@ -10,16 +10,43 @@
 //
 // Channels are identified by (switch, neighbor, index among the parallel
 // channels to that neighbor in out-channel order), which is stable across
-// save/load of the same topology.
+// save/load of the same topology. The `layers` line must precede every `sl`
+// line so per-path layers can be range-checked as they are read.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 
 #include "routing/table.hpp"
 #include "topology/network.hpp"
 
 namespace dfsssp {
+
+/// (neighbor, parallel-index) identification of a channel within its
+/// source's out list — the stable channel naming that forwarding dumps and
+/// deadlock-freedom certificates share.
+std::pair<NodeId, std::uint32_t> channel_slot(const Network& net, ChannelId c);
+
+/// Inverse of channel_slot; kInvalidChannel when the slot does not exist.
+ChannelId channel_from_slot(const Network& net, NodeId src, NodeId neighbor,
+                            std::uint32_t index);
+
+/// What read_forwarding_dump saw, for the lint suite: entry counts plus the
+/// anomalies that are representable in the file but invisible in the loaded
+/// RoutingTable (a duplicate line overwrites its predecessor in the table).
+struct DumpStats {
+  std::uint64_t lft_entries = 0;
+  std::uint64_t sl_entries = 0;
+  /// `lft` lines re-setting an already-set (switch, dst) slot.
+  std::uint64_t duplicate_lft = 0;
+  /// `sl` lines re-setting an already-set (switch, dst) slot.
+  std::uint64_t duplicate_sl = 0;
+  /// `lft` lines for a terminal attached to the switch itself (the packet
+  /// should be ejected; a forwarding entry here is dangling).
+  std::uint64_t local_lft = 0;
+};
 
 void write_forwarding_dump(const Network& net, const RoutingTable& table,
                            std::ostream& out);
@@ -27,10 +54,16 @@ void write_forwarding_dump(const Network& net, const RoutingTable& table,
                            const std::string& path);
 
 /// Parses a dump produced by write_forwarding_dump against the same
-/// topology. Throws std::runtime_error (with a line number) on malformed
-/// input, unknown names, or out-of-range parallel indices.
-RoutingTable read_forwarding_dump(const Network& net, std::istream& in);
+/// topology. Throws std::runtime_error ("<source>:<line>: <what>") on
+/// malformed input, unknown names, out-of-range parallel indices, a layer
+/// count of 0 or > kMaxLayers, or an `sl` line before the `layers` line.
+/// `stats`, when non-null, receives entry counts and file-level anomalies.
+RoutingTable read_forwarding_dump(const Network& net, std::istream& in,
+                                  const std::string& source = "dump",
+                                  DumpStats* stats = nullptr);
+/// Same, with errors carrying `path` as the source name.
 RoutingTable read_forwarding_dump_path(const Network& net,
-                                       const std::string& path);
+                                       const std::string& path,
+                                       DumpStats* stats = nullptr);
 
 }  // namespace dfsssp

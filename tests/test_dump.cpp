@@ -74,6 +74,51 @@ TEST(Dump, RejectsMalformedInput) {
   EXPECT_THROW(parse("layers 0\n"), std::runtime_error);
   EXPECT_THROW(parse("sl sw0 t1 999\n"), std::runtime_error);
   EXPECT_THROW(parse("lft t0 t1 sw1 0\n"), std::runtime_error);  // not a switch
+  // Layer counts are validated against the IB VL limit before any sl line
+  // is trusted, and sl lines may not precede the declaration they need.
+  EXPECT_THROW(parse("layers 17\n"), std::runtime_error);
+  EXPECT_THROW(parse("layers 2\nlayers 2\n"), std::runtime_error);
+  EXPECT_THROW(parse("sl sw0 t1 0\nlayers 2\n"), std::runtime_error);
+  EXPECT_THROW(parse("layers 2\nsl sw0 t1 2\n"), std::runtime_error);
+  EXPECT_NO_THROW(parse("layers 16\n"));
+}
+
+TEST(Dump, ErrorsCarrySourceAndLine) {
+  Topology topo = make_ring(4, 1);
+  std::istringstream is("layers 2\nlft sw0 t1 sw1 9\n");
+  try {
+    read_forwarding_dump(topo.net, is, "fabric.dump");
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("fabric.dump:2:"), std::string::npos)
+        << e.what();
+  }
+  // The path-based reader names the file (and reports a missing one).
+  EXPECT_THROW(read_forwarding_dump_path(topo.net, "/nonexistent/x.dump"),
+               std::runtime_error);
+}
+
+TEST(Dump, StatsCountEntriesAndAnomalies) {
+  Topology topo = make_ring(4, 1);
+  std::istringstream is(
+      "layers 2\n"
+      "lft sw0 t1 sw1 0\n"
+      "lft sw0 t1 sw3 0\n"  // overwrites the previous line
+      "lft sw0 t0 sw1 0\n"  // t0 is local to sw0: dangling
+      "sl sw0 t1 1\n"
+      "sl sw0 t1 0\n"
+      "sl sw0 t2 1\n");
+  DumpStats stats;
+  RoutingTable table = read_forwarding_dump(topo.net, is, "dump", &stats);
+  EXPECT_EQ(stats.lft_entries, 3u);
+  EXPECT_EQ(stats.sl_entries, 3u);
+  EXPECT_EQ(stats.duplicate_lft, 1u);
+  EXPECT_EQ(stats.duplicate_sl, 1u);
+  EXPECT_EQ(stats.local_lft, 1u);
+  // Later lines win, as on a real fabric reload.
+  EXPECT_EQ(table.layer(topo.net.switch_by_index(0),
+                        topo.net.terminal_by_index(1)),
+            0);
 }
 
 TEST(Dump, CommentsAndPartialTablesAccepted) {

@@ -1,0 +1,162 @@
+#include "analysis/lints.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <utility>
+
+#include "routing/dfsssp.hpp"
+#include "routing/dump.hpp"
+#include "routing/minhop.hpp"
+#include "topology/generators.hpp"
+
+namespace dfsssp {
+namespace {
+
+TEST(Lints, CleanRoutingReportsNothing) {
+  Rng rng(11);
+  Topology topo = make_random(16, 2, 40, 8, rng);
+  RoutingOutcome out = DfssspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  LintReport report = lint_routing(topo.net, out.table);
+  EXPECT_EQ(report.count(LintKind::kUnreachableDestination), 0u);
+  EXPECT_EQ(report.count(LintKind::kNonMinimalPath), 0u);
+  EXPECT_EQ(report.count(LintKind::kDanglingLftEntry), 0u);
+  EXPECT_EQ(report.count(LintKind::kSlOutOfRange), 0u);
+  EXPECT_EQ(report.count(LintKind::kEmptyLayer), 0u);
+  EXPECT_GT(report.paths_checked, 0u);
+}
+
+TEST(Lints, MissingEntryIsUnreachable) {
+  Topology topo = make_ring(4, 1);
+  RoutingOutcome out = MinHopRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  const NodeId sw0 = topo.net.switch_by_index(0);
+  const NodeId far = topo.net.terminal_by_index(2);  // on the opposite switch
+  out.table.set_next(sw0, far, kInvalidChannel);
+  LintReport report = lint_routing(topo.net, out.table);
+  EXPECT_EQ(report.count(LintKind::kUnreachableDestination), 1u);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(Lints, DetourPastBfsDistanceIsNonMinimal) {
+  // Triangle fabric; detour a->b->c where the direct a->c link exists.
+  Network net;
+  const NodeId a = net.add_switch("a");
+  const NodeId b = net.add_switch("b");
+  const NodeId c = net.add_switch("c");
+  net.add_link(a, b);
+  net.add_link(b, c);
+  net.add_link(a, c);
+  net.add_terminal(a, "ta");
+  net.add_terminal(b, "tb");
+  const NodeId tc = net.add_terminal(c, "tc");
+  net.freeze();
+  Topology topo{"triangle", std::move(net), {}};
+
+  RoutingOutcome out = MinHopRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  LintReport before = lint_routing(topo.net, out.table);
+  EXPECT_EQ(before.count(LintKind::kNonMinimalPath), 0u);
+
+  const ChannelId a_to_b = channel_from_slot(topo.net, a, b, 0);
+  ASSERT_NE(a_to_b, kInvalidChannel);
+  out.table.set_next(a, tc, a_to_b);  // b forwards to c minimally already
+  LintReport after = lint_routing(topo.net, out.table);
+  EXPECT_EQ(after.count(LintKind::kNonMinimalPath), 1u);
+  ASSERT_FALSE(after.lints.empty());
+}
+
+TEST(Lints, DeclaredButUnusedLayerIsEmpty) {
+  Topology topo = make_ring(4, 1);
+  RoutingOutcome out = MinHopRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  ASSERT_EQ(out.table.num_layers(), 1);
+  out.table.set_num_layers(2);  // everything still runs on layer 0
+  LintReport report = lint_routing(topo.net, out.table);
+  EXPECT_EQ(report.count(LintKind::kEmptyLayer), 1u);
+}
+
+TEST(Lints, SlBeyondDeclaredLayersIsFlagged) {
+  Topology topo = make_ring(4, 1);
+  RoutingOutcome out = MinHopRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  const NodeId sw0 = topo.net.switch_by_index(0);
+  const NodeId far = topo.net.terminal_by_index(2);
+  out.table.set_layer(sw0, far, 5);
+  LintReport report = lint_routing(topo.net, out.table);
+  EXPECT_EQ(report.count(LintKind::kSlOutOfRange), 1u);
+}
+
+TEST(Lints, ForwardingEntryForLocalTerminalIsDangling) {
+  Topology topo = make_ring(4, 1);
+  RoutingOutcome out = MinHopRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  const NodeId sw0 = topo.net.switch_by_index(0);
+  const NodeId sw1 = topo.net.switch_by_index(1);
+  const NodeId local = topo.net.terminal_by_index(0);  // attached to sw0
+  ASSERT_EQ(topo.net.switch_of(local), sw0);
+  const ChannelId c = channel_from_slot(topo.net, sw0, sw1, 0);
+  ASSERT_NE(c, kInvalidChannel);
+  out.table.set_next(sw0, local, c);
+  LintReport report = lint_routing(topo.net, out.table);
+  EXPECT_EQ(report.count(LintKind::kDanglingLftEntry), 1u);
+}
+
+TEST(Lints, ExcessLayersComparedToHardwareVls) {
+  Topology topo = make_ring(4, 1);
+  RoutingOutcome out = MinHopRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  out.table.set_num_layers(12);  // more than the 8 hardware VLs
+  LintReport report = lint_routing(topo.net, out.table);
+  EXPECT_EQ(report.count(LintKind::kExcessVirtualLayers), 1u);
+  LintOptions generous;
+  generous.hardware_vls = 16;
+  EXPECT_EQ(lint_routing(topo.net, out.table, generous)
+                .count(LintKind::kExcessVirtualLayers),
+            0u);
+}
+
+TEST(Lints, DumpDuplicatesSurfaceAsFileLints) {
+  Topology topo = make_ring(4, 1);
+  const std::string text =
+      "layers 1\n"
+      "lft sw0 t1 sw1 0\n"
+      "lft sw0 t1 sw1 0\n"
+      "sl sw0 t1 0\n"
+      "sl sw0 t1 0\n";
+  std::istringstream is(text);
+  DumpStats stats;
+  RoutingTable table = read_forwarding_dump(topo.net, is, "dup-test", &stats);
+  EXPECT_EQ(stats.duplicate_lft, 1u);
+  EXPECT_EQ(stats.duplicate_sl, 1u);
+  LintReport report = lint_routing(topo.net, table, {}, &stats);
+  EXPECT_EQ(report.count(LintKind::kDuplicateLftEntry), 2u);
+}
+
+TEST(Lints, ReportIsThreadCountInvariant) {
+  Rng rng(5);
+  Topology topo = make_random(20, 2, 50, 8, rng);
+  RoutingOutcome out = DfssspRouter().route(topo);
+  ASSERT_TRUE(out.ok);
+  // Break a few entries so there is something to report.
+  const NodeId sw0 = topo.net.switch_by_index(0);
+  for (std::uint32_t i = 1; i < 4; ++i) {
+    const NodeId t = topo.net.terminal_by_index(i * 5);
+    if (topo.net.switch_of(t) == sw0) continue;
+    out.table.set_next(sw0, t, kInvalidChannel);
+  }
+  LintReport serial = lint_routing(topo.net, out.table, {}, nullptr,
+                                   ExecContext::serial());
+  LintReport threaded = lint_routing(topo.net, out.table, {}, nullptr,
+                                     ExecContext(4));
+  EXPECT_EQ(serial.counts, threaded.counts);
+  ASSERT_EQ(serial.lints.size(), threaded.lints.size());
+  for (std::size_t i = 0; i < serial.lints.size(); ++i) {
+    EXPECT_EQ(serial.lints[i].kind, threaded.lints[i].kind);
+    EXPECT_EQ(serial.lints[i].message, threaded.lints[i].message);
+  }
+}
+
+}  // namespace
+}  // namespace dfsssp

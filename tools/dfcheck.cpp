@@ -1,0 +1,429 @@
+// dfcheck — static routing analyzer with machine-checkable deadlock-freedom
+// certificates, the role OpenSM's ibdmchk plays for real fabrics.
+//
+// Takes a topology (file or built-in generator) plus a routing (forwarding
+// dump or in-memory engine run) and:
+//   * default: decides deadlock freedom; on failure prints a minimal
+//     witness cycle with the inducing paths per CDG edge;
+//   * --cert-out:   emits a certificate (per layer, a topological order of
+//                   the layer's CDG) a third party can re-check;
+//   * --cert-check: validates a certificate against the routing in one
+//                   O(V+E) pass, with no cycle search;
+//   * --lints:      runs the static lint suite (unreachable destinations,
+//                   non-minimal paths, layer skew, VL budget, dangling or
+//                   duplicate LFT entries, out-of-range SL entries);
+//   * --json:       machine-readable report of everything above.
+//
+// Exit codes: 0 = clean, 1 = deadlock possible / certificate rejected /
+// structural lint defects, 2 = usage or I/O error.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/certificate.hpp"
+#include "analysis/lints.hpp"
+#include "analysis/witness.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "routing/dump.hpp"
+#include "routing/router.hpp"
+#include "topology/generators.hpp"
+#include "topology/io.hpp"
+
+namespace dfsssp {
+namespace {
+
+int usage(const char* program) {
+  std::fprintf(stderr,
+               "usage: %s <topology> <routing> [actions]\n"
+               "\n"
+               "topology (one of):\n"
+               "  --topo=FILE         netfile or ibnetdiscover dump\n"
+               "  --topo-format=F     netfile|ibnetdiscover (default: sniff)\n"
+               "  --gen=SPEC          built-in generator:\n"
+               "                        ring:<switches>:<terminals>\n"
+               "                        torus:<a>x<b>[x<c>]:<terminals>\n"
+               "                        tree:<k>:<n>\n"
+               "                        random:<sw>:<term>:<links>:<ports>:<seed>\n"
+               "                        real:<odin|chic|deimos|tsubame|juropa|ranger>\n"
+               "routing (one of):\n"
+               "  --dump=FILE         read a forwarding dump\n"
+               "  --route=ENGINE      minhop|updown|fattree|dor|lash|sssp|dfsssp\n"
+               "  --max-layers=N      layer budget for --route engines (default 8)\n"
+               "actions (default: deadlock-freedom analysis + witness):\n"
+               "  --cert-out=FILE     emit a deadlock-freedom certificate\n"
+               "  --cert-check=FILE   validate a certificate (no cycle search)\n"
+               "  --dump-out=FILE     write the forwarding dump\n"
+               "  --lints             run the lint suite\n"
+               "  --json              machine-readable output\n"
+               "  --witness-paths=N   inducing paths shown per cycle edge (3)\n"
+               "  --threads=N         worker threads (0 = hardware)\n",
+               program);
+  return 2;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in(s);
+  while (std::getline(in, item, sep)) out.push_back(item);
+  return out;
+}
+
+std::uint32_t parse_u32(const std::string& tok, const std::string& what) {
+  std::size_t used = 0;
+  unsigned long v = 0;
+  try {
+    v = std::stoul(tok, &used);
+  } catch (...) {
+    used = 0;
+  }
+  if (used != tok.size() || v > 0xFFFFFFFFul) {
+    throw std::runtime_error("bad " + what + " '" + tok + "'");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+Topology generate(const std::string& spec) {
+  const auto parts = split(spec, ':');
+  if (parts.empty()) throw std::runtime_error("empty --gen spec");
+  const std::string& family = parts[0];
+  auto want = [&](std::size_t n) {
+    if (parts.size() != n + 1) {
+      throw std::runtime_error("--gen=" + family + " needs " +
+                               std::to_string(n) + " ':'-separated fields");
+    }
+  };
+  if (family == "ring") {
+    want(2);
+    return make_ring(parse_u32(parts[1], "switch count"),
+                     parse_u32(parts[2], "terminal count"));
+  }
+  if (family == "torus") {
+    want(2);
+    std::vector<std::uint32_t> dims;
+    for (const std::string& d : split(parts[1], 'x')) {
+      dims.push_back(parse_u32(d, "torus dimension"));
+    }
+    return make_torus(dims, parse_u32(parts[2], "terminal count"), true);
+  }
+  if (family == "tree") {
+    want(2);
+    return make_kary_ntree(parse_u32(parts[1], "k"), parse_u32(parts[2], "n"));
+  }
+  if (family == "random") {
+    want(5);
+    Rng rng(0xDFC0'0000ULL + parse_u32(parts[5], "seed"));
+    return make_random(parse_u32(parts[1], "switch count"),
+                       parse_u32(parts[2], "terminal count"),
+                       parse_u32(parts[3], "link count"),
+                       parse_u32(parts[4], "port count"), rng);
+  }
+  if (family == "real") {
+    want(1);
+    for (Topology& t : make_all_real_systems()) {
+      std::string lowered;
+      for (char c : t.name) {
+        lowered.push_back(static_cast<char>(std::tolower(c)));
+      }
+      if (lowered.find(parts[1]) != std::string::npos) return std::move(t);
+    }
+    throw std::runtime_error("unknown real system '" + parts[1] + "'");
+  }
+  throw std::runtime_error("unknown generator family '" + family + "'");
+}
+
+Topology load_topology(const std::string& path, const std::string& format) {
+  std::string fmt = format;
+  if (fmt.empty()) {
+    // Sniff: netfiles start with switch/terminal/link keywords.
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open topology: " + path);
+    std::string line;
+    fmt = "ibnetdiscover";
+    while (std::getline(in, line)) {
+      std::istringstream ls(line);
+      std::string tok;
+      if (!(ls >> tok) || tok[0] == '#') continue;
+      if (tok == "switch" || tok == "terminal" || tok == "link") {
+        fmt = "netfile";
+      }
+      break;
+    }
+  }
+  if (fmt == "netfile") return read_netfile_path(path);
+  if (fmt == "ibnetdiscover") return read_ibnetdiscover_path(path);
+  throw std::runtime_error("unknown --topo-format '" + fmt + "'");
+}
+
+/// Case-insensitive engine match ignoring non-alphanumerics, so "updown"
+/// finds "Up*/Down*".
+std::string normalized(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(static_cast<char>(std::tolower(c)));
+    }
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+struct Report {
+  std::string topology;
+  std::size_t switches = 0, terminals = 0, channels = 0;
+  std::string routing_source;
+  Layer layers = 1;
+  bool analyzed = false;
+  bool deadlock_free = false;
+  DeadlockWitness witness;
+  std::string cert_out, cert_check;
+  CertCheckResult check;
+  bool checked = false;
+  bool linted = false;
+  LintReport lints;
+};
+
+void print_json(const Network& net, const Report& r, std::ostream& out) {
+  out << "{\n";
+  out << "  \"topology\": \"" << json_escape(r.topology) << "\",\n";
+  out << "  \"switches\": " << r.switches << ",\n";
+  out << "  \"terminals\": " << r.terminals << ",\n";
+  out << "  \"channels\": " << r.channels << ",\n";
+  out << "  \"routing\": \"" << json_escape(r.routing_source) << "\",\n";
+  out << "  \"layers\": " << unsigned(r.layers);
+  if (r.analyzed) {
+    out << ",\n  \"deadlock_free\": " << (r.deadlock_free ? "true" : "false");
+    if (!r.witness.empty()) {
+      out << ",\n  \"witness\": {\"layer\": " << unsigned(r.witness.layer)
+          << ", \"cycle\": [";
+      for (std::size_t i = 0; i < r.witness.edges.size(); ++i) {
+        const WitnessEdge& e = r.witness.edges[i];
+        const Channel& ch = net.channel(e.from);
+        out << (i ? ", " : "") << "{\"channel\": \""
+            << json_escape(net.node(ch.src).name + "->" +
+                           net.node(ch.dst).name)
+            << "\", \"inducing_paths\": " << e.inducing_paths << "}";
+      }
+      out << "]}";
+    }
+  }
+  if (!r.cert_out.empty()) {
+    out << ",\n  \"certificate_written\": \"" << json_escape(r.cert_out)
+        << "\"";
+  }
+  if (r.checked) {
+    out << ",\n  \"certificate\": {\"file\": \"" << json_escape(r.cert_check)
+        << "\", \"ok\": " << (r.check.ok ? "true" : "false")
+        << ", \"paths_checked\": " << r.check.paths_checked
+        << ", \"deps_checked\": " << r.check.deps_checked;
+    if (!r.check.ok) {
+      out << ", \"error\": \"" << json_escape(r.check.error) << "\"";
+    }
+    out << "}";
+  }
+  if (r.linted) {
+    out << ",\n  \"lint_counts\": {";
+    bool first = true;
+    for (std::size_t k = 0; k < kNumLintKinds; ++k) {
+      if (r.lints.counts[k] == 0) continue;
+      out << (first ? "" : ", ") << "\""
+          << to_string(static_cast<LintKind>(k)) << "\": "
+          << r.lints.counts[k];
+      first = false;
+    }
+    out << "},\n  \"lints\": [";
+    for (std::size_t i = 0; i < r.lints.lints.size(); ++i) {
+      const Lint& l = r.lints.lints[i];
+      out << (i ? ",\n    " : "\n    ") << "{\"kind\": \"" << to_string(l.kind)
+          << "\", \"message\": \"" << json_escape(l.message) << "\"}";
+    }
+    out << (r.lints.lints.empty() ? "]" : "\n  ]");
+  }
+  out << "\n}\n";
+}
+
+int run(int argc, char** argv) {
+  Cli cli(argc, argv);
+  if (cli.get_bool("help", false)) return usage(cli.program().c_str());
+
+  const std::string topo_file = cli.get("topo", "");
+  const std::string gen_spec = cli.get("gen", "");
+  const std::string dump_file = cli.get("dump", "");
+  const std::string engine = cli.get("route", "");
+  if ((topo_file.empty() == gen_spec.empty()) ||
+      (dump_file.empty() == engine.empty())) {
+    return usage(cli.program().c_str());
+  }
+
+  const ExecContext exec(static_cast<unsigned>(
+      std::max<std::int64_t>(0, cli.get_int("threads", 0))));
+
+  Topology topo = topo_file.empty() ? generate(gen_spec)
+                                    : load_topology(topo_file,
+                                                    cli.get("topo-format", ""));
+  Report report;
+  report.topology = topo.name;
+  report.switches = topo.net.num_switches();
+  report.terminals = topo.net.num_terminals();
+  report.channels = topo.net.num_channels();
+
+  RoutingTable table;
+  DumpStats dump_stats;
+  const DumpStats* dump_stats_ptr = nullptr;
+  if (!dump_file.empty()) {
+    table = read_forwarding_dump_path(topo.net, dump_file, &dump_stats);
+    dump_stats_ptr = &dump_stats;
+    report.routing_source = "dump:" + dump_file;
+  } else {
+    const Layer max_layers = static_cast<Layer>(std::min<std::int64_t>(
+        kMaxLayers, std::max<std::int64_t>(1, cli.get_int("max-layers", 8))));
+    const std::string want = normalized(engine);
+    std::unique_ptr<Router> chosen;
+    std::string roster;
+    for (auto& router : make_all_routers(max_layers)) {
+      roster += (roster.empty() ? "" : ", ") + router->name();
+      if (normalized(router->name()) == want) chosen = std::move(router);
+    }
+    if (!chosen) {
+      std::fprintf(stderr, "dfcheck: unknown engine '%s' (have: %s)\n",
+                   engine.c_str(), roster.c_str());
+      return 2;
+    }
+    RoutingOutcome out = chosen->route(topo);
+    if (!out.ok) {
+      std::fprintf(stderr, "dfcheck: %s refused %s: %s\n",
+                   chosen->name().c_str(), topo.name.c_str(),
+                   out.error.c_str());
+      return 2;
+    }
+    table = std::move(out.table);
+    report.routing_source = "engine:" + chosen->name();
+  }
+  report.layers = table.num_layers();
+
+  const std::string dump_out = cli.get("dump-out", "");
+  if (!dump_out.empty()) write_forwarding_dump(topo.net, table, dump_out);
+
+  const std::uint32_t witness_paths = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, cli.get_int("witness-paths", 3)));
+  const bool json = cli.get_bool("json", false);
+  const std::string cert_out = cli.get("cert-out", "");
+  const std::string cert_check = cli.get("cert-check", "");
+  const bool want_lints = cli.get_bool("lints", false);
+
+  int exit_code = 0;
+
+  // Certificate emission and the default analysis share the build: both
+  // need the per-layer topological orders (or the cyclic layer).
+  if (!cert_check.empty()) {
+    report.cert_check = cert_check;
+    const Certificate cert = read_certificate_path(topo.net, cert_check);
+    report.check = check_certificate(topo.net, table, cert);
+    report.checked = true;
+    if (!report.check.ok) exit_code = 1;
+    if (!json) {
+      if (report.check.ok) {
+        std::printf("certificate %s: OK (%llu paths, %llu dependencies "
+                    "checked, no cycle search)\n",
+                    cert_check.c_str(),
+                    static_cast<unsigned long long>(report.check.paths_checked),
+                    static_cast<unsigned long long>(report.check.deps_checked));
+      } else {
+        std::printf("certificate %s: REJECTED: %s\n", cert_check.c_str(),
+                    report.check.error.c_str());
+      }
+    }
+  } else {
+    report.analyzed = true;
+    const CertificateResult cert = make_certificate(topo.net, table, exec);
+    report.deadlock_free = cert.ok;
+    if (!cert.ok) {
+      exit_code = 1;
+      report.witness = extract_witness(topo.net, table, witness_paths);
+      if (!json) {
+        std::printf("routing is NOT deadlock-free (layer %u CDG is cyclic)\n",
+                    unsigned(cert.cyclic_layer));
+        write_witness(topo.net, report.witness, std::cout);
+      }
+    } else {
+      if (!json) {
+        std::printf("routing is deadlock-free: every one of the %u layer "
+                    "CDGs admits a topological order\n",
+                    unsigned(cert.cert.num_layers));
+      }
+      if (!cert_out.empty()) {
+        write_certificate_path(topo.net, cert.cert, cert_out);
+        report.cert_out = cert_out;
+        if (!json) {
+          std::printf("certificate written to %s\n", cert_out.c_str());
+        }
+      }
+    }
+    if (!cert.ok && !cert_out.empty() && !json) {
+      std::printf("no certificate written (no topological order exists)\n");
+    }
+  }
+
+  if (want_lints) {
+    report.linted = true;
+    report.lints = lint_routing(topo.net, table, {}, dump_stats_ptr, exec);
+    if (report.lints.count(LintKind::kUnreachableDestination) > 0 ||
+        report.lints.count(LintKind::kSlOutOfRange) > 0) {
+      exit_code = std::max(exit_code, 1);
+    }
+    if (!json) {
+      if (report.lints.clean()) {
+        std::printf("lints: clean (%llu paths checked)\n",
+                    static_cast<unsigned long long>(
+                        report.lints.paths_checked));
+      } else {
+        for (const Lint& l : report.lints.lints) {
+          std::printf("lint[%s]: %s\n", to_string(l.kind), l.message.c_str());
+        }
+        for (std::size_t k = 0; k < kNumLintKinds; ++k) {
+          if (report.lints.counts[k] != 0) {
+            std::printf("lint-count[%s]: %llu\n",
+                        to_string(static_cast<LintKind>(k)),
+                        static_cast<unsigned long long>(
+                            report.lints.counts[k]));
+          }
+        }
+      }
+    }
+  }
+
+  if (json) print_json(topo.net, report, std::cout);
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace dfsssp
+
+int main(int argc, char** argv) {
+  try {
+    return dfsssp::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dfcheck: %s\n", e.what());
+    return 2;
+  }
+}
