@@ -85,11 +85,11 @@ int main(int argc, char** argv) {
           .cell(load.imbalance, 2)
           .cell(static_cast<std::uint64_t>(v.out.stats.layers_used))
           .cell(heaviest_layer_weight(topo, v.out.table));
-      std::printf(".");
-      std::fflush(stdout);
+      std::fprintf(stderr, ".");
+      std::fflush(stderr);
     }
   }
-  std::printf("\n");
+  std::fprintf(stderr, "\n");
   cfg.emit(table);
   return 0;
 }

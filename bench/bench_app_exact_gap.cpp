@@ -67,10 +67,10 @@ int main(int argc, char** argv) {
       table.cell(out.ok ? std::to_string(out.stats.layers_used) : "-");
     }
     table.cell(first_fit ? std::to_string(first_fit) : "-");
-    std::printf(".");
-    std::fflush(stdout);
+    std::fprintf(stderr, ".");
+    std::fflush(stderr);
   }
-  std::printf("\n");
+  std::fprintf(stderr, "\n");
   cfg.emit(table);
   return 0;
 }

@@ -93,10 +93,10 @@ int main(int argc, char** argv) {
         .cell(fmt_or_dash(df_ebb, 4))
         .cell(df.ok ? std::to_string(df.stats.layers_used) : "-")
         .cell(minimal ? "yes" : "no");
-    std::printf(".");
-    std::fflush(stdout);
+    std::fprintf(stderr, ".");
+    std::fflush(stderr);
   }
-  std::printf("\n");
+  std::fprintf(stderr, "\n");
   cfg.emit(table);
   return 0;
 }

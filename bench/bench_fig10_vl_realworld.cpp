@@ -43,10 +43,10 @@ int main(int argc, char** argv) {
                                             "fig10-" + topo.name + "-dfsssp",
                                             exec));
     }
-    std::printf(".");
-    std::fflush(stdout);
+    std::fprintf(stderr, ".");
+    std::fflush(stderr);
   }
-  std::printf("\n");
+  std::fprintf(stderr, "\n");
   for (const std::string& note : cert_notes) {
     std::printf("certificate %s\n", note.c_str());
   }

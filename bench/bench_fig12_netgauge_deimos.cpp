@@ -84,8 +84,8 @@ int main(int argc, char** argv) {
                                               flows, fopts, srng);
         flit[e] += r.avg_flow_throughput * link_mib / allocs;
       }
-      std::printf(".");
-      std::fflush(stdout);
+      std::fprintf(stderr, ".");
+      std::fflush(stderr);
     }
     char ratio[32];
     std::snprintf(ratio, sizeof(ratio), "+%.0f%%",
@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
         .cell(share[1], 1).cell(share[2], 1).cell(flit[0], 1)
         .cell(flit[1], 1).cell(flit[2], 1).cell(ratio);
   }
-  std::printf("\n");
+  std::fprintf(stderr, "\n");
   cfg.emit(table);
   return 0;
 }

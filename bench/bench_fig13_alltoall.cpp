@@ -55,10 +55,10 @@ int main(int argc, char** argv) {
           bytes / r.min_flow_bandwidth + (cores - 1) * 2e-6;
       table.cell(seconds * 1e3, 2);
     }
-    std::printf(".");
-    std::fflush(stdout);
+    std::fprintf(stderr, ".");
+    std::fflush(stderr);
   }
-  std::printf("\n");
+  std::fprintf(stderr, "\n");
   cfg.emit(table);
   return 0;
 }

@@ -82,12 +82,12 @@ int main(int argc, char** argv) {
             topo, d.table, cert_dir,
             "fig9-links" + std::to_string(links) + "-dfsssp", exec));
       }
-      std::printf(".");
-      std::fflush(stdout);
+      std::fprintf(stderr, ".");
+      std::fflush(stderr);
     }
     table.row().cell(links).cell(lash_agg.str()).cell(dfsssp_agg.str());
   }
-  std::printf("\n");
+  std::fprintf(stderr, "\n");
   for (const std::string& note : cert_notes) {
     std::printf("certificate %s\n", note.c_str());
   }

@@ -42,15 +42,15 @@ int main(int argc, char** argv) {
       mx = std::max(mx, v);
       sum += v;
       ++n;
-      std::printf(".");
-      std::fflush(stdout);
+      std::fprintf(stderr, ".");
+      std::fflush(stderr);
     }
     table.row().cell(to_string(h)).cell(n ? std::to_string(mn) : "-")
         .cell(n ? fmt_or_dash(sum / n, 2) : "-")
         .cell(n ? std::to_string(mx) : "-")
         .cell(failures);
   }
-  std::printf("\n");
+  std::fprintf(stderr, "\n");
   cfg.emit(table);
   return 0;
 }

@@ -68,11 +68,11 @@ int main(int argc, char** argv) {
           .cell(rel)
           .cell(storm.avg_flow_bandwidth, 4)
           .cell(trel);
-      std::printf(".");
-      std::fflush(stdout);
+      std::fprintf(stderr, ".");
+      std::fflush(stderr);
     }
   }
-  std::printf("\n");
+  std::fprintf(stderr, "\n");
   cfg.emit(table);
   return 0;
 }

@@ -39,10 +39,10 @@ int main(int argc, char** argv) {
     for (const auto& router : routers) {
       table.cell(fmt_or_dash(ebb_for(topo, *router, cfg.patterns, 0x30D3), 4));
     }
-    std::printf(".");
-    std::fflush(stdout);
+    std::fprintf(stderr, ".");
+    std::fflush(stderr);
   }
-  std::printf("\n");
+  std::fprintf(stderr, "\n");
   cfg.emit(table);
   return 0;
 }

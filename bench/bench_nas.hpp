@@ -18,7 +18,7 @@ using KernelFactory = std::function<AppKernel(std::uint32_t)>;
 /// Allocation mirrors Section VI: one process per node up to 512 cores,
 /// 1024 processes on 250 nodes.
 inline void run_nas_bench(const std::string& figure, const std::string& kernel_name,
-                          const KernelFactory& factory, const BenchConfig& cfg,
+                          const KernelFactory& factory, BenchConfig& cfg,
                           std::span<const std::uint32_t> core_steps) {
   Topology topo = make_deimos();
   struct Engine {
@@ -58,10 +58,10 @@ inline void run_nas_bench(const std::string& figure, const std::string& kernel_n
     std::snprintf(ratio, sizeof(ratio), "+%.1f%%",
                   100.0 * (dfsssp_gf / minhop_gf - 1.0));
     table.cell(ratio);
-    std::printf(".");
-    std::fflush(stdout);
+    std::fprintf(stderr, ".");
+    std::fflush(stderr);
   }
-  std::printf("\n");
+  std::fprintf(stderr, "\n");
   cfg.emit(table);
 }
 

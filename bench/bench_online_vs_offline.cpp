@@ -54,10 +54,10 @@ int main(int argc, char** argv) {
         .cell((off.ok ? std::to_string(off.stats.layers_used) : "-") + "/" +
               (nv.ok ? std::to_string(nv.stats.layers_used) : "-") + "/" +
               (on.ok ? std::to_string(on.stats.layers_used) : "-"));
-    std::printf(".");
-    std::fflush(stdout);
+    std::fprintf(stderr, ".");
+    std::fflush(stderr);
   }
-  std::printf("\n");
+  std::fprintf(stderr, "\n");
   cfg.emit(table);
   return 0;
 }

@@ -43,10 +43,10 @@ int main(int argc, char** argv) {
                   100.0 * (b.gflops / a.gflops - 1.0));
     table.row().cell(k.name).cell(ranks).cell(a.gflops, 2).cell(b.gflops, 2)
         .cell(ratio);
-    std::printf(".");
-    std::fflush(stdout);
+    std::fprintf(stderr, ".");
+    std::fflush(stderr);
   }
-  std::printf("\n");
+  std::fprintf(stderr, "\n");
   cfg.emit(table);
   return 0;
 }

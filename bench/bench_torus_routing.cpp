@@ -55,11 +55,11 @@ int main(int argc, char** argv) {
       std::snprintf(cell, sizeof(cell), "%.4f | %u | %s", ebb.ebb,
                     unsigned(out.stats.layers_used), df ? "yes" : "NO");
       table.cell(cell);
-      std::printf(".");
-      std::fflush(stdout);
+      std::fprintf(stderr, ".");
+      std::fflush(stderr);
     }
   }
-  std::printf("\n");
+  std::fprintf(stderr, "\n");
   cfg.emit(table);
   return 0;
 }

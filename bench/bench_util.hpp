@@ -7,6 +7,10 @@
 //   --threads=N   worker threads for the parallel layers (default: one per
 //                 hardware core; results are identical at any N)
 //   --csv=FILE    additionally dump the table as CSV
+//   --json=FILE   structured run report {bench, config, wall_seconds,
+//                 tables, metrics, timing_metrics}; the `metrics` section is
+//                 bitwise identical at any --threads=N
+//   --trace=FILE  Chrome trace_event span log (load in ui.perfetto.dev)
 // Default sizes finish in seconds so `for b in build/bench/*; do $b; done`
 // stays practical; --full reproduces the paper's largest configurations.
 #pragma once
@@ -14,6 +18,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
@@ -22,9 +27,12 @@
 
 #include "analysis/certificate.hpp"
 #include "common/cli.hpp"
+#include "common/json.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/router.hpp"
 #include "sim/congestion.hpp"
 #include "topology/generators.hpp"
@@ -38,6 +46,9 @@ struct BenchConfig {
   /// 0 = one thread per hardware core.
   std::uint32_t threads = 0;
   std::string csv;
+  std::string json;
+  std::string trace;
+  std::string program;
 
   static BenchConfig parse(int argc, char** argv) {
     Cli cli(argc, argv);
@@ -50,6 +61,14 @@ struct BenchConfig {
     cfg.threads = static_cast<std::uint32_t>(
         std::max<std::int64_t>(0, cli.get_int("threads", 0)));
     cfg.csv = cli.get("csv", "");
+    cfg.json = cli.get("json", "");
+    cfg.trace = cli.get("trace", "");
+    cfg.program = cli.program();
+    const std::size_t slash = cfg.program.find_last_of('/');
+    if (slash != std::string::npos) cfg.program.erase(0, slash + 1);
+    // Spans buffer from here on; the atexit hook writes the file, so a
+    // bench that exits through any path still produces its trace.
+    if (!cfg.trace.empty()) obs::start_tracing(cfg.trace);
     return cfg;
   }
 
@@ -57,13 +76,54 @@ struct BenchConfig {
   /// each call spins up a fresh thread pool.
   ExecContext exec() const { return ExecContext(threads); }
 
-  void emit(Table& table) const {
+  void emit(Table& table) {
     table.print();
     if (!csv.empty()) {
       table.write_csv(csv);
       std::printf("(csv written to %s)\n", csv.c_str());
     }
+    emitted_.push_back(table);
+    if (!json.empty()) {
+      write_json_report();
+      std::printf("(json report written to %s)\n", json.c_str());
+    }
   }
+
+  /// The structured run report behind --json: config and tables for the
+  /// trajectory plots, the obs registry split into the deterministic
+  /// `metrics` section (diffable across thread counts) and the wall-clock
+  /// `timing_metrics` section. Rewritten on every emit() so multi-table
+  /// binaries accumulate.
+  void write_json_report() const {
+    std::ofstream out(json);
+    if (!out) {
+      std::fprintf(stderr, "cannot open json report: %s\n", json.c_str());
+      return;
+    }
+    char wall[32];
+    std::snprintf(wall, sizeof(wall), "%.3f", wall_.seconds());
+    out << "{\n  \"bench\": " << json_quote(program) << ",\n";
+    out << "  \"config\": {\"full\": " << (full ? "true" : "false")
+        << ", \"patterns\": " << patterns << ", \"seeds\": " << seeds
+        << ", \"threads\": " << threads << "},\n";
+    out << "  \"wall_seconds\": " << wall << ",\n";
+    out << "  \"tables\": [";
+    for (std::size_t i = 0; i < emitted_.size(); ++i) {
+      out << (i ? ",\n    " : "\n    ");
+      emitted_[i].write_json(out, 4);
+    }
+    out << (emitted_.empty() ? "]" : "\n  ]") << ",\n";
+    const obs::Snapshot snap = obs::registry().snapshot();
+    out << "  \"metrics\": ";
+    obs::write_metrics_json(out, snap, obs::Kind::kDeterministic, 2);
+    out << ",\n  \"timing_metrics\": ";
+    obs::write_metrics_json(out, snap, obs::Kind::kTiming, 2);
+    out << "\n}\n";
+  }
+
+ private:
+  Timer wall_;
+  std::vector<Table> emitted_;
 };
 
 /// eBB over all terminals with a fixed pattern stream (so engines see
@@ -110,10 +170,12 @@ inline Table run_roster(
     for (const auto& router : routers) {
       table.cell(cell(topos[i], *router, i));
     }
-    std::printf(".");
-    std::fflush(stdout);
+    // Progress goes to stderr: with stdout redirected to a file the dots
+    // would interleave with the table output.
+    std::fprintf(stderr, ".");
+    std::fflush(stderr);
   }
-  std::printf("\n");
+  std::fprintf(stderr, "\n");
   return table;
 }
 
@@ -127,10 +189,12 @@ ebb_cell(const BenchConfig& cfg, std::uint64_t pattern_seed) {
   };
 }
 
-/// Canned run_roster cell: wall-clock routing time in milliseconds.
+/// Canned run_roster cell: wall-clock routing time in milliseconds. The
+/// sample also lands in the "bench/route_ns" timing histogram, so --json
+/// reports carry the full routing-runtime distribution.
 inline std::string runtime_cell(const Topology& topo, const Router& router,
                                 std::size_t) {
-  Timer timer;
+  ScopedTimer timer("bench/route_ns");
   RoutingOutcome out = router.route(topo);
   const double ms = timer.milliseconds();
   return out.ok ? fmt_or_dash(ms, 1) : "-";

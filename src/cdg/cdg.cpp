@@ -5,6 +5,9 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace dfsssp {
 
 // ---- Cdg --------------------------------------------------------------------
@@ -251,15 +254,24 @@ LayerResult assign_layers_offline(const PathSet& paths,
     if (paths.channels(p).size() >= 2) members.push_back(p);
   }
 
+  // Registry telemetry for the cycle-breaking loop — the numbers behind the
+  // paper's Figures 7-10. Aggregated in locals and flushed once per call.
+  std::uint64_t cycles_found = 0, paths_migrated = 0;
+  static obs::Histogram& h_migration_layer = obs::registry().histogram(
+      "cdg/migration_target_layer",
+      {1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16});
+
   std::vector<std::uint32_t> cycle;
   Layer layers_used = 1;
   for (Layer l = 0; l < options.max_layers; ++l) {
     if (members.empty()) break;
     layers_used = static_cast<Layer>(l + 1);
+    TRACE_SPAN("dfsssp/cycle_search");
     Cdg cdg(paths, members, num_channels);
     CycleFinder finder(cdg);
     std::vector<std::uint32_t> moved;
     while (finder.next_cycle(cycle)) {
+      ++cycles_found;
       if (l + 1 >= options.max_layers) {
         result.error = "cycle remains in the last virtual layer (" +
                        std::to_string(options.max_layers) +
@@ -273,8 +285,10 @@ LayerResult assign_layers_offline(const PathSet& paths,
         moved.push_back(p);
       }
       ++result.cycles_broken;
+      h_migration_layer.record(static_cast<std::uint64_t>(l) + 1);
       finder.repair();
     }
+    paths_migrated += moved.size();
     members = std::move(moved);
   }
 
@@ -283,6 +297,28 @@ LayerResult assign_layers_offline(const PathSet& paths,
     result.layers_used =
         balance_layers(paths, result.layer, layers_used, options.max_layers);
   }
+
+  static obs::Counter& c_cycles = obs::registry().counter("cdg/cycles_found");
+  static obs::Counter& c_migrated =
+      obs::registry().counter("cdg/paths_migrated");
+  c_cycles.add(cycles_found);
+  c_migrated.add(paths_migrated);
+  // Edges broken, attributed to the heuristic that chose them (== cycles
+  // broken: one cut edge per cycle).
+  obs::registry()
+      .counter(std::string("cdg/edges_broken/") + to_string(options.heuristic))
+      .add(result.cycles_broken);
+  // Final per-layer occupancy (after balancing when enabled): one recorded
+  // sample per used layer, valued at the layer's member count.
+  static obs::Histogram& h_occupancy = obs::registry().histogram(
+      "cdg/layer_occupancy", obs::exponential_buckets(1, 4.0, 10));
+  std::vector<std::uint64_t> occupancy(result.layers_used, 0);
+  for (std::uint32_t p = 0; p < paths.size(); ++p) {
+    if (paths.channels(p).empty()) continue;
+    ++occupancy[result.layer[p]];
+  }
+  for (std::uint64_t o : occupancy) h_occupancy.record(o);
+
   result.ok = true;
   return result;
 }

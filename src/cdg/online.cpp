@@ -72,6 +72,7 @@ void OnlineCdg::remove_edge(ChannelId u, ChannelId v) {
 }
 
 bool OnlineCdg::reorder(ChannelId u, ChannelId v) {
+  ++num_reorders_;
   // Because every existing edge (a,b) satisfies ord_[a] < ord_[b], any
   // directed path has strictly increasing order values; both searches stay
   // inside the affected window [ord_[v], ord_[u]] automatically.

@@ -38,6 +38,9 @@ class OnlineCdg {
 
   std::uint64_t num_paths() const { return num_paths_; }
   std::uint64_t num_edges() const { return num_edges_; }
+  /// Pearce-Kelly reorder passes run so far (the non-trivial acyclicity
+  /// checks); exposed so callers can flush it into the obs registry.
+  std::uint64_t num_reorders() const { return num_reorders_; }
 
   /// Exposed for tests: true when (u,v) is currently present.
   bool has_edge(ChannelId u, ChannelId v) const;
@@ -59,6 +62,7 @@ class OnlineCdg {
   std::vector<std::uint8_t> mark_;    // scratch for the reorder DFS
   std::uint64_t num_paths_ = 0;
   std::uint64_t num_edges_ = 0;
+  std::uint64_t num_reorders_ = 0;
 };
 
 }  // namespace dfsssp

@@ -1,0 +1,39 @@
+// Tiny JSON string-quoting helper shared by every writer that emits JSON by
+// hand (obs registry snapshots, trace export, Table::write_json, dfcheck).
+// The repo deliberately has no JSON library dependency; all emitters build
+// documents structurally and only need correct string escaping.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace dfsssp {
+
+/// Returns `s` as a double-quoted JSON string literal with all mandatory
+/// escapes applied (quote, backslash, control characters).
+inline std::string json_quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace dfsssp

@@ -2,7 +2,30 @@
 
 #include <algorithm>
 
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+
 namespace dfsssp {
+
+namespace {
+
+// Pool telemetry is Kind::kTiming: chunk counts depend on the chunking
+// (hence the thread count) and queue waits on scheduling, so neither
+// belongs in the deterministic metric section.
+obs::Counter& pool_chunk_counter() {
+  static obs::Counter& c =
+      obs::registry().counter("pool/chunks_executed", obs::Kind::kTiming);
+  return c;
+}
+
+obs::Histogram& pool_queue_wait_histogram() {
+  static obs::Histogram& h = obs::registry().histogram(
+      "pool/queue_wait_ns", obs::exponential_buckets(250, 4.0, 14),
+      obs::Kind::kTiming);
+  return h;
+}
+
+}  // namespace
 
 // ---- ThreadPool -------------------------------------------------------------
 
@@ -32,7 +55,10 @@ void ThreadPool::drain_job(std::unique_lock<Mutex>& lock) {
     job_.cursor = end;
     ++job_.in_flight;
     const auto* body = job_.body;
+    const std::uint64_t posted_ns = job_.posted_ns;
     lock.unlock();
+    pool_queue_wait_histogram().record(Timer::now_ns() - posted_ns);
+    pool_chunk_counter().inc();
     std::exception_ptr error;
     try {
       (*body)(begin, end);
@@ -73,6 +99,7 @@ void ThreadPool::run_chunked(
   job_.cursor = 0;
   job_.in_flight = 0;
   ++job_.generation;
+  job_.posted_ns = Timer::now_ns();
   job_.body = &body;
   job_.error = nullptr;
   work_cv_.notify_all();

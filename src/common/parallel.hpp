@@ -103,6 +103,7 @@ class ThreadPool {
     std::size_t cursor = 0;        // next unclaimed index
     std::size_t in_flight = 0;     // chunks currently executing
     std::uint64_t generation = 0;  // bumps once per run_chunked call
+    std::uint64_t posted_ns = 0;   // when run_chunked published the job
     const std::function<void(std::size_t, std::size_t)>* body = nullptr;
     std::exception_ptr error;
   };

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <ostream>
 #include <stdexcept>
+
+#include "common/json.hpp"
 
 namespace dfsssp {
 
@@ -78,6 +81,34 @@ void Table::write_csv(const std::string& path) const {
           << (c + 1 == columns_.size() ? "\n" : ",");
     }
   }
+}
+
+void Table::write_json(std::ostream& out, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  out << "{\n" << pad << "  \"title\": " << json_quote(title_) << ",\n";
+  out << pad << "  \"columns\": [";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out << (c ? ", " : "") << json_quote(columns_[c]);
+  }
+  out << "],\n" << pad << "  \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out << (r ? ",\n" : "\n") << pad << "    [";
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      // Short rows pad with empty cells, mirroring print()/write_csv.
+      out << (c ? ", " : "")
+          << json_quote(c < rows_[r].size() ? rows_[r][c] : std::string());
+    }
+    out << "]";
+  }
+  if (!rows_.empty()) out << "\n" << pad << "  ";
+  out << "]\n" << pad << "}";
+}
+
+void Table::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open JSON output: " + path);
+  write_json(out);
+  out << "\n";
 }
 
 }  // namespace dfsssp

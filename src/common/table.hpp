@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <type_traits>
 #include <string>
 #include <vector>
@@ -35,6 +36,13 @@ class Table {
 
   /// Writes the table as CSV (header + rows) to `path`.
   void write_csv(const std::string& path) const;
+
+  /// Writes the table as a JSON object {"title", "columns", "rows"} —
+  /// the form embedded in the bench `--json` run reports, so tables
+  /// round-trip without re-parsing CSV. `indent` spaces prefix every line;
+  /// output ends without a trailing newline.
+  void write_json(std::ostream& out, int indent = 0) const;
+  void write_json(const std::string& path) const;
 
   std::size_t num_rows() const { return rows_.size(); }
   const std::vector<std::vector<std::string>>& rows() const { return rows_; }

@@ -1,7 +1,12 @@
-// Wall-clock timer used for the routing-runtime experiments (Figures 7/8).
+// Wall-clock timing: the Timer used by the routing-runtime experiments
+// (Figures 7/8), the monotonic now_ns() the trace spans build on, and a
+// ScopedTimer that records elapsed nanoseconds into a named obs histogram.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
 
 namespace dfsssp {
 
@@ -18,9 +23,45 @@ class Timer {
 
   double milliseconds() const { return seconds() * 1e3; }
 
+  /// Monotonic nanosecond reading (steady clock; epoch is arbitrary but
+  /// consistent within the process). Shared timebase of trace spans and
+  /// ScopedTimer.
+  static std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Times its scope and records the elapsed nanoseconds into an obs timing
+/// histogram on destruction. Replaces the ad-hoc Timer + printf pairs: the
+/// reading stays queryable through the registry after the scope ends.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(obs::Histogram& hist)
+      : hist_(&hist), start_ns_(Timer::now_ns()) {}
+  /// Looks the histogram up by name (Kind::kTiming, exponential ns buckets).
+  explicit ScopedTimer(const char* name)
+      : ScopedTimer(obs::registry().timing_histogram(name)) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  std::uint64_t elapsed_ns() const { return Timer::now_ns() - start_ns_; }
+  double milliseconds() const {
+    return static_cast<double>(elapsed_ns()) / 1e6;
+  }
+
+  ~ScopedTimer() { hist_->record(elapsed_ns()); }
+
+ private:
+  obs::Histogram* hist_;
+  std::uint64_t start_ns_;
 };
 
 }  // namespace dfsssp

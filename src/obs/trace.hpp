@@ -1,0 +1,55 @@
+// Scoped trace spans with a Chrome trace_event JSON exporter.
+//
+// TRACE_SPAN("dfsssp/cycle_search") opens a span for the enclosing scope;
+// spans nest lexically and are timed with Timer::now_ns(). When no trace
+// session is active (the default) a span is one relaxed atomic load —
+// effectively free. Bench binaries and dfcheck activate a session with
+// --trace=FILE; the file loads in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+//
+// Building with -DDFS_OBS_TRACING=OFF (CMake) defines DFS_OBS_NO_TRACING and
+// compiles every TRACE_SPAN to literally nothing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dfsssp::obs {
+
+/// True while a trace session is collecting spans.
+bool tracing_active();
+
+/// Starts collecting spans; they are buffered in memory and written to
+/// `path` by stop_tracing(). A session left active at process exit is
+/// flushed by an atexit hook, so callers may simply start and forget.
+/// Starting while active restarts the session (prior spans are dropped).
+void start_tracing(std::string path);
+
+/// Writes the Chrome trace_event JSON file and ends the session. No-op when
+/// no session is active. Returns the number of spans written.
+std::size_t stop_tracing();
+
+/// RAII span. `name` must outlive the span (string literals in practice).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace dfsssp::obs
+
+#if defined(DFS_OBS_NO_TRACING)
+#define TRACE_SPAN(name) static_cast<void>(0)
+#else
+#define DFS_OBS_CAT2(a, b) a##b
+#define DFS_OBS_CAT(a, b) DFS_OBS_CAT2(a, b)
+#define TRACE_SPAN(name) \
+  ::dfsssp::obs::TraceSpan DFS_OBS_CAT(dfs_trace_span_, __COUNTER__)(name)
+#endif

@@ -5,6 +5,8 @@
 #include "cdg/online.hpp"
 #include "cdg/verify.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/collect.hpp"
 #include "routing/sssp.hpp"
 
@@ -15,7 +17,9 @@ RoutingOutcome DfssspRouter::route(const Topology& topo) const {
   RoutingOutcome out = route_sssp(net, SsspOptions{.balance = true});
   if (!out.ok) return out;
 
+  TRACE_SPAN("dfsssp/layering");
   Timer timer;
+  std::uint64_t acyclicity_checks = 0, pk_reorders = 0;
   const std::uint32_t num_channels =
       static_cast<std::uint32_t>(net.num_channels());
   PathSet paths = collect_paths(net, out.table);
@@ -34,6 +38,7 @@ RoutingOutcome DfssspRouter::route(const Topology& topo) const {
         if (l == layers.size()) {
           layers.push_back(std::make_unique<OnlineCdg>(num_channels));
         }
+        ++acyclicity_checks;
         if (layers[l]->try_add_path(seq)) {
           assigned = l;
           break;
@@ -47,6 +52,7 @@ RoutingOutcome DfssspRouter::route(const Topology& topo) const {
       layer[p] = assigned;
       layers_used = std::max(layers_used, static_cast<Layer>(assigned + 1));
     }
+    for (const auto& l : layers) pk_reorders += l->num_reorders();
     if (options_.balance) {
       layers_used =
           balance_layers(paths, layer, layers_used, options_.max_layers);
@@ -62,6 +68,7 @@ RoutingOutcome DfssspRouter::route(const Topology& topo) const {
       Layer assigned = kInvalidLayer;
       for (Layer l = 0; l < options_.max_layers; ++l) {
         members[l].push_back(p);
+        ++acyclicity_checks;
         if (paths_are_acyclic(paths, members[l], num_channels)) {
           assigned = l;
           break;
@@ -102,6 +109,18 @@ RoutingOutcome DfssspRouter::route(const Topology& topo) const {
   out.table.set_num_layers(layers_used);
   out.stats.layers_used = layers_used;
   out.stats.layering_seconds = timer.seconds();
+  if (acyclicity_checks > 0) {
+    static obs::Counter& c_checks =
+        obs::registry().counter("dfsssp/acyclicity_checks");
+    c_checks.add(acyclicity_checks);
+  }
+  if (pk_reorders > 0) {
+    static obs::Counter& c_reorders =
+        obs::registry().counter("dfsssp/pk_reorders");
+    c_reorders.add(pk_reorders);
+  }
+  static obs::Gauge& g_layers = obs::registry().gauge("dfsssp/layers_used");
+  g_layers.set(layers_used);
   return out;
 }
 

@@ -6,6 +6,8 @@
 
 #include "common/heap.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/spath.hpp"
 
 namespace dfsssp {
@@ -13,7 +15,11 @@ namespace dfsssp {
 bool sssp_fill_planes(const Network& net, const SsspOptions& options,
                       std::span<RoutingTable> planes, RoutingStats& stats,
                       std::string& error) {
+  TRACE_SPAN("sssp/fill_planes");
   Timer timer;
+  // Heap traffic is aggregated in locals and flushed once per call, so the
+  // Dijkstra inner loop sees plain register increments, not atomics.
+  std::uint64_t num_passes = 0, num_pops = 0, num_relaxations = 0;
   const std::size_t num_sw = net.num_switches();
   const std::uint64_t n = net.num_nodes();
   // Initial weight |V|^2 forces minimal paths (§II): the extra weight a
@@ -43,9 +49,11 @@ bool sssp_fill_planes(const Network& net, const SsspOptions& options,
       heap.reset(num_sw);
       dist[dst_index] = 0;
       heap.push(0, dst_index);
+      ++num_passes;
       std::size_t settled = 0;
       while (!heap.empty()) {
         auto [du, u_index] = heap.pop();
+        ++num_pops;
         order[settled++] = u_index;
         NodeId u = net.switch_by_index(u_index);
         for (ChannelId c : net.out_switch_channels(u)) {
@@ -57,6 +65,7 @@ bool sssp_fill_planes(const Network& net, const SsspOptions& options,
             dist[v_index] = cand;
             parent[v_index] = fwd;
             heap.push_or_decrease(cand, v_index);
+            ++num_relaxations;
           }
         }
       }
@@ -91,6 +100,14 @@ bool sssp_fill_planes(const Network& net, const SsspOptions& options,
     }
   }
 
+  static obs::Counter& c_passes =
+      obs::registry().counter("sssp/dijkstra_passes");
+  static obs::Counter& c_pops = obs::registry().counter("sssp/heap_pops");
+  static obs::Counter& c_relaxations =
+      obs::registry().counter("sssp/relaxations");
+  c_passes.add(num_passes);
+  c_pops.add(num_pops);
+  c_relaxations.add(num_relaxations);
   stats.route_seconds += timer.seconds();
   return true;
 }

@@ -4,6 +4,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace dfsssp {
 
 namespace {
@@ -29,6 +32,7 @@ PatternResult simulate_pattern(const Network& net, const RoutingTable& table,
                                const CongestionOptions& options) {
   PatternResult result;
   if (flows.empty()) return result;
+  std::uint64_t freeze_rounds = 0;
 
   // Per-channel flow counts.
   std::vector<std::uint32_t> load(net.num_channels(), 0);
@@ -70,6 +74,7 @@ PatternResult simulate_pattern(const Network& net, const RoutingTable& table,
     std::vector<std::uint32_t> alive(flows.size());
     for (std::uint32_t f = 0; f < flows.size(); ++f) alive[f] = f;
     while (!alive.empty()) {
+      ++freeze_rounds;
       double tightest = std::numeric_limits<double>::infinity();
       for (ChannelId c : used) {
         tightest = std::min(tightest, remaining[c] / active[c]);
@@ -116,6 +121,19 @@ PatternResult simulate_pattern(const Network& net, const RoutingTable& table,
   }
   result.avg_flow_bandwidth = sum / static_cast<double>(flows.size());
   result.min_flow_bandwidth = mn;
+
+  // Pattern telemetry; recorded from worker threads, merged shard-wise.
+  // All integer tallies over an index-identified work set, so readings are
+  // thread-count invariant.
+  static obs::Counter& c_patterns =
+      obs::registry().counter("sim/patterns_simulated");
+  static obs::Counter& c_rounds =
+      obs::registry().counter("sim/freeze_rounds");
+  static obs::Histogram& h_maxcong = obs::registry().histogram(
+      "sim/max_congestion", {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  c_patterns.inc();
+  if (freeze_rounds > 0) c_rounds.add(freeze_rounds);
+  h_maxcong.record(result.max_congestion);
   return result;
 }
 
@@ -166,6 +184,7 @@ EbbResult effective_bisection_bandwidth(const Network& net,
                                         const CongestionOptions& options,
                                         const ExecContext& exec) {
   EbbResult out;
+  TRACE_SPAN("sim/ebb");
   out.min_pattern = std::numeric_limits<double>::infinity();
   // One base value from the caller's stream; pattern i generates and
   // simulates with its own Rng seeded from (base, i), and the reduction

@@ -5,6 +5,9 @@
 #include <functional>
 #include <memory>
 
+#include <sstream>
+
+#include "obs/metrics.hpp"
 #include "routing/collect.hpp"
 #include "routing/dfsssp.hpp"
 #include "routing/lash.hpp"
@@ -90,6 +93,37 @@ TEST(Determinism, VerificationIsThreadCountInvariant) {
   EXPECT_EQ(serial.broken, parallel.broken);
   EXPECT_EQ(serial.non_minimal, parallel.non_minimal);
   EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table, ExecContext{8}));
+}
+
+TEST(Determinism, MetricReadingsAreThreadCountInvariant) {
+  // The observability extension of the contract: everything exported in the
+  // deterministic `metrics` section of a --json run report must read the
+  // same at any --threads=N. Full DFSSSP route + eBB sim per thread count,
+  // compared through the same serializer the bench reports use.
+  const auto run = [](unsigned threads) {
+    const obs::Snapshot before = obs::registry().snapshot();
+    Rng rng(424242);
+    Topology topo = make_random(20, 2, 50, 8, rng);
+    RoutingOutcome out = DfssspRouter().route(topo);
+    EXPECT_TRUE(out.ok);
+    RankMap map = RankMap::round_robin(topo.net, 40);
+    Rng pat(777);
+    effective_bisection_bandwidth(topo.net, out.table, map, 40, pat, {},
+                                  ExecContext{threads});
+    std::ostringstream json;
+    obs::write_metrics_json(
+        json, obs::snapshot_delta(obs::registry().snapshot(), before),
+        obs::Kind::kDeterministic);
+    return json.str();
+  };
+  const std::string one = run(1);
+  const std::string two = run(2);
+  const std::string eight = run(8);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+  // The run actually exercised the instrumented paths.
+  EXPECT_NE(one.find("sim/patterns_simulated"), std::string::npos);
+  EXPECT_NE(one.find("sssp/dijkstra_passes"), std::string::npos);
 }
 
 TEST(Determinism, RoutingIndependentOfPriorRouting) {

@@ -25,13 +25,18 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "analysis/certificate.hpp"
 #include "analysis/lints.hpp"
 #include "analysis/witness.hpp"
 #include "common/cli.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/dump.hpp"
 #include "routing/router.hpp"
 #include "topology/generators.hpp"
@@ -64,7 +69,8 @@ int usage(const char* program) {
                "  --lints             run the lint suite\n"
                "  --json              machine-readable output\n"
                "  --witness-paths=N   inducing paths shown per cycle edge (3)\n"
-               "  --threads=N         worker threads (0 = hardware)\n",
+               "  --threads=N         worker threads (0 = hardware)\n"
+               "  --trace=FILE        Chrome trace_event span log (Perfetto)\n",
                program);
   return 2;
 }
@@ -176,14 +182,23 @@ std::string normalized(const std::string& name) {
 }
 
 std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (c == '\n') {
-      out += "\\n";
+  // Escaped content without the surrounding quotes (print_json supplies
+  // them); delegates to the shared quoting helper.
+  const std::string quoted = json_quote(s);
+  return quoted.substr(1, quoted.size() - 2);
+}
+
+/// "dfcheck/..." timing histograms from the obs registry, as (name, ms,
+/// samples). What --trace records as spans, this reports as totals.
+std::vector<std::tuple<std::string, double, std::uint64_t>> dfcheck_timings() {
+  std::vector<std::tuple<std::string, double, std::uint64_t>> out;
+  for (const auto& [name, v] : obs::registry().snapshot()) {
+    if (name.rfind("dfcheck/", 0) != 0 ||
+        v.type != obs::MetricValue::Type::kHistogram || v.hist.count == 0) {
       continue;
     }
-    out.push_back(c);
+    out.emplace_back(name, static_cast<double>(v.hist.sum) / 1e6,
+                     v.hist.count);
   }
   return out;
 }
@@ -259,6 +274,17 @@ void print_json(const Network& net, const Report& r, std::ostream& out) {
     }
     out << (r.lints.lints.empty() ? "]" : "\n  ]");
   }
+  const auto timings = dfcheck_timings();
+  if (!timings.empty()) {
+    out << ",\n  \"timing_ms\": {";
+    for (std::size_t i = 0; i < timings.size(); ++i) {
+      char ms[32];
+      std::snprintf(ms, sizeof(ms), "%.3f", std::get<1>(timings[i]));
+      out << (i ? ", " : "") << "\"" << json_escape(std::get<0>(timings[i]))
+          << "\": " << ms;
+    }
+    out << "}";
+  }
   out << "\n}\n";
 }
 
@@ -277,6 +303,9 @@ int run(int argc, char** argv) {
 
   const ExecContext exec(static_cast<unsigned>(
       std::max<std::int64_t>(0, cli.get_int("threads", 0))));
+
+  const std::string trace_file = cli.get("trace", "");
+  if (!trace_file.empty()) obs::start_tracing(trace_file);
 
   Topology topo = topo_file.empty() ? generate(gen_spec)
                                     : load_topology(topo_file,
@@ -309,7 +338,11 @@ int run(int argc, char** argv) {
                    engine.c_str(), roster.c_str());
       return 2;
     }
-    RoutingOutcome out = chosen->route(topo);
+    RoutingOutcome out = [&] {
+      TRACE_SPAN("dfcheck/route");
+      ScopedTimer timer("dfcheck/route_ns");
+      return chosen->route(topo);
+    }();
     if (!out.ok) {
       std::fprintf(stderr, "dfcheck: %s refused %s: %s\n",
                    chosen->name().c_str(), topo.name.c_str(),
@@ -338,7 +371,11 @@ int run(int argc, char** argv) {
   if (!cert_check.empty()) {
     report.cert_check = cert_check;
     const Certificate cert = read_certificate_path(topo.net, cert_check);
-    report.check = check_certificate(topo.net, table, cert);
+    {
+      TRACE_SPAN("dfcheck/cert_check");
+      ScopedTimer timer("dfcheck/cert_check_ns");
+      report.check = check_certificate(topo.net, table, cert);
+    }
     report.checked = true;
     if (!report.check.ok) exit_code = 1;
     if (!json) {
@@ -355,7 +392,11 @@ int run(int argc, char** argv) {
     }
   } else {
     report.analyzed = true;
-    const CertificateResult cert = make_certificate(topo.net, table, exec);
+    const CertificateResult cert = [&] {
+      TRACE_SPAN("dfcheck/certificate");
+      ScopedTimer timer("dfcheck/certificate_ns");
+      return make_certificate(topo.net, table, exec);
+    }();
     report.deadlock_free = cert.ok;
     if (!cert.ok) {
       exit_code = 1;
@@ -386,7 +427,11 @@ int run(int argc, char** argv) {
 
   if (want_lints) {
     report.linted = true;
-    report.lints = lint_routing(topo.net, table, {}, dump_stats_ptr, exec);
+    {
+      TRACE_SPAN("dfcheck/lints");
+      ScopedTimer timer("dfcheck/lints_ns");
+      report.lints = lint_routing(topo.net, table, {}, dump_stats_ptr, exec);
+    }
     if (report.lints.count(LintKind::kUnreachableDestination) > 0 ||
         report.lints.count(LintKind::kSlOutOfRange) > 0) {
       exit_code = std::max(exit_code, 1);
@@ -412,7 +457,20 @@ int run(int argc, char** argv) {
     }
   }
 
-  if (json) print_json(topo.net, report, std::cout);
+  if (json) {
+    print_json(topo.net, report, std::cout);
+  } else {
+    for (const auto& [name, ms, samples] : dfcheck_timings()) {
+      std::printf("timing[%s]: %.3f ms (%llu sample%s)\n", name.c_str(), ms,
+                  static_cast<unsigned long long>(samples),
+                  samples == 1 ? "" : "s");
+    }
+  }
+  if (!trace_file.empty()) {
+    const std::size_t spans = obs::stop_tracing();
+    std::fprintf(stderr, "trace written to %s (%zu spans)\n",
+                 trace_file.c_str(), spans);
+  }
   return exit_code;
 }
 
