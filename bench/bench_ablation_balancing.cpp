@@ -50,18 +50,18 @@ int main(int argc, char** argv) {
   for (const Topology& topo : zoo) {
     struct Variant {
       std::string name;
-      RoutingOutcome out;
+      RouteResponse out;
     };
     std::vector<Variant> variants;
     variants.push_back(
-        {"SSSP unbalanced", SsspRouter(SsspOptions{.balance = false}).route(topo)});
-    variants.push_back({"SSSP balanced", SsspRouter().route(topo)});
+        {"SSSP unbalanced", SsspRouter(SsspOptions{.balance = false}).route(RouteRequest(topo))});
+    variants.push_back({"SSSP balanced", SsspRouter().route(RouteRequest(topo))});
     variants.push_back(
         {"DFSSSP, no layer balance",
-         DfssspRouter(DfssspOptions{.balance = false}).route(topo)});
+         DfssspRouter(DfssspOptions{.balance = false}).route(RouteRequest(topo))});
     variants.push_back(
         {"DFSSSP, layer balance",
-         DfssspRouter(DfssspOptions{.balance = true}).route(topo)});
+         DfssspRouter(DfssspOptions{.balance = true}).route(RouteRequest(topo))});
 
     RankMap map = RankMap::round_robin(
         topo.net, static_cast<std::uint32_t>(topo.net.num_terminals()));

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   zoo.push_back(make_random(6, 1, 9, 6, rng));
 
   for (const Topology& topo : zoo) {
-    RoutingOutcome sssp = SsspRouter().route(topo);
+    RouteResponse sssp = SsspRouter().route(RouteRequest(topo));
     if (!sssp.ok) continue;
     app::Instance inst = to_instance(topo, sssp.table);
 
@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
                              CycleHeuristic::kFirstEdge}) {
       DfssspRouter router(
           DfssspOptions{.max_layers = 16, .heuristic = h, .balance = false});
-      RoutingOutcome out = router.route(topo);
+      RouteResponse out = router.route(RouteRequest(topo));
       table.cell(out.ok ? std::to_string(out.stats.layers_used) : "-");
     }
     table.cell(first_fit ? std::to_string(first_fit) : "-");

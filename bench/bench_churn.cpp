@@ -1,0 +1,190 @@
+// Incremental repair under churn (fault subsystem end-to-end).
+//
+// Drives a seeded stream of link/switch down/up events into a k-ary n-tree
+// IN PLACE and repairs after every event with IncrementalDfsssp, validating
+// the repaired table's deadlock-freedom certificate with the independent
+// checker at every step. Two tables (and the --json report used as the
+// committed BENCH_churn.json trajectory point):
+//
+//   * single-link-failure repair vs from-scratch DFSSSP on the pristine
+//     fabric — the headline wall-clock speedup and the count of
+//     destinations the repair actually touched;
+//   * the churn soak summary — events applied/vetoed, full-recompute
+//     fallbacks, repair-latency stats against sampled from-scratch runs,
+//     and the certificate-check failure count (always 0 on a passing run).
+//
+// Extra flags on top of the bench_util set:
+//   --k=K --n=N       fabric (default 32-ary 2-tree: 1024 terminals)
+//   --events=E        churn events to generate (default 40)
+//   --event-seed=S    schedule seed
+//   --full-every=F    sample a from-scratch recompute every F applied
+//                     events (0 = never; default 10)
+//   --cert-dir=DIR    also write the certificate at every sample point
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "fault/churn.hpp"
+#include "fault/incremental.hpp"
+#include "fault/schedule.hpp"
+
+using namespace dfsssp;
+using namespace dfsssp::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::parse(argc, argv);
+  Cli cli(argc, argv);
+  const std::uint32_t k = static_cast<std::uint32_t>(cli.get_int("k", 32));
+  const std::uint32_t n = static_cast<std::uint32_t>(cli.get_int("n", 2));
+  const std::uint32_t events =
+      static_cast<std::uint32_t>(cli.get_int("events", 40));
+  const std::uint64_t event_seed =
+      static_cast<std::uint64_t>(cli.get_int("event-seed", 0xC4A17));
+  const std::uint32_t full_every =
+      static_cast<std::uint32_t>(cli.get_int("full-every", 10));
+  const std::string cert_dir = cli.get("cert-dir", "");
+  const ExecContext exec = cfg.exec();
+
+  Topology topo = make_kary_ntree(k, n);
+  std::printf("fabric: %s (%zu switches, %zu terminals, %zu channels)\n",
+              topo.name.c_str(), topo.net.num_switches(),
+              topo.net.num_terminals(), topo.net.num_channels());
+
+  // --- headline: one link failure, repair vs recompute -------------------
+  IncrementalDfsssp inc;
+  Timer route_timer;
+  RouteResponse base = inc.route(RouteRequest(topo, exec));
+  const double initial_route_ms = route_timer.seconds() * 1e3;
+  if (!base.ok) {
+    std::fprintf(stderr, "initial route failed: %s\n", base.error.c_str());
+    return 1;
+  }
+
+  ChurnEngine churn(topo);
+  const FaultSchedule one_kill =
+      FaultSchedule::link_kills(topo.net, 1, event_seed);
+  Table headline("Single-link-failure repair vs from-scratch DFSSSP",
+                 {"fabric", "alive dests", "dests rerouted", "repair ms",
+                  "full ms", "speedup"});
+  if (!one_kill.empty()) {
+    const ChurnDelta delta = churn.apply(one_kill[0]);
+    Timer repair_timer;
+    RouteResponse repaired = inc.repair(RouteRequest(topo, exec), delta);
+    const double repair_ms = repair_timer.seconds() * 1e3;
+    if (!repaired.ok || !repaired.repair.incremental) {
+      std::fprintf(stderr, "single-link repair was not incremental: %s%s\n",
+                   repaired.error.c_str(),
+                   repaired.repair.fallback_reason.c_str());
+      return 1;
+    }
+    Timer full_timer;
+    IncrementalDfsssp fresh;
+    RouteResponse full = fresh.route(RouteRequest(topo, exec));
+    const double full_ms = full_timer.seconds() * 1e3;
+    if (!full.ok) {
+      std::fprintf(stderr, "full recompute failed: %s\n", full.error.c_str());
+      return 1;
+    }
+    std::uint32_t alive = 0;
+    for (NodeId t : topo.net.terminals()) {
+      alive += topo.net.terminal_alive(t) ? 1 : 0;
+    }
+    headline.row()
+        .cell(topo.name)
+        .cell(alive)
+        .cell(repaired.repair.destinations_rerouted)
+        .cell(fmt_or_dash(repair_ms, 3))
+        .cell(fmt_or_dash(full_ms, 3))
+        .cell(repair_ms > 0 ? fmt_or_dash(full_ms / repair_ms, 1) : "-");
+    base = std::move(repaired);
+  }
+  cfg.emit(headline);
+
+  // --- churn soak --------------------------------------------------------
+  FaultScheduleOptions sched_opts;
+  sched_opts.num_events = events;
+  const FaultSchedule schedule =
+      FaultSchedule::random(topo.net, sched_opts, event_seed + 1);
+
+  std::uint32_t applied = 0, vetoed = 0, fallbacks = 0, cert_failures = 0;
+  std::uint64_t dests_rerouted = 0;
+  std::vector<double> repair_ms, full_ms;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const ChurnDelta delta = churn.apply(schedule[i]);
+    if (!delta.applied) {
+      ++vetoed;
+      continue;
+    }
+    ++applied;
+
+    Timer repair_timer;
+    base = inc.repair(RouteRequest(topo, exec), delta);
+    repair_ms.push_back(repair_timer.seconds() * 1e3);
+    if (!base.ok) {
+      std::fprintf(stderr, "repair after event %zu (%s) failed: %s\n", i,
+                   schedule[i].describe(topo.net).c_str(), base.error.c_str());
+      return 1;
+    }
+    if (!base.repair.incremental) ++fallbacks;
+    dests_rerouted += base.repair.destinations_rerouted;
+
+    // Every repaired state is independently certified deadlock-free.
+    const CertCheckResult check =
+        check_certificate(topo.net, base.table, inc.certificate());
+    if (!check.ok) {
+      ++cert_failures;
+      std::fprintf(stderr, "certificate check failed after event %zu: %s\n",
+                   i, check.error.c_str());
+    }
+
+    if (full_every > 0 && applied % full_every == 0) {
+      Timer full_timer;
+      IncrementalDfsssp fresh;
+      RouteResponse full = fresh.route(RouteRequest(topo, exec));
+      if (full.ok) full_ms.push_back(full_timer.seconds() * 1e3);
+      if (!cert_dir.empty()) {
+        std::printf("  %s\n",
+                    emit_certificate(topo, base.table, cert_dir,
+                                     "churn-" + std::to_string(applied), exec)
+                        .c_str());
+      }
+    }
+    std::fprintf(stderr, ".");
+    std::fflush(stderr);
+  }
+  std::fprintf(stderr, "\n");
+
+  auto mean = [](const std::vector<double>& v) {
+    if (v.empty()) return -1.0;
+    double sum = 0;
+    for (double x : v) sum += x;
+    return sum / static_cast<double>(v.size());
+  };
+  const double mean_repair = mean(repair_ms);
+  const double mean_full = mean(full_ms);
+  const double max_repair =
+      repair_ms.empty() ? -1.0
+                        : *std::max_element(repair_ms.begin(), repair_ms.end());
+
+  Table soak("Churn soak",
+             {"events", "applied", "vetoed", "full fallbacks",
+              "dests rerouted", "mean repair ms", "max repair ms",
+              "mean full ms", "speedup", "VLs", "cert failures",
+              "initial route ms"});
+  soak.row()
+      .cell(static_cast<std::uint64_t>(schedule.size()))
+      .cell(applied)
+      .cell(vetoed)
+      .cell(fallbacks)
+      .cell(dests_rerouted)
+      .cell(fmt_or_dash(mean_repair, 3))
+      .cell(fmt_or_dash(max_repair, 3))
+      .cell(fmt_or_dash(mean_full, 3))
+      .cell(mean_repair > 0 && mean_full > 0
+                ? fmt_or_dash(mean_full / mean_repair, 1)
+                : "-")
+      .cell(base.stats.layers_used)
+      .cell(cert_failures)
+      .cell(fmt_or_dash(initial_route_ms, 3));
+  cfg.emit(soak);
+  return cert_failures == 0 ? 0 : 1;
+}

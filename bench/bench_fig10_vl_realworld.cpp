@@ -30,9 +30,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> cert_notes;
   const ExecContext exec = cfg.exec();
   for (const Topology& topo : make_all_real_systems()) {
-    RoutingOutcome l = lash.route(topo);
-    RoutingOutcome d = dfsssp.route(topo);
-    RoutingOutcome o = dfsssp_online.route(topo);
+    RouteResponse l = lash.route(RouteRequest(topo));
+    RouteResponse d = dfsssp.route(RouteRequest(topo));
+    RouteResponse o = dfsssp_online.route(RouteRequest(topo));
     table.row()
         .cell(topo.name)
         .cell(l.ok ? std::to_string(l.stats.layers_used) : "failed")

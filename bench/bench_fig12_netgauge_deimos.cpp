@@ -29,12 +29,12 @@ int main(int argc, char** argv) {
 
   struct Engine {
     std::string name;
-    RoutingOutcome out;
+    RouteResponse out;
   };
   std::vector<Engine> engines;
-  engines.push_back({"MinHop", MinHopRouter().route(topo)});
-  engines.push_back({"LASH", LashRouter().route(topo)});
-  engines.push_back({"DFSSSP", DfssspRouter().route(topo)});
+  engines.push_back({"MinHop", MinHopRouter().route(RouteRequest(topo))});
+  engines.push_back({"LASH", LashRouter().route(RouteRequest(topo))});
+  engines.push_back({"DFSSSP", DfssspRouter().route(RouteRequest(topo))});
   for (const auto& e : engines) {
     if (!e.out.ok) {
       std::printf("%s failed: %s\n", e.name.c_str(), e.out.error.c_str());

@@ -21,12 +21,12 @@ int main(int argc, char** argv) {
 
   struct Engine {
     std::string name;
-    RoutingOutcome out;
+    RouteResponse out;
   };
   std::vector<Engine> engines;
-  engines.push_back({"MinHop", MinHopRouter().route(topo)});
-  engines.push_back({"LASH", LashRouter().route(topo)});
-  engines.push_back({"DFSSSP", DfssspRouter().route(topo)});
+  engines.push_back({"MinHop", MinHopRouter().route(RouteRequest(topo))});
+  engines.push_back({"LASH", LashRouter().route(RouteRequest(topo))});
+  engines.push_back({"DFSSSP", DfssspRouter().route(RouteRequest(topo))});
 
   Rng alloc_rng(0xF1613ULL);
   RankMap map = RankMap::random_allocation(topo.net, cores, cores, alloc_rng);

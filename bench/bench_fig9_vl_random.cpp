@@ -71,10 +71,10 @@ int main(int argc, char** argv) {
     for (std::uint32_t seed = 0; seed < cfg.seeds; ++seed) {
       Rng rng(0xF169'0000ULL + seed * 977 + links);
       Topology topo = make_random(num_switches, terminals, links, ports, rng);
-      RoutingOutcome l = lash.route(topo);
+      RouteResponse l = lash.route(RouteRequest(topo));
       if (l.ok) lash_agg.add(l.stats.layers_used);
       else ++lash_agg.failures;
-      RoutingOutcome d = dfsssp.route(topo);
+      RouteResponse d = dfsssp.route(RouteRequest(topo));
       if (d.ok) dfsssp_agg.add(d.stats.layers_used);
       else ++dfsssp_agg.failures;
       if (!cert_dir.empty() && seed == 0 && d.ok) {

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
     for (std::uint32_t seed = 0; seed < cfg.seeds; ++seed) {
       Rng rng(0x4E0'0000ULL + seed * 131);
       Topology topo = make_random(num_switches, terminals, links, ports, rng);
-      RoutingOutcome out = router.route(topo);
+      RouteResponse out = router.route(RouteRequest(topo));
       if (!out.ok) {
         ++failures;
         continue;

@@ -23,7 +23,7 @@ void BM_MinHopRoute(benchmark::State& state) {
   Topology topo = make_kary_ntree(static_cast<std::uint32_t>(state.range(0)), 2);
   MinHopRouter router;
   for (auto _ : state) {
-    RoutingOutcome out = router.route(topo);
+    RouteResponse out = router.route(RouteRequest(topo));
     benchmark::DoNotOptimize(out);
   }
   state.SetItemsProcessed(state.iterations() *
@@ -35,7 +35,7 @@ void BM_SsspRoute(benchmark::State& state) {
   Topology topo = make_kary_ntree(static_cast<std::uint32_t>(state.range(0)), 2);
   SsspRouter router;
   for (auto _ : state) {
-    RoutingOutcome out = router.route(topo);
+    RouteResponse out = router.route(RouteRequest(topo));
     benchmark::DoNotOptimize(out);
   }
   state.SetItemsProcessed(state.iterations() *
@@ -48,7 +48,7 @@ void BM_OfflineLayering(benchmark::State& state) {
   Topology topo = make_random(static_cast<std::uint32_t>(state.range(0)), 8,
                               static_cast<std::uint32_t>(state.range(0)) * 2,
                               16, rng);
-  RoutingOutcome sssp = SsspRouter().route(topo);
+  RouteResponse sssp = SsspRouter().route(RouteRequest(topo));
   PathSet paths = collect_paths(topo.net, sssp.table);
   for (auto _ : state) {
     LayerResult r = assign_layers_offline(
@@ -64,7 +64,7 @@ BENCHMARK(BM_OfflineLayering)->Arg(16)->Arg(32)->Arg(64);
 void BM_OnlineCdgInsert(benchmark::State& state) {
   Rng rng(43);
   Topology topo = make_random(32, 8, 64, 16, rng);
-  RoutingOutcome sssp = SsspRouter().route(topo);
+  RouteResponse sssp = SsspRouter().route(RouteRequest(topo));
   PathSet paths = collect_paths(topo.net, sssp.table);
   for (auto _ : state) {
     OnlineCdg cdg(static_cast<std::uint32_t>(topo.net.num_channels()));
@@ -96,7 +96,7 @@ BENCHMARK(BM_HeapPushPop)->Arg(1024)->Arg(16384);
 
 void BM_CongestionPattern(benchmark::State& state) {
   Topology topo = make_deimos();
-  RoutingOutcome out = DfssspRouter().route(topo);
+  RouteResponse out = DfssspRouter().route(RouteRequest(topo));
   RankMap map = RankMap::round_robin(
       topo.net, static_cast<std::uint32_t>(topo.net.num_terminals()));
   Rng rng(11);

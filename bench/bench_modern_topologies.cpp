@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
 
   for (const Topology& topo : zoo) {
     DfssspRouter dfsssp(DfssspOptions{.max_layers = 8, .balance = false});
-    RoutingOutcome df = dfsssp.route(topo);
+    RouteResponse df = dfsssp.route(RouteRequest(topo));
     table.row().cell(topo.name).cell(topo.net.num_terminals())
         .cell(df.ok ? std::to_string(df.stats.layers_used) : "-");
     for (const auto& router : routers) {

@@ -23,12 +23,12 @@ inline void run_nas_bench(const std::string& figure, const std::string& kernel_n
   Topology topo = make_deimos();
   struct Engine {
     std::string name;
-    RoutingOutcome out;
+    RouteResponse out;
   };
   std::vector<Engine> engines;
-  engines.push_back({"MinHop", MinHopRouter().route(topo)});
-  engines.push_back({"LASH", LashRouter().route(topo)});
-  engines.push_back({"DFSSSP", DfssspRouter().route(topo)});
+  engines.push_back({"MinHop", MinHopRouter().route(RouteRequest(topo))});
+  engines.push_back({"LASH", LashRouter().route(RouteRequest(topo))});
+  engines.push_back({"DFSSSP", DfssspRouter().route(RouteRequest(topo))});
 
   Table table(figure + ": NAS " + kernel_name +
                   " model on the Deimos stand-in [total Gflop/s]",

@@ -35,14 +35,14 @@ int main(int argc, char** argv) {
                                       .mode = LayeringMode::kOnline});
     DfssspRouter naive(DfssspOptions{.max_layers = 16, .balance = false,
                                      .mode = LayeringMode::kOnlineNaive});
-    RoutingOutcome off = offline.route(topo);
-    RoutingOutcome on = online.route(topo);
+    RouteResponse off = offline.route(RouteRequest(topo));
+    RouteResponse on = online.route(RouteRequest(topo));
     // The naive variant is the slow one (423 s already at 96 switches /
     // 1536 endpoints — the paper's 4096-endpoint data point took ~2 h);
     // keep the default bench snappy.
     const bool run_naive = sw <= 32 || cfg.full;
-    RoutingOutcome nv =
-        run_naive ? naive.route(topo) : RoutingOutcome::failure("skipped");
+    RouteResponse nv =
+        run_naive ? naive.route(RouteRequest(topo)) : RouteResponse::failure("skipped");
     table.row()
         .cell(sw)
         .cell(topo.net.num_terminals())

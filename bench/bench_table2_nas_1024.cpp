@@ -9,8 +9,8 @@ using namespace dfsssp::bench;
 int main(int argc, char** argv) {
   BenchConfig cfg = BenchConfig::parse(argc, argv);
   Topology topo = make_deimos();
-  RoutingOutcome minhop = MinHopRouter().route(topo);
-  RoutingOutcome dfsssp = DfssspRouter().route(topo);
+  RouteResponse minhop = MinHopRouter().route(RouteRequest(topo));
+  RouteResponse dfsssp = DfssspRouter().route(RouteRequest(topo));
   if (!minhop.ok || !dfsssp.ok) {
     std::printf("routing failed\n");
     return 1;

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
         DfssspOptions{.max_layers = 16, .balance = false,
                       .mode = LayeringMode::kOnline}));
     for (const auto& router : routers) {
-      RoutingOutcome out = router->route(topo);
+      RouteResponse out = router->route(RouteRequest(topo));
       if (!out.ok) {
         table.cell("failed");
         continue;

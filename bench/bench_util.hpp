@@ -131,7 +131,7 @@ struct BenchConfig {
 inline double ebb_for(const Topology& topo, const Router& router,
                       std::uint32_t patterns, std::uint64_t pattern_seed,
                       const ExecContext& exec = {}) {
-  RoutingOutcome out = router.route(topo);
+  RouteResponse out = router.route(RouteRequest(topo, exec));
   if (!out.ok) return -1.0;
   RankMap map = RankMap::round_robin(
       topo.net, static_cast<std::uint32_t>(topo.net.num_terminals()));
@@ -195,7 +195,7 @@ ebb_cell(const BenchConfig& cfg, std::uint64_t pattern_seed) {
 inline std::string runtime_cell(const Topology& topo, const Router& router,
                                 std::size_t) {
   ScopedTimer timer("bench/route_ns");
-  RoutingOutcome out = router.route(topo);
+  RouteResponse out = router.route(RouteRequest(topo));
   const double ms = timer.milliseconds();
   return out.ok ? fmt_or_dash(ms, 1) : "-";
 }

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
                "deadlock-free", "eBB"});
   RankMap map = RankMap::round_robin(topo.net, ranks);
   for (const auto& router : make_all_routers()) {
-    RoutingOutcome out = router->route(topo);
+    RouteResponse out = router->route(RouteRequest(topo));
     if (!out.ok) {
       table.row().cell(router->name()).cell("-").cell("-").cell("-")
           .cell("-").cell("-").cell("failed: " + out.error);

@@ -54,8 +54,8 @@ int main(int argc, char** argv) {
   std::printf("ring of %u switches, every node sends %u packets %u hops clockwise\n",
               ring, opts.packets_per_flow, shift);
 
-  RoutingOutcome sssp = SsspRouter().route(topo);
-  RoutingOutcome dfsssp = DfssspRouter().route(topo);
+  RouteResponse sssp = SsspRouter().route(RouteRequest(topo));
+  RouteResponse dfsssp = DfssspRouter().route(RouteRequest(topo));
   if (!sssp.ok || !dfsssp.ok) {
     std::printf("routing failed\n");
     return 1;

@@ -29,8 +29,8 @@ void section_sssp_balancing() {
   // Two leaf switches under two spines; all traffic between the leaves.
   Topology topo = make_clos2(2, 2, 1, 8);
   for (bool balance : {false, true}) {
-    RoutingOutcome out =
-        SsspRouter(SsspOptions{.balance = balance}).route(topo);
+    RouteResponse out =
+        SsspRouter(SsspOptions{.balance = balance}).route(RouteRequest(topo));
     RankMap map = RankMap::round_robin(
         topo.net, static_cast<std::uint32_t>(topo.net.num_terminals()));
     Flows flows = map.to_flows(all_to_all(map.num_ranks()));
@@ -45,7 +45,7 @@ void section_sssp_balancing() {
 void section_ring_cdg() {
   std::printf("== Section III: the Figure 2 ring's dependency cycle ==\n");
   Topology topo = make_ring(5, 1);
-  RoutingOutcome sssp = SsspRouter().route(topo);
+  RouteResponse sssp = SsspRouter().route(RouteRequest(topo));
   PathSet paths = collect_paths(topo.net, sssp.table);
   std::vector<std::uint32_t> all(paths.size());
   std::iota(all.begin(), all.end(), 0U);
@@ -55,8 +55,8 @@ void section_ring_cdg() {
                   ? "yes"
                   : "NO - deadlock possible");
 
-  RoutingOutcome dfsssp =
-      DfssspRouter(DfssspOptions{.balance = false}).route(topo);
+  RouteResponse dfsssp =
+      DfssspRouter(DfssspOptions{.balance = false}).route(RouteRequest(topo));
   PathSet dpaths = collect_paths(topo.net, dfsssp.table);
   std::vector<Layer> layers = collect_layers(topo.net, dfsssp.table, dpaths);
   std::printf("  DFSSSP breaks %llu cycles into %u layers:\n",

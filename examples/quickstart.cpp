@@ -37,8 +37,8 @@ int main(int argc, char** argv) {
   //    layers for deadlock freedom) and MinHop as the baseline.
   DfssspRouter dfsssp;
   MinHopRouter minhop;
-  RoutingOutcome df = dfsssp.route(topo);
-  RoutingOutcome mh = minhop.route(topo);
+  RouteResponse df = dfsssp.route(RouteRequest(topo));
+  RouteResponse mh = minhop.route(RouteRequest(topo));
   if (!df.ok || !mh.ok) {
     std::printf("routing failed: %s%s\n", df.error.c_str(), mh.error.c_str());
     return 1;

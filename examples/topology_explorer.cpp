@@ -159,7 +159,7 @@ int main(int argc, char** argv) {
       topo.net, static_cast<std::uint32_t>(topo.net.num_terminals()));
   for (const auto& router : make_all_routers()) {
     if (engine != "all" && router->name() != engine) continue;
-    RoutingOutcome out = router->route(topo);
+    RouteResponse out = router->route(RouteRequest(topo));
     if (!out.ok) {
       std::printf("%-10s failed: %s\n", router->name().c_str(),
                   out.error.c_str());

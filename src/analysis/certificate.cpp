@@ -295,9 +295,9 @@ CertCheckResult check_certificate(const Network& net,
   // One pass over every forwarding path; no cycle search anywhere.
   std::vector<ChannelId> seq;
   for (NodeId sw : net.switches()) {
-    if (net.terminals_on(sw) == 0) continue;
+    if (net.terminals_on(sw) == 0 || !net.switch_up(sw)) continue;
     for (NodeId t : net.terminals()) {
-      if (net.switch_of(t) == sw) continue;
+      if (net.switch_of(t) == sw || !net.terminal_alive(t)) continue;
       const std::string pair_name =
           net.node(sw).name + " -> " + net.node(t).name;
       if (!table.extract_path(net, sw, t, seq)) {

@@ -71,6 +71,7 @@ LintReport lint_routing(const Network& net, const RoutingTable& table,
         f.layer_weight.assign(num_layers, 0);
         const NodeId dst = net.terminal_by_index(
             static_cast<std::uint32_t>(ti));
+        if (!net.terminal_alive(dst)) return f;  // fell off with its switch
         const NodeId dst_sw = net.switch_of(dst);
         const auto dist = bfs_distances(net, dst_sw);
         auto emit = [&](LintKind kind, std::string msg) {
@@ -91,8 +92,9 @@ LintReport lint_routing(const Network& net, const RoutingTable& table,
             continue;
           }
           // Source switches without terminals originate no paths; their LFT
-          // entries are exercised as transit hops of the walks below.
-          if (net.terminals_on(sw) == 0) continue;
+          // entries are exercised as transit hops of the walks below. Down
+          // switches originate nothing either.
+          if (net.terminals_on(sw) == 0 || !net.switch_up(sw)) continue;
           const std::string pair_name =
               net.node(sw).name + " -> " + net.node(dst).name;
           const Layer l = table.layer(sw, dst);

@@ -49,6 +49,16 @@ bool OnlineCdg::has_edge(ChannelId u, ChannelId v) const {
   return find_adj(out_[u], v) < out_[u].size();
 }
 
+std::vector<ChannelId> OnlineCdg::topological_order() const {
+  std::vector<ChannelId> order;
+  for (ChannelId c = 0; c < out_.size(); ++c) {
+    if (!out_[c].empty() || !in_[c].empty()) order.push_back(c);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](ChannelId a, ChannelId b) { return ord_[a] < ord_[b]; });
+  return order;
+}
+
 bool OnlineCdg::add_edge(ChannelId u, ChannelId v) {
   if (u == v) return false;
   std::size_t i = find_adj(out_[u], v);

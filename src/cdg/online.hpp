@@ -45,6 +45,12 @@ class OnlineCdg {
   /// Exposed for tests: true when (u,v) is currently present.
   bool has_edge(ChannelId u, ChannelId v) const;
 
+  /// Channels currently participating in at least one dependency edge,
+  /// sorted by the maintained order — a valid topological order of the
+  /// CDG (the Pearce-Kelly invariant), ready to serve as a certificate
+  /// layer without re-running Kahn over the whole graph.
+  std::vector<ChannelId> topological_order() const;
+
  private:
   /// Returns false when the edge would close a cycle (nothing inserted).
   bool add_edge(ChannelId u, ChannelId v);

@@ -1,0 +1,85 @@
+#include "fault/churn.hpp"
+
+#include <algorithm>
+
+namespace dfsssp {
+
+ChurnEngine::ChurnEngine(Topology& topo, ChurnOptions options)
+    : topo_(&topo), options_(options) {}
+
+ChurnDelta ChurnEngine::apply(const FaultEvent& event) {
+  Network& net = topo_->net;
+  ChurnDelta delta;
+  delta.event = event;
+
+  // Channels whose effective state can change: the link's two directions,
+  // or everything physically touching the switch (inter-switch links and
+  // the switch's terminals' injection/ejection channels).
+  std::vector<ChannelId> candidates;
+  const bool is_link = event.kind == FaultKind::kLinkDown ||
+                       event.kind == FaultKind::kLinkUp;
+  if (is_link) {
+    candidates = {event.channel, net.channel(event.channel).reverse};
+  } else {
+    for (ChannelId c : net.out_channels_all(event.sw)) {
+      candidates.push_back(c);
+      candidates.push_back(net.channel(c).reverse);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  std::vector<std::uint8_t> alive_before(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    alive_before[i] = net.channel_alive(candidates[i]) ? 1 : 0;
+  }
+  const bool sw_up_before = !is_link && net.switch_up(event.sw);
+
+  const bool up = event.kind == FaultKind::kLinkUp ||
+                  event.kind == FaultKind::kSwitchUp;
+  if (is_link) {
+    net.set_link_up(event.channel, up);
+  } else {
+    net.set_switch_up(event.sw, up);
+  }
+
+  if (!up && options_.veto_disconnecting && !net.alive_connected()) {
+    // Roll back: this fault would partition the alive fabric.
+    if (is_link) {
+      net.set_link_up(event.channel, true);
+    } else {
+      net.set_switch_up(event.sw, true);
+    }
+    delta.veto_reason = "would disconnect the alive switches";
+    ++events_vetoed_;
+    return delta;
+  }
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const bool alive_after = net.channel_alive(candidates[i]);
+    if (alive_before[i] && !alive_after) delta.downed.push_back(candidates[i]);
+    if (!alive_before[i] && alive_after) {
+      delta.restored.push_back(candidates[i]);
+    }
+  }
+  if (!is_link && net.switch_up(event.sw) != sw_up_before) {
+    (up ? delta.switches_up : delta.switches_down).push_back(event.sw);
+  }
+
+  delta.applied = !delta.no_effect();
+  if (!delta.applied) return delta;  // e.g. re-killing an already-dead link
+
+  ++events_applied_;
+  if (options_.degrade_meta && !topo_->meta.family.empty() &&
+      topo_->meta.family.find("/degraded") == std::string::npos) {
+    topo_->meta.sw_coord.clear();
+    topo_->meta.sw_level.clear();
+    topo_->meta.dims.clear();
+    topo_->meta.wraparound = false;
+    topo_->meta.family += "/degraded";
+  }
+  return delta;
+}
+
+}  // namespace dfsssp

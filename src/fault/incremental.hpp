@@ -1,0 +1,119 @@
+// Incremental DFSSSP repair.
+//
+// From-scratch DFSSSP recomputes every destination's forwarding tree and
+// re-layers every path on any topology change. But destination-based
+// forwarding localizes a fault's blast radius: a dead channel only breaks
+// the forwarding trees whose next-hop chains traverse it. IncrementalDfsssp
+// exploits that — it keeps the channel weight map, the per-destination
+// channel sequences and one OnlineCdg (Pearce-Kelly) per virtual layer
+// alive across faults, and on a ChurnDelta:
+//
+//   1. drops destinations that died with their switch,
+//   2. invalidates exactly the destinations whose forwarding entries use a
+//      downed channel (one scan of the table columns),
+//   3. re-runs weighted SSSP for just those destinations (in destination
+//      index order, so repair is deterministic and thread-count invariant),
+//   4. re-layers the fresh paths first-fit into the persistent online CDGs,
+//   5. falls back to a full recompute only when a layer overflows or a
+//      switch comes back up (a revived switch needs forwarding entries for
+//      every destination, which is a full recompute by definition),
+//
+// and emits a fresh deadlock-freedom certificate after every repair, so the
+// independent checker (analysis/certificate.hpp) can audit each churn step
+// exactly like a from-scratch run.
+//
+// The engine speaks the unified RouteRequest/RouteResponse API; repairs
+// report their provenance in RouteResponse::repair.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/certificate.hpp"
+#include "cdg/online.hpp"
+#include "common/heap.hpp"
+#include "fault/churn.hpp"
+#include "routing/router.hpp"
+
+namespace dfsssp {
+
+struct IncrementalOptions {
+  /// Default virtual-layer budget; RouteRequest::max_layers overrides.
+  Layer max_layers = 8;
+  /// Build a fresh certificate on every route()/repair(). Off only for
+  /// microbenchmarks that never audit the result.
+  bool emit_certificate = true;
+};
+
+class IncrementalDfsssp {
+ public:
+  explicit IncrementalDfsssp(IncrementalOptions options = {});
+
+  /// From-scratch weighted-SSSP + online first-fit layering of the
+  /// request's (possibly already degraded) network. Resets all incremental
+  /// state and binds the engine to this topology.
+  RouteResponse route(const RouteRequest& request);
+
+  /// Incremental repair after `delta` was applied (by ChurnEngine) to the
+  /// same topology route() last saw. Falls back to a full recompute — with
+  /// RouteResponse::repair.fallback_reason saying why — when it cannot
+  /// repair in place.
+  RouteResponse repair(const RouteRequest& request, const ChurnDelta& delta);
+
+  /// The certificate of the current table (empty when emit_certificate is
+  /// off or nothing was routed yet).
+  const Certificate& certificate() const { return certificate_; }
+
+ private:
+  enum class DestStatus { kOk, kOverflow, kDisconnected };
+
+  /// Stored forwarding-tree slice of one destination: the channel sequence
+  /// and layer per terminal-bearing source switch. These are exactly the
+  /// CDG members and weight carriers that must be retracted when the
+  /// destination is invalidated.
+  struct DestPaths {
+    bool routed = false;
+    std::vector<std::uint32_t> src;     // switch indices, ascending
+    std::vector<std::uint32_t> offset;  // size src.size() + 1
+    std::vector<ChannelId> channels;
+    std::vector<Layer> layer;  // per src entry
+  };
+
+  void reset(const Topology& topo, Layer max_layers);
+  /// Retracts a destination's paths from the CDGs and the weight map and
+  /// clears its table column.
+  void retract_destination(std::uint32_t ti);
+  /// Weighted Dijkstra from the destination's switch, weight update, path
+  /// storage and first-fit layering. `error` is set on failure.
+  DestStatus route_destination(std::uint32_t ti, std::string& error);
+  Layer scan_layers_used() const;
+  RouteResponse finish(const RouteRequest& request, RouteResponse out);
+  std::uint64_t count_paths() const;
+
+  IncrementalOptions options_;
+
+  // Bound state (valid after a successful route()).
+  const Topology* topo_ = nullptr;
+  Layer max_layers_ = 0;
+  RoutingTable table_;
+  std::vector<std::uint64_t> weight_;  // per channel, persistent
+  std::vector<std::unique_ptr<OnlineCdg>> layers_;
+  std::vector<DestPaths> dest_;  // per terminal index
+  Certificate certificate_;
+
+  // Dijkstra scratch, reused across destinations.
+  std::vector<std::uint64_t> dist_;
+  std::vector<ChannelId> parent_;
+  std::vector<std::uint32_t> order_;
+  std::vector<std::uint64_t> subtree_;
+  MinHeap<std::uint64_t> heap_;
+
+  // Per-call accumulators (reset at the top of route()/repair()).
+  double dijkstra_seconds_ = 0.0;
+  double layering_seconds_ = 0.0;
+  std::uint64_t acyclicity_checks_ = 0;
+};
+
+}  // namespace dfsssp

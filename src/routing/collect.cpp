@@ -11,9 +11,9 @@ PathSet collect_paths(const Network& net, const RoutingTable& table) {
   std::vector<ChannelId> seq;
   for (NodeId src_sw : net.switches()) {
     const std::uint32_t weight = net.terminals_on(src_sw);
-    if (weight == 0) continue;
+    if (weight == 0 || !net.switch_up(src_sw)) continue;
     for (NodeId t : net.terminals()) {
-      if (net.switch_of(t) == src_sw) continue;
+      if (net.switch_of(t) == src_sw || !net.terminal_alive(t)) continue;
       if (!table.extract_path(net, src_sw, t, seq)) {
         throw std::runtime_error("collect_paths: broken forwarding from " +
                                  net.node(src_sw).name + " to " +

@@ -12,9 +12,11 @@
 
 namespace dfsssp {
 
-RoutingOutcome DfssspRouter::route(const Topology& topo) const {
+RouteResponse DfssspRouter::route(const RouteRequest& request) const {
+  const Topology& topo = request.topo();
   const Network& net = topo.net;
-  RoutingOutcome out = route_sssp(net, SsspOptions{.balance = true});
+  const Layer max_layers = request.layer_budget(options_.max_layers);
+  RouteResponse out = route_sssp(net, SsspOptions{.balance = true});
   if (!out.ok) return out;
 
   TRACE_SPAN("dfsssp/layering");
@@ -34,7 +36,7 @@ RoutingOutcome DfssspRouter::route(const Topology& topo) const {
       auto seq = paths.channels(p);
       if (seq.size() < 2) continue;  // no dependencies, stays in layer 0
       Layer assigned = kInvalidLayer;
-      for (Layer l = 0; l < options_.max_layers; ++l) {
+      for (Layer l = 0; l < max_layers; ++l) {
         if (l == layers.size()) {
           layers.push_back(std::make_unique<OnlineCdg>(num_channels));
         }
@@ -45,9 +47,9 @@ RoutingOutcome DfssspRouter::route(const Topology& topo) const {
         }
       }
       if (assigned == kInvalidLayer) {
-        return RoutingOutcome::failure(
+        return RouteResponse::failure(
             "DFSSSP(online): ran out of virtual layers (" +
-            std::to_string(options_.max_layers) + ")");
+            std::to_string(max_layers) + ")");
       }
       layer[p] = assigned;
       layers_used = std::max(layers_used, static_cast<Layer>(assigned + 1));
@@ -55,18 +57,18 @@ RoutingOutcome DfssspRouter::route(const Topology& topo) const {
     for (const auto& l : layers) pk_reorders += l->num_reorders();
     if (options_.balance) {
       layers_used =
-          balance_layers(paths, layer, layers_used, options_.max_layers);
+          balance_layers(paths, layer, layers_used, max_layers);
     }
   } else if (mode == LayeringMode::kOnlineNaive) {
     // The paper's first approach: per path, per candidate layer, rebuild
     // the layer's member set and run a full depth-first cycle search.
     layer.assign(paths.size(), 0);
-    std::vector<std::vector<std::uint32_t>> members(options_.max_layers);
+    std::vector<std::vector<std::uint32_t>> members(max_layers);
     for (std::uint32_t p = 0; p < paths.size(); ++p) {
       auto seq = paths.channels(p);
       if (seq.size() < 2) continue;
       Layer assigned = kInvalidLayer;
-      for (Layer l = 0; l < options_.max_layers; ++l) {
+      for (Layer l = 0; l < max_layers; ++l) {
         members[l].push_back(p);
         ++acyclicity_checks;
         if (paths_are_acyclic(paths, members[l], num_channels)) {
@@ -76,25 +78,25 @@ RoutingOutcome DfssspRouter::route(const Topology& topo) const {
         members[l].pop_back();
       }
       if (assigned == kInvalidLayer) {
-        return RoutingOutcome::failure(
+        return RouteResponse::failure(
             "DFSSSP(naive-online): ran out of virtual layers (" +
-            std::to_string(options_.max_layers) + ")");
+            std::to_string(max_layers) + ")");
       }
       layer[p] = assigned;
       layers_used = std::max(layers_used, static_cast<Layer>(assigned + 1));
     }
     if (options_.balance) {
       layers_used =
-          balance_layers(paths, layer, layers_used, options_.max_layers);
+          balance_layers(paths, layer, layers_used, max_layers);
     }
   } else {
     LayerOptions lopts;
-    lopts.max_layers = options_.max_layers;
+    lopts.max_layers = max_layers;
     lopts.heuristic = options_.heuristic;
     lopts.balance = options_.balance;
     LayerResult res = assign_layers_offline(paths, num_channels, lopts);
     if (!res.ok) {
-      return RoutingOutcome::failure("DFSSSP: " + res.error);
+      return RouteResponse::failure("DFSSSP: " + res.error);
     }
     layer = std::move(res.layer);
     layers_used = res.layers_used;
@@ -109,18 +111,16 @@ RoutingOutcome DfssspRouter::route(const Topology& topo) const {
   out.table.set_num_layers(layers_used);
   out.stats.layers_used = layers_used;
   out.stats.layering_seconds = timer.seconds();
+  // Flush through the request's sink: one registry lookup per route() call,
+  // so a caller-supplied registry (fault repair, tests) sees these too.
+  obs::Registry& sink = request.sink();
   if (acyclicity_checks > 0) {
-    static obs::Counter& c_checks =
-        obs::registry().counter("dfsssp/acyclicity_checks");
-    c_checks.add(acyclicity_checks);
+    sink.counter("dfsssp/acyclicity_checks").add(acyclicity_checks);
   }
   if (pk_reorders > 0) {
-    static obs::Counter& c_reorders =
-        obs::registry().counter("dfsssp/pk_reorders");
-    c_reorders.add(pk_reorders);
+    sink.counter("dfsssp/pk_reorders").add(pk_reorders);
   }
-  static obs::Gauge& g_layers = obs::registry().gauge("dfsssp/layers_used");
-  g_layers.set(layers_used);
+  sink.gauge("dfsssp/layers_used").set(layers_used);
   return out;
 }
 

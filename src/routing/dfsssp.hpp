@@ -57,7 +57,7 @@ class DfssspRouter final : public Router {
     return "DFSSSP";
   }
   bool deadlock_free() const override { return true; }
-  RoutingOutcome route(const Topology& topo) const override;
+  RouteResponse route(const RouteRequest& request) const override;
 
  private:
   DfssspOptions options_;

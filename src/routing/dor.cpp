@@ -4,19 +4,20 @@
 
 namespace dfsssp {
 
-RoutingOutcome DorRouter::route(const Topology& topo) const {
+RouteResponse DorRouter::route(const RouteRequest& request) const {
+  const Topology& topo = request.topo();
   const Network& net = topo.net;
   const TopologyMeta& meta = topo.meta;
   Timer timer;
   if (!meta.has_coords() || meta.dims.empty()) {
-    return RoutingOutcome::failure("DOR needs torus/mesh coordinates");
+    return RouteResponse::failure("DOR needs torus/mesh coordinates");
   }
   const std::size_t nd = meta.dims.size();
   if (meta.sw_coord.size() != net.num_switches() * nd) {
-    return RoutingOutcome::failure("DOR: malformed coordinate metadata");
+    return RouteResponse::failure("DOR: malformed coordinate metadata");
   }
 
-  RoutingOutcome out;
+  RouteResponse out;
   out.table = RoutingTable(net);
 
   auto coord = [&](std::uint32_t sw_index, std::size_t dim) {
@@ -42,7 +43,7 @@ RoutingOutcome DorRouter::route(const Topology& topo) const {
       std::size_t dim = 0;
       while (dim < nd && cur[dim] == coord(dst_index, dim)) ++dim;
       if (dim == nd) {
-        return RoutingOutcome::failure("DOR: duplicate coordinates");
+        return RouteResponse::failure("DOR: duplicate coordinates");
       }
       const std::uint32_t k = meta.dims[dim];
       const std::uint32_t from = cur[dim];
@@ -66,7 +67,7 @@ RoutingOutcome DorRouter::route(const Topology& topo) const {
         }
       }
       if (hop == kInvalidChannel) {
-        return RoutingOutcome::failure("DOR: missing torus link");
+        return RouteResponse::failure("DOR: missing torus link");
       }
       out.table.set_next(s, d, hop);
     }

@@ -15,7 +15,7 @@ class DorRouter final : public Router {
  public:
   std::string name() const override { return "DOR"; }
   bool deadlock_free() const override { return false; }
-  RoutingOutcome route(const Topology& topo) const override;
+  RouteResponse route(const RouteRequest& request) const override;
 };
 
 }  // namespace dfsssp

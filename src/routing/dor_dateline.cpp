@@ -5,18 +5,19 @@
 
 namespace dfsssp {
 
-RoutingOutcome DorDatelineRouter::route(const Topology& topo) const {
+RouteResponse DorDatelineRouter::route(const RouteRequest& request) const {
+  const Topology& topo = request.topo();
   const Network& net = topo.net;
   const TopologyMeta& meta = topo.meta;
   Timer timer;
 
   // The forwarding tables are plain DOR.
-  RoutingOutcome out = DorRouter().route(topo);
+  RouteResponse out = DorRouter().route(request);
   if (!out.ok) return out;
 
   const std::size_t nd = meta.dims.size();
   if (nd > 0 && (1ULL << nd) > max_layers_) {
-    return RoutingOutcome::failure(
+    return RouteResponse::failure(
         "DOR-dateline: " + std::to_string(nd) + " dimensions need " +
         std::to_string(1ULL << nd) + " layers (> " +
         std::to_string(max_layers_) + ")");

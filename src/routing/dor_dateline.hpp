@@ -27,7 +27,7 @@ class DorDatelineRouter final : public Router {
 
   std::string name() const override { return "DOR-dateline"; }
   bool deadlock_free() const override { return true; }
-  RoutingOutcome route(const Topology& topo) const override;
+  RouteResponse route(const RouteRequest& request) const override;
 
  private:
   Layer max_layers_;

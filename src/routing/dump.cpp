@@ -13,7 +13,10 @@ std::pair<NodeId, std::uint32_t> channel_slot(const Network& net,
                                               ChannelId target) {
   const Channel& ch = net.channel(target);
   std::uint32_t index = 0;
-  for (ChannelId c : net.out_channels(ch.src)) {
+  // Physical adjacency: slot naming must not shift when links or switches
+  // are down, or dumps and certificates written under churn would not be
+  // comparable across fault states.
+  for (ChannelId c : net.out_channels_all(ch.src)) {
     if (c == target) return {ch.dst, index};
     if (net.channel(c).dst == ch.dst) ++index;
   }
@@ -23,7 +26,7 @@ std::pair<NodeId, std::uint32_t> channel_slot(const Network& net,
 ChannelId channel_from_slot(const Network& net, NodeId src, NodeId neighbor,
                             std::uint32_t index) {
   std::uint32_t seen = 0;
-  for (ChannelId c : net.out_channels(src)) {
+  for (ChannelId c : net.out_channels_all(src)) {
     if (net.channel(c).dst == neighbor) {
       if (seen == index) return c;
       ++seen;
@@ -37,8 +40,9 @@ void write_forwarding_dump(const Network& net, const RoutingTable& table,
   out << "# dfsssp forwarding dump\n";
   out << "layers " << unsigned(table.num_layers()) << "\n";
   for (NodeId sw : net.switches()) {
+    if (!net.switch_up(sw)) continue;
     for (NodeId t : net.terminals()) {
-      if (net.switch_of(t) == sw) continue;
+      if (net.switch_of(t) == sw || !net.terminal_alive(t)) continue;
       const ChannelId c = table.next(sw, t);
       if (c == kInvalidChannel) continue;
       auto [neighbor, index] = channel_slot(net, c);
@@ -47,8 +51,9 @@ void write_forwarding_dump(const Network& net, const RoutingTable& table,
     }
   }
   for (NodeId sw : net.switches()) {
+    if (!net.switch_up(sw)) continue;
     for (NodeId t : net.terminals()) {
-      if (net.switch_of(t) == sw) continue;
+      if (net.switch_of(t) == sw || !net.terminal_alive(t)) continue;
       const Layer l = table.layer(sw, t);
       if (l != 0) {
         out << "sl " << net.node(sw).name << " " << net.node(t).name << " "

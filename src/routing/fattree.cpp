@@ -4,15 +4,16 @@
 
 namespace dfsssp {
 
-RoutingOutcome FatTreeRouter::route(const Topology& topo) const {
+RouteResponse FatTreeRouter::route(const RouteRequest& request) const {
+  const Topology& topo = request.topo();
   const Network& net = topo.net;
   const TopologyMeta& meta = topo.meta;
   Timer timer;
   if (!meta.has_levels() || meta.sw_level.size() != net.num_switches()) {
-    return RoutingOutcome::failure("fat-tree routing needs tree levels");
+    return RouteResponse::failure("fat-tree routing needs tree levels");
   }
 
-  RoutingOutcome out;
+  RouteResponse out;
   out.table = RoutingTable(net);
 
   auto level = [&](NodeId sw) { return meta.sw_level[net.node(sw).type_index]; };
@@ -23,7 +24,7 @@ RoutingOutcome FatTreeRouter::route(const Topology& topo) const {
     for (ChannelId c : net.out_switch_channels(s)) {
       const NodeId t = net.channel(c).dst;
       if (level(t) == level(s)) {
-        return RoutingOutcome::failure("link inside one tree level");
+        return RouteResponse::failure("link inside one tree level");
       }
       if (level(t) > level(s)) ups[net.node(s).type_index].push_back(c);
     }
@@ -65,7 +66,7 @@ RoutingOutcome FatTreeRouter::route(const Topology& topo) const {
           down_to[pi] = down;
           frontier.push_back(parent);
         } else if (down_to[pi] != down) {
-          return RoutingOutcome::failure("down-path not unique");
+          return RouteResponse::failure("down-path not unique");
         }
       }
     }
@@ -80,7 +81,7 @@ RoutingOutcome FatTreeRouter::route(const Topology& topo) const {
       }
       const auto& up = ups[si];
       if (up.empty()) {
-        return RoutingOutcome::failure("top switch is not a common ancestor");
+        return RouteResponse::failure("top switch is not a common ancestor");
       }
       // d-mod-k: prefer up-ports that reach an ancestor directly, spread by
       // destination index.

@@ -16,7 +16,7 @@ class FatTreeRouter final : public Router {
  public:
   std::string name() const override { return "FatTree"; }
   bool deadlock_free() const override { return true; }
-  RoutingOutcome route(const Topology& topo) const override;
+  RouteResponse route(const RouteRequest& request) const override;
 };
 
 }  // namespace dfsssp

@@ -9,10 +9,12 @@
 
 namespace dfsssp {
 
-RoutingOutcome LashRouter::route(const Topology& topo) const {
+RouteResponse LashRouter::route(const RouteRequest& request) const {
+  const Topology& topo = request.topo();
   const Network& net = topo.net;
+  const Layer max_layers = request.layer_budget(options_.max_layers);
   Timer timer;
-  RoutingOutcome out;
+  RouteResponse out;
   out.table = RoutingTable(net);
 
   // LASH routes at switch-pair granularity: one shortest path per
@@ -34,7 +36,7 @@ RoutingOutcome LashRouter::route(const Topology& topo) const {
       if (s == dst_sw) continue;
       const std::uint32_t ds = dist[net.node(s).type_index];
       if (ds == kUnreachable) {
-        return RoutingOutcome::failure("network is disconnected");
+        return RouteResponse::failure("network is disconnected");
       }
       // One arbitrary-but-fixed minimal path per switch pair, like the
       // OpenSM engine whose choice follows fabric discovery order. The
@@ -80,13 +82,13 @@ RoutingOutcome LashRouter::route(const Topology& topo) const {
       fwd_seq.clear();
       rev_seq.clear();
       if (!terms_b.empty() && !out.table.extract_path(net, a, terms_b.front(), fwd_seq)) {
-        return RoutingOutcome::failure("broken forwarding");
+        return RouteResponse::failure("broken forwarding");
       }
       if (!terms_a.empty() && !out.table.extract_path(net, b, terms_a.front(), rev_seq)) {
-        return RoutingOutcome::failure("broken forwarding");
+        return RouteResponse::failure("broken forwarding");
       }
       Layer assigned = kInvalidLayer;
-      for (Layer l = 0; l < options_.max_layers; ++l) {
+      for (Layer l = 0; l < max_layers; ++l) {
         if (l == layers.size()) {
           layers.push_back(std::make_unique<OnlineCdg>(num_channels));
         }
@@ -99,9 +101,9 @@ RoutingOutcome LashRouter::route(const Topology& topo) const {
         break;
       }
       if (assigned == kInvalidLayer) {
-        return RoutingOutcome::failure(
+        return RouteResponse::failure(
             "LASH: ran out of virtual layers (" +
-            std::to_string(options_.max_layers) + ")");
+            std::to_string(max_layers) + ")");
       }
       used = std::max(used, static_cast<Layer>(assigned + 1));
       for (NodeId t : terms_b) out.table.set_layer(a, t, assigned);

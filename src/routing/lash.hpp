@@ -31,7 +31,7 @@ class LashRouter final : public Router {
 
   std::string name() const override { return "LASH"; }
   bool deadlock_free() const override { return true; }
-  RoutingOutcome route(const Topology& topo) const override;
+  RouteResponse route(const RouteRequest& request) const override;
 
  private:
   LashOptions options_;

@@ -5,10 +5,11 @@
 
 namespace dfsssp {
 
-RoutingOutcome MinHopRouter::route(const Topology& topo) const {
+RouteResponse MinHopRouter::route(const RouteRequest& request) const {
+  const Topology& topo = request.topo();
   const Network& net = topo.net;
   Timer timer;
-  RoutingOutcome out;
+  RouteResponse out;
   out.table = RoutingTable(net);
 
   std::vector<std::uint64_t> usage(net.num_channels(), 0);
@@ -20,7 +21,7 @@ RoutingOutcome MinHopRouter::route(const Topology& topo) const {
       if (s == dst_switch) continue;
       const std::uint32_t ds = dist[net.node(s).type_index];
       if (ds == kUnreachable) {
-        return RoutingOutcome::failure("network is disconnected");
+        return RouteResponse::failure("network is disconnected");
       }
       ChannelId best = kInvalidChannel;
       for (ChannelId c : net.out_switch_channels(s)) {

@@ -14,7 +14,7 @@ class MinHopRouter final : public Router {
  public:
   std::string name() const override { return "MinHop"; }
   bool deadlock_free() const override { return false; }
-  RoutingOutcome route(const Topology& topo) const override;
+  RouteResponse route(const RouteRequest& request) const override;
 };
 
 }  // namespace dfsssp

@@ -1,5 +1,8 @@
 #include "routing/router.hpp"
 
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
 #include "routing/dfsssp.hpp"
 #include "routing/dor.hpp"
 #include "routing/fattree.hpp"
@@ -9,6 +12,17 @@
 #include "routing/updown.hpp"
 
 namespace dfsssp {
+
+const Topology& RouteRequest::topo() const {
+  if (topology == nullptr) {
+    throw std::logic_error("RouteRequest without a topology");
+  }
+  return *topology;
+}
+
+obs::Registry& RouteRequest::sink() const {
+  return metrics != nullptr ? *metrics : obs::registry();
+}
 
 std::vector<std::unique_ptr<Router>> make_all_routers(Layer max_layers) {
   std::vector<std::unique_ptr<Router>> routers;

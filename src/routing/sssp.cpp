@@ -112,8 +112,8 @@ bool sssp_fill_planes(const Network& net, const SsspOptions& options,
   return true;
 }
 
-RoutingOutcome route_sssp(const Network& net, const SsspOptions& options) {
-  RoutingOutcome out;
+RouteResponse route_sssp(const Network& net, const SsspOptions& options) {
+  RouteResponse out;
   out.table = RoutingTable(net);
   std::span<RoutingTable> planes(&out.table, 1);
   if (!sssp_fill_planes(net, options, planes, out.stats, out.error)) {
@@ -123,7 +123,8 @@ RoutingOutcome route_sssp(const Network& net, const SsspOptions& options) {
   return out;
 }
 
-RoutingOutcome SsspRouter::route(const Topology& topo) const {
+RouteResponse SsspRouter::route(const RouteRequest& request) const {
+  const Topology& topo = request.topo();
   return route_sssp(topo.net, options_);
 }
 

@@ -34,14 +34,14 @@ class SsspRouter final : public Router {
 
   std::string name() const override { return "SSSP"; }
   bool deadlock_free() const override { return false; }
-  RoutingOutcome route(const Topology& topo) const override;
+  RouteResponse route(const RouteRequest& request) const override;
 
  private:
   SsspOptions options_;
 };
 
 /// Shared core used by SsspRouter and DfssspRouter.
-RoutingOutcome route_sssp(const Network& net, const SsspOptions& options);
+RouteResponse route_sssp(const Network& net, const SsspOptions& options);
 
 /// Multi-plane core (InfiniBand LMC multipathing): fills every table in
 /// `planes` with one complete destination-based routing each, running the

@@ -8,10 +8,11 @@
 
 namespace dfsssp {
 
-RoutingOutcome UpDownRouter::route(const Topology& topo) const {
+RouteResponse UpDownRouter::route(const RouteRequest& request) const {
+  const Topology& topo = request.topo();
   const Network& net = topo.net;
   Timer timer;
-  RoutingOutcome out;
+  RouteResponse out;
   out.table = RoutingTable(net);
 
   const std::size_t num_sw = net.num_switches();
@@ -19,7 +20,7 @@ RoutingOutcome UpDownRouter::route(const Topology& topo) const {
   std::vector<std::uint32_t> rank;
   bfs_hops_to(net, root, rank);
   if (std::count(rank.begin(), rank.end(), kUnreachable) > 0) {
-    return RoutingOutcome::failure("network is disconnected");
+    return RouteResponse::failure("network is disconnected");
   }
 
   // Up = toward the root: strictly lower rank, or equal rank and lower id
@@ -91,7 +92,7 @@ RoutingOutcome UpDownRouter::route(const Topology& topo) const {
       if (s == dst_switch) continue;
       const std::uint32_t si = net.node(s).type_index;
       if (legal_dist[si] == kInf) {
-        return RoutingOutcome::failure("no legal up/down path");
+        return RouteResponse::failure("no legal up/down path");
       }
       ChannelId best = kInvalidChannel;
       if (down_dist[si] != kInf) {

@@ -20,7 +20,7 @@ class UpDownRouter final : public Router {
  public:
   std::string name() const override { return "Up*/Down*"; }
   bool deadlock_free() const override { return true; }
-  RoutingOutcome route(const Topology& topo) const override;
+  RouteResponse route(const RouteRequest& request) const override;
 };
 
 }  // namespace dfsssp

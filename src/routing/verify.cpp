@@ -16,11 +16,15 @@ VerifyReport verify_routing(const Network& net, const RoutingTable& table,
         const NodeId t = dsts[i];
         const NodeId dst_switch = net.switch_of(t);
         VerifyReport local;
+        if (!net.terminal_alive(t)) return local;
         std::vector<std::uint32_t> dist;
         std::vector<ChannelId> seq;
         bfs_hops_to(net, dst_switch, dist);
         for (NodeId s : net.switches()) {
-          if (s == dst_switch || net.terminals_on(s) == 0) continue;
+          if (s == dst_switch || net.terminals_on(s) == 0 ||
+              !net.switch_up(s)) {
+            continue;
+          }
           ++local.total_paths;
           if (!table.extract_path(net, s, t, seq)) {
             ++local.broken;

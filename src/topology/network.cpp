@@ -88,6 +88,101 @@ void Network::freeze() {
   frozen_ = true;
 }
 
+void Network::ensure_fault_state() {
+  if (!frozen_) throw std::logic_error("fault injection before freeze()");
+  if (has_fault_state()) return;
+  link_up_.assign(channels_.size(), 1);
+  switch_up_.assign(switches_.size(), 1);
+  out_full_offset_ = out_offset_;
+  out_full_ = out_;
+  sw_out_full_offset_ = sw_out_offset_;
+  sw_out_full_ = sw_out_;
+}
+
+void Network::rebuild_alive_adjacency() {
+  num_dead_channels_ = 0;
+  out_.clear();
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    out_offset_[n] = static_cast<std::uint32_t>(out_.size());
+    for (std::uint32_t i = out_full_offset_[n]; i < out_full_offset_[n + 1];
+         ++i) {
+      if (channel_alive(out_full_[i])) out_.push_back(out_full_[i]);
+    }
+  }
+  out_offset_[nodes_.size()] = static_cast<std::uint32_t>(out_.size());
+
+  sw_out_.clear();
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    sw_out_offset_[i] = static_cast<std::uint32_t>(sw_out_.size());
+    for (std::uint32_t j = sw_out_full_offset_[i];
+         j < sw_out_full_offset_[i + 1]; ++j) {
+      if (channel_alive(sw_out_full_[j])) sw_out_.push_back(sw_out_full_[j]);
+    }
+  }
+  sw_out_offset_[switches_.size()] = static_cast<std::uint32_t>(sw_out_.size());
+
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    if (!channel_alive(static_cast<ChannelId>(c))) ++num_dead_channels_;
+  }
+}
+
+void Network::set_link_up(ChannelId c, bool up) {
+  ensure_fault_state();
+  if (c >= channels_.size() || !is_switch_channel(c)) {
+    throw std::invalid_argument(
+        "set_link_up: only inter-switch links can change state");
+  }
+  link_up_[c] = up ? 1 : 0;
+  link_up_[channels_[c].reverse] = up ? 1 : 0;
+  rebuild_alive_adjacency();
+}
+
+void Network::set_switch_up(NodeId sw, bool up) {
+  ensure_fault_state();
+  if (sw >= nodes_.size() || !is_switch(sw)) {
+    throw std::invalid_argument("set_switch_up: not a switch");
+  }
+  switch_up_[nodes_[sw].type_index] = up ? 1 : 0;
+  rebuild_alive_adjacency();
+}
+
+std::size_t Network::num_alive_switches() const {
+  if (!has_fault_state()) return switches_.size();
+  std::size_t alive = 0;
+  for (std::uint8_t u : switch_up_) alive += u;
+  return alive;
+}
+
+bool Network::alive_connected() const {
+  const std::size_t alive = num_alive_switches();
+  if (alive <= 1) return true;
+  NodeId start = kInvalidNode;
+  for (NodeId sw : switches_) {
+    if (switch_up(sw)) {
+      start = sw;
+      break;
+    }
+  }
+  std::vector<bool> seen(nodes_.size(), false);
+  std::queue<NodeId> q;
+  q.push(start);
+  seen[start] = true;
+  std::size_t reached = 1;
+  while (!q.empty()) {
+    NodeId n = q.front();
+    q.pop();
+    for (ChannelId c : out_switch_channels(n)) {
+      NodeId m = channels_[c].dst;
+      if (!seen[m]) {
+        seen[m] = true;
+        ++reached;
+        q.push(m);
+      }
+    }
+  }
+  return reached == alive;
+}
+
 void Network::validate() const {
   if (!frozen_) throw std::runtime_error("validate: network not frozen");
   for (std::size_t c = 0; c < channels_.size(); ++c) {
@@ -103,7 +198,9 @@ void Network::validate() const {
     }
   }
   for (NodeId t : terminals_) {
-    if (out_channels(t).size() != 1) {
+    // Physical view: a down switch hides its terminals' channels from the
+    // alive adjacency, but the structural invariant is about the wiring.
+    if (out_channels_all(t).size() != 1) {
       throw std::runtime_error("validate: terminal must have exactly 1 link");
     }
     ChannelId inj = injection_channel(t);

@@ -116,6 +116,72 @@ class Network {
     return is_switch(channels_[c].src) && is_switch(channels_[c].dst);
   }
 
+  // -- fault state (churn) ---------------------------------------------------
+  //
+  // A frozen Network can be degraded and repaired IN PLACE: links and
+  // switches go down and come back up without any rebuild, and every
+  // NodeId/ChannelId stays stable across the whole fault history. The
+  // default adjacency accessors (out_channels, out_switch_channels,
+  // switch_degree) show only alive channels, so every routing engine and
+  // simulator transparently operates on the degraded fabric; the *_all
+  // accessors expose the physical structure, which is what the stable
+  // (neighbor, parallel-index) slot naming of dumps and certificates uses.
+
+  /// Takes the physical link of inter-switch channel `c` (both directions)
+  /// down or up and refreshes the alive adjacency. Throws std::logic_error
+  /// before freeze() and std::invalid_argument for terminal links.
+  void set_link_up(ChannelId c, bool up);
+
+  /// Takes a switch down or up. A down switch loses every channel that
+  /// touches it — inter-switch links and its terminals' injection/ejection
+  /// channels — so its terminals drop out of the alive set too.
+  void set_switch_up(NodeId sw, bool up);
+
+  /// Physical state of the link carrying channel `c` (true before any
+  /// fault was ever injected).
+  bool link_up(ChannelId c) const {
+    return link_up_.empty() || link_up_[c] != 0;
+  }
+
+  bool switch_up(NodeId sw) const {
+    return switch_up_.empty() || switch_up_[nodes_[sw].type_index] != 0;
+  }
+
+  /// A terminal is alive iff its switch is up (terminals themselves never
+  /// fail; they fall off the fabric with their switch).
+  bool terminal_alive(NodeId terminal) const {
+    return switch_up(switch_of(terminal));
+  }
+
+  /// True when `c` is traversable: its link is up and both endpoint
+  /// switches are up.
+  bool channel_alive(ChannelId c) const {
+    if (link_up_.empty()) return true;
+    const Channel& ch = channels_[c];
+    return link_up_[c] != 0 && node_up(ch.src) && node_up(ch.dst);
+  }
+
+  /// True once any fault state was ever injected (even if later repaired).
+  bool has_fault_state() const { return !link_up_.empty(); }
+
+  std::size_t num_alive_switches() const;
+
+  /// Directed channels currently not traversable.
+  std::size_t num_dead_channels() const { return num_dead_channels_; }
+
+  /// Degraded-connectivity detection: true when every alive switch can
+  /// reach every other alive switch over alive channels. (Vacuously true
+  /// with <= 1 alive switch.)
+  bool alive_connected() const;
+
+  /// Physical out-adjacency of a node, ignoring fault state — the stable
+  /// view that slot naming (routing/dump.hpp) and validate() use.
+  std::span<const ChannelId> out_channels_all(NodeId n) const {
+    if (!has_fault_state()) return out_channels(n);
+    return {out_full_.data() + out_full_offset_[n],
+            out_full_offset_[n + 1] - out_full_offset_[n]};
+  }
+
   // -- lifecycle ------------------------------------------------------------
 
   /// Builds the CSR adjacency. Must be called once after construction and
@@ -139,6 +205,20 @@ class Network {
  private:
   void require_mutable() const;
 
+  /// True for alive switches and for terminals (terminals fail only through
+  /// their channels' switch endpoints).
+  bool node_up(NodeId n) const {
+    return nodes_[n].type != NodeType::kSwitch ||
+           switch_up_[nodes_[n].type_index] != 0;
+  }
+
+  /// Copies the pristine adjacency into the *_full_ arrays and allocates
+  /// the alive flags. Called on the first fault injection.
+  void ensure_fault_state();
+
+  /// Recomputes the filtered (alive) CSR adjacency from the physical one.
+  void rebuild_alive_adjacency();
+
   std::vector<Node> nodes_;
   std::vector<Channel> channels_;
   std::vector<NodeId> switches_;
@@ -153,6 +233,17 @@ class Network {
   std::vector<std::uint32_t> sw_out_offset_;  // per switch index
   std::vector<ChannelId> sw_out_;
   bool frozen_ = false;
+
+  // Fault state (empty until the first set_link_up/set_switch_up call).
+  // The *_full_ arrays keep the physical adjacency; out_/sw_out_ above are
+  // rebuilt to hold only alive channels after every mutation.
+  std::vector<std::uint8_t> link_up_;    // per channel (both directions set)
+  std::vector<std::uint8_t> switch_up_;  // per switch index
+  std::vector<std::uint32_t> out_full_offset_;
+  std::vector<ChannelId> out_full_;
+  std::vector<std::uint32_t> sw_out_full_offset_;  // per switch index
+  std::vector<ChannelId> sw_out_full_;
+  std::size_t num_dead_channels_ = 0;
 
   // Pre-freeze edge staging: per node list of channels.
   std::vector<std::vector<ChannelId>> staging_out_;

@@ -55,7 +55,7 @@ TEST(AppModel, FtAlltoallDominatesItsFlowCount) {
 
 TEST(AppModel, RunProducesPositiveNumbers) {
   Topology topo = make_kary_ntree(4, 2);  // 16 terminals
-  RoutingOutcome out = DfssspRouter().route(topo);
+  RouteResponse out = DfssspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   AppKernel bt = make_nas_bt(16);
   RankMap map = RankMap::round_robin(topo.net, kernel_ranks(bt));
@@ -71,8 +71,8 @@ TEST(AppModel, LessCongestionMeansMoreGflops) {
   // Same kernel on a heavily oversubscribed tree: a routing with double the
   // effective bandwidth must yield at least the Gflop/s of its baseline.
   Topology topo = make_clos2(8, 2, 1, 8);  // 64 terminals, 4:1 oversubscribed
-  RoutingOutcome minhop = MinHopRouter().route(topo);
-  RoutingOutcome dfsssp = DfssspRouter().route(topo);
+  RouteResponse minhop = MinHopRouter().route(RouteRequest(topo));
+  RouteResponse dfsssp = DfssspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(minhop.ok);
   ASSERT_TRUE(dfsssp.ok);
   AppKernel ft = make_nas_ft(64);
@@ -85,7 +85,7 @@ TEST(AppModel, LessCongestionMeansMoreGflops) {
 
 TEST(AppModel, BandwidthOptionScalesCommTime) {
   Topology topo = make_kary_ntree(2, 2);
-  RoutingOutcome out = DfssspRouter().route(topo);
+  RouteResponse out = DfssspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   AppKernel cg = make_nas_cg(4);
   RankMap map = RankMap::round_robin(topo.net, kernel_ranks(cg));

@@ -32,7 +32,7 @@ TEST(CdgReport, StatsForHandBuiltLayers) {
 
 TEST(CdgReport, StatsMatchRoutedLayers) {
   Topology topo = make_ring(6, 2);
-  RoutingOutcome out = DfssspRouter().route(topo);
+  RouteResponse out = DfssspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   PathSet paths = collect_paths(topo.net, out.table);
   std::vector<Layer> layers = collect_layers(topo.net, out.table, paths);
@@ -46,7 +46,7 @@ TEST(CdgReport, StatsMatchRoutedLayers) {
 
 TEST(CdgReport, DotExportNamesChannels) {
   Topology topo = make_ring(5, 1);
-  RoutingOutcome out = DfssspRouter().route(topo);
+  RouteResponse out = DfssspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   PathSet paths = collect_paths(topo.net, out.table);
   std::vector<Layer> layers = collect_layers(topo.net, out.table, paths);

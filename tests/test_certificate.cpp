@@ -15,15 +15,15 @@
 namespace dfsssp {
 namespace {
 
-Topology routed_random(RoutingOutcome& out) {
+Topology routed_random(RouteResponse& out) {
   Rng rng(7);
   Topology topo = make_random(32, 4, 80, 8, rng);
-  out = DfssspRouter().route(topo);
+  out = DfssspRouter().route(RouteRequest(topo));
   return topo;
 }
 
 TEST(Certificate, RoundTripAcceptsDfssspRouting) {
-  RoutingOutcome out;
+  RouteResponse out;
   Topology topo = routed_random(out);
   ASSERT_TRUE(out.ok);
 
@@ -42,7 +42,7 @@ TEST(Certificate, RoundTripAcceptsDfssspRouting) {
 }
 
 TEST(Certificate, ReversedLayerOrderRejected) {
-  RoutingOutcome out;
+  RouteResponse out;
   Topology topo = routed_random(out);
   ASSERT_TRUE(out.ok);
   CertificateResult cert = make_certificate(topo.net, out.table);
@@ -64,7 +64,7 @@ TEST(Certificate, ReversedLayerOrderRejected) {
 }
 
 TEST(Certificate, MissingChannelRejected) {
-  RoutingOutcome out;
+  RouteResponse out;
   Topology topo = routed_random(out);
   ASSERT_TRUE(out.ok);
   CertificateResult cert = make_certificate(topo.net, out.table);
@@ -79,7 +79,7 @@ TEST(Certificate, MissingChannelRejected) {
 }
 
 TEST(Certificate, WrongLayerCountRejected) {
-  RoutingOutcome out;
+  RouteResponse out;
   Topology topo = routed_random(out);
   ASSERT_TRUE(out.ok);
   CertificateResult cert = make_certificate(topo.net, out.table);
@@ -93,7 +93,7 @@ TEST(Certificate, WrongLayerCountRejected) {
 }
 
 TEST(Certificate, TruncatedTextRejected) {
-  RoutingOutcome out;
+  RouteResponse out;
   Topology topo = routed_random(out);
   ASSERT_TRUE(out.ok);
   CertificateResult cert = make_certificate(topo.net, out.table);
@@ -111,7 +111,7 @@ TEST(Certificate, TruncatedTextRejected) {
 }
 
 TEST(Certificate, ThreadCountInvariant) {
-  RoutingOutcome out;
+  RouteResponse out;
   Topology topo = routed_random(out);
   ASSERT_TRUE(out.ok);
 
@@ -130,7 +130,7 @@ TEST(Certificate, ThreadCountInvariant) {
 }
 
 TEST(Certificate, FlippedPathLayerRejected) {
-  RoutingOutcome out;
+  RouteResponse out;
   Topology topo = routed_random(out);
   ASSERT_TRUE(out.ok);
   ASSERT_GE(out.table.num_layers(), 2);
@@ -159,7 +159,7 @@ TEST(Certificate, CyclicLayerReportedWithWitness) {
   // A bidirectional ring routed minimally without virtual layers is the
   // paper's canonical deadlocking configuration (Figure 2).
   Topology topo = make_ring(6, 2);
-  RoutingOutcome out = MinHopRouter().route(topo);
+  RouteResponse out = MinHopRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   ASSERT_FALSE(routing_is_deadlock_free(topo.net, out.table));
 
@@ -186,7 +186,7 @@ TEST(Certificate, CyclicLayerReportedWithWitness) {
 }
 
 TEST(Certificate, DeadlockFreeRoutingHasEmptyWitness) {
-  RoutingOutcome out;
+  RouteResponse out;
   Topology topo = routed_random(out);
   ASSERT_TRUE(out.ok);
   EXPECT_TRUE(extract_witness(topo.net, out.table).empty());

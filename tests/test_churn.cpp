@@ -1,0 +1,338 @@
+// Fault churn: seeded event streams, in-place mutation, incremental repair.
+//
+// The contract under test (ISSUE: fault-churn subsystem): after every
+// applied churn event, the incrementally repaired routing must (a) reach
+// every alive destination from every alive switch over alive channels,
+// (b) carry a certificate the independent checker accepts, and (c) be
+// bitwise identical across thread counts. Plus the bookkeeping contracts:
+// RoutingStats.paths and the fault/* metrics never go stale.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/certificate.hpp"
+#include "fault/churn.hpp"
+#include "fault/incremental.hpp"
+#include "fault/schedule.hpp"
+#include "obs/metrics.hpp"
+#include "routing/dump.hpp"
+#include "routing/verify.hpp"
+#include "topology/generators.hpp"
+
+namespace dfsssp {
+namespace {
+
+std::uint32_t alive_terminals(const Network& net) {
+  std::uint32_t alive = 0;
+  for (NodeId t : net.terminals()) alive += net.terminal_alive(t) ? 1 : 0;
+  return alive;
+}
+
+/// Every (alive switch, alive destination) pair must walk to the
+/// destination over alive channels only.
+void expect_reachable(const Network& net, const RoutingTable& table) {
+  std::vector<ChannelId> path;
+  for (NodeId d : net.terminals()) {
+    if (!net.terminal_alive(d)) continue;
+    for (NodeId sw : net.switches()) {
+      if (!net.switch_up(sw)) continue;
+      ASSERT_TRUE(table.extract_path(net, sw, d, path))
+          << "broken walk " << net.node(sw).name << " -> "
+          << net.node(d).name;
+      for (ChannelId c : path) {
+        ASSERT_TRUE(net.channel_alive(c))
+            << "path " << net.node(sw).name << " -> " << net.node(d).name
+            << " crosses dead channel " << c;
+      }
+    }
+  }
+}
+
+TEST(FaultSchedule, DeterministicAndConnectivityPreserving) {
+  Topology topo = make_kary_ntree(4, 2);
+  FaultScheduleOptions opts;
+  opts.num_events = 50;
+  const FaultSchedule a = FaultSchedule::random(topo.net, opts, 7);
+  const FaultSchedule b = FaultSchedule::random(topo.net, opts, 7);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 0u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].channel, b[i].channel);
+    EXPECT_EQ(a[i].sw, b[i].sw);
+  }
+  // Applying the whole stream never disconnects the alive switches.
+  ChurnEngine churn(topo);
+  std::uint32_t applied = 0;
+  for (const FaultEvent& ev : a) {
+    const ChurnDelta delta = churn.apply(ev);
+    applied += delta.applied ? 1 : 0;
+    EXPECT_TRUE(topo.net.alive_connected()) << ev.describe(topo.net);
+  }
+  EXPECT_GT(applied, 0u);
+}
+
+TEST(ChurnEngine, VetoesDisconnectingKill) {
+  // A 3-switch line: the middle links are bridges.
+  Topology topo;
+  Network& net = topo.net;
+  NodeId a = net.add_switch(), b = net.add_switch(), c = net.add_switch();
+  const ChannelId ab = net.add_link(a, b);
+  net.add_link(b, c);
+  net.add_terminal(a);
+  net.add_terminal(c);
+  net.freeze();
+
+  ChurnEngine churn(topo);
+  FaultEvent ev;
+  ev.kind = FaultKind::kLinkDown;
+  ev.channel = ab;
+  const ChurnDelta delta = churn.apply(ev);
+  EXPECT_FALSE(delta.applied);
+  EXPECT_FALSE(delta.veto_reason.empty());
+  EXPECT_TRUE(net.channel_alive(ab));
+  EXPECT_TRUE(net.alive_connected());
+  EXPECT_EQ(churn.events_vetoed(), 1u);
+  EXPECT_EQ(churn.events_applied(), 0u);
+}
+
+TEST(ChurnEngine, DeltaReportsEffectiveChanges) {
+  Topology topo = make_kary_ntree(4, 2);
+  Network& net = topo.net;
+  ChurnEngine churn(topo);
+
+  const NodeId sw = net.switch_by_index(0);
+  FaultEvent down{FaultKind::kSwitchDown, kInvalidChannel, sw};
+  const ChurnDelta delta = churn.apply(down);
+  ASSERT_TRUE(delta.applied);
+  ASSERT_EQ(delta.switches_down.size(), 1u);
+  EXPECT_EQ(delta.switches_down[0], sw);
+  // Every physical channel touching the switch died: inter-switch links in
+  // both directions plus its terminals' injection/ejection channels.
+  EXPECT_EQ(delta.downed.size(),
+            2 * net.out_channels_all(sw).size());
+  EXPECT_EQ(delta.downed.size(), net.num_dead_channels());
+  for (NodeId t : net.terminals()) {
+    EXPECT_EQ(net.terminal_alive(t), net.switch_of(t) != sw);
+  }
+
+  // Re-killing a dead switch is a no-op, not a new delta.
+  const ChurnDelta again = churn.apply(down);
+  EXPECT_FALSE(again.applied);
+  EXPECT_TRUE(again.no_effect());
+
+  // Revival restores exactly what died.
+  FaultEvent up{FaultKind::kSwitchUp, kInvalidChannel, sw};
+  const ChurnDelta revive = churn.apply(up);
+  ASSERT_TRUE(revive.applied);
+  EXPECT_EQ(revive.restored, delta.downed);
+  EXPECT_EQ(net.num_dead_channels(), 0u);
+}
+
+TEST(IncrementalDfsssp, SingleLinkRepairReroutesOnlyAffected) {
+  Topology topo = make_kary_ntree(4, 2);
+  IncrementalDfsssp inc;
+  RouteResponse base = inc.route(RouteRequest(topo));
+  ASSERT_TRUE(base.ok) << base.error;
+  EXPECT_FALSE(base.repair.incremental);
+
+  ChurnEngine churn(topo);
+  const FaultSchedule kills = FaultSchedule::link_kills(topo.net, 1, 3);
+  ASSERT_EQ(kills.size(), 1u);
+  const ChurnDelta delta = churn.apply(kills[0]);
+  ASSERT_TRUE(delta.applied);
+
+  RouteResponse repaired = inc.repair(RouteRequest(topo), delta);
+  ASSERT_TRUE(repaired.ok) << repaired.error;
+  EXPECT_TRUE(repaired.repair.incremental);
+  EXPECT_GT(repaired.repair.destinations_rerouted, 0u);
+  // Only destinations whose forwarding trees crossed the dead link move.
+  EXPECT_LT(repaired.repair.destinations_rerouted,
+            topo.net.num_terminals());
+  expect_reachable(topo.net, repaired.table);
+
+  const CertCheckResult check =
+      check_certificate(topo.net, repaired.table, inc.certificate());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(IncrementalDfsssp, MonotoneKillsStayMinimalAndCertified) {
+  Topology topo = make_kary_ntree(4, 3);
+  IncrementalDfsssp inc;
+  ASSERT_TRUE(inc.route(RouteRequest(topo)).ok);
+  ChurnEngine churn(topo);
+  const FaultSchedule kills = FaultSchedule::link_kills(topo.net, 10, 11);
+  ASSERT_GT(kills.size(), 0u);
+  for (const FaultEvent& ev : kills) {
+    const ChurnDelta delta = churn.apply(ev);
+    if (!delta.applied) continue;
+    RouteResponse out = inc.repair(RouteRequest(topo), delta);
+    ASSERT_TRUE(out.ok) << out.error;
+    // With no restorations in the history, repaired routings keep the
+    // balanced-SSSP minimality guarantee: the accumulated balance weight on
+    // any channel stays below the |V|^2 initial weight.
+    const VerifyReport report = verify_routing(topo.net, out.table);
+    EXPECT_TRUE(report.connected());
+    EXPECT_TRUE(report.minimal());
+    const CertCheckResult check =
+        check_certificate(topo.net, out.table, inc.certificate());
+    ASSERT_TRUE(check.ok) << check.error;
+  }
+}
+
+TEST(IncrementalDfsssp, RepairProvenance) {
+  Topology topo = make_kary_ntree(4, 2);
+  IncrementalDfsssp inc;
+  ASSERT_TRUE(inc.route(RouteRequest(topo)).ok);
+  ChurnEngine churn(topo);
+  Network& net = topo.net;
+
+  const FaultSchedule kills = FaultSchedule::link_kills(net, 1, 5);
+  const ChurnDelta down = churn.apply(kills[0]);
+  ASSERT_TRUE(down.applied);
+  RouteResponse repaired = inc.repair(RouteRequest(topo), down);
+  ASSERT_TRUE(repaired.ok);
+  EXPECT_TRUE(repaired.repair.incremental);
+  EXPECT_TRUE(repaired.repair.fallback_reason.empty());
+  EXPECT_GT(repaired.repair.paths_migrated, 0u);
+
+  // Restoring a link keeps every existing route valid: a no-op repair.
+  FaultEvent up{FaultKind::kLinkUp, down.event.channel, kInvalidNode};
+  const ChurnDelta restored = churn.apply(up);
+  ASSERT_TRUE(restored.applied);
+  RouteResponse noop = inc.repair(RouteRequest(topo), restored);
+  ASSERT_TRUE(noop.ok);
+  EXPECT_TRUE(noop.repair.incremental);
+  EXPECT_EQ(noop.repair.destinations_rerouted, 0u);
+
+  // A revived switch needs entries for every destination: full recompute.
+  const NodeId sw = net.switch_by_index(1);
+  ASSERT_TRUE(churn.apply({FaultKind::kSwitchDown, kInvalidChannel, sw})
+                  .applied);
+  RouteResponse after_down = inc.repair(
+      RouteRequest(topo),
+      ChurnDelta{});  // deliberately stale delta: still safe, no-op
+  ASSERT_TRUE(after_down.ok);
+  const ChurnDelta revive =
+      churn.apply({FaultKind::kSwitchUp, kInvalidChannel, sw});
+  ASSERT_TRUE(revive.applied);
+  RouteResponse full = inc.repair(RouteRequest(topo), revive);
+  ASSERT_TRUE(full.ok);
+  EXPECT_FALSE(full.repair.incremental);
+  EXPECT_EQ(full.repair.fallback_reason, "switch revived");
+  expect_reachable(net, full.table);
+}
+
+// Satellite: Network mutation keeps the metrics and RoutingStats.paths
+// consistent — counters reflect the alive state, never stale entries.
+TEST(IncrementalDfsssp, StatsAndMetricsStayConsistentUnderMutation) {
+  Topology topo = make_kary_ntree(4, 2);
+  Network& net = topo.net;
+  obs::Registry sink;
+  RouteRequest request(topo);
+  request.metrics = &sink;
+
+  IncrementalDfsssp inc;
+  RouteResponse base = inc.route(request);
+  ASSERT_TRUE(base.ok);
+  const auto expect_consistent = [&](const RouteResponse& out) {
+    const std::uint64_t alive_sw = net.num_alive_switches();
+    const std::uint64_t expected =
+        alive_terminals(net) * (alive_sw - 1);
+    EXPECT_EQ(out.stats.paths, expected);
+    const obs::Snapshot snap = sink.snapshot();
+    EXPECT_EQ(snap.at("fault/active_paths").value, expected);
+    EXPECT_EQ(snap.at("fault/dead_channels").value, net.num_dead_channels());
+    EXPECT_EQ(snap.at("fault/layers_used").value, out.stats.layers_used);
+    // No stale columns: dead destinations have no forwarding entries.
+    for (NodeId d : net.terminals()) {
+      if (net.terminal_alive(d)) continue;
+      for (NodeId sw : net.switches()) {
+        EXPECT_EQ(out.table.next(sw, d), kInvalidChannel);
+      }
+    }
+  };
+  expect_consistent(base);
+
+  ChurnEngine churn(topo);
+  // Kill a switch: its terminals must drop out of every counter.
+  NodeId victim = kInvalidNode;
+  ChurnDelta delta;
+  for (NodeId sw : net.switches()) {
+    delta = churn.apply({FaultKind::kSwitchDown, kInvalidChannel, sw});
+    if (delta.applied) {
+      victim = sw;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidNode) << "no switch could die without partition";
+  RouteResponse repaired = inc.repair(request, delta);
+  ASSERT_TRUE(repaired.ok) << repaired.error;
+  expect_consistent(repaired);
+  EXPECT_EQ(sink.snapshot().at("fault/repairs").value, 1u);
+
+  // And a link kill on the degraded fabric.
+  const FaultSchedule kills = FaultSchedule::link_kills(net, 1, 17);
+  ASSERT_EQ(kills.size(), 1u);
+  const ChurnDelta link_delta = churn.apply(kills[0]);
+  ASSERT_TRUE(link_delta.applied);
+  RouteResponse again = inc.repair(request, link_delta);
+  ASSERT_TRUE(again.ok) << again.error;
+  expect_consistent(again);
+  EXPECT_EQ(sink.snapshot().at("fault/repairs").value, 2u);
+  EXPECT_GT(sink.snapshot().at("fault/destinations_rerouted").value, 0u);
+}
+
+// Satellite: the randomized churn soak. Every repair state must be
+// reachable for alive pairs, certified deadlock-free by the independent
+// checker, and bitwise identical across --threads=1/2/8.
+TEST(ChurnSoak, RepairStatesReachableCertifiedAndThreadInvariant) {
+  FaultScheduleOptions opts;
+  opts.num_events = 40;
+  const FaultSchedule schedule = [&] {
+    const Topology pristine = make_kary_ntree(4, 3);
+    return FaultSchedule::random(pristine.net, opts, 0x50AC);
+  }();
+  ASSERT_GT(schedule.size(), 0u);
+
+  // One full soak per thread count, on an independent Topology copy; the
+  // per-event forwarding dumps and certificates must agree bitwise.
+  std::vector<std::string> reference;  // dump+cert per event, threads=1
+  for (const std::uint32_t threads : {1u, 2u, 8u}) {
+    const ExecContext exec(threads);
+    Topology topo = make_kary_ntree(4, 3);
+    ChurnEngine churn(topo);
+    IncrementalDfsssp inc;
+    RouteResponse out = inc.route(RouteRequest(topo, exec));
+    ASSERT_TRUE(out.ok) << out.error;
+
+    std::size_t event_index = 0;
+    for (const FaultEvent& ev : schedule) {
+      const ChurnDelta delta = churn.apply(ev);
+      out = inc.repair(RouteRequest(topo, exec), delta);
+      ASSERT_TRUE(out.ok) << ev.describe(topo.net) << ": " << out.error;
+      if (delta.applied) {
+        expect_reachable(topo.net, out.table);
+        const CertCheckResult check =
+            check_certificate(topo.net, out.table, inc.certificate());
+        ASSERT_TRUE(check.ok)
+            << ev.describe(topo.net) << ": " << check.error;
+      }
+
+      std::ostringstream state;
+      write_forwarding_dump(topo.net, out.table, state);
+      write_certificate(topo.net, inc.certificate(), state);
+      if (threads == 1) {
+        reference.push_back(state.str());
+      } else {
+        ASSERT_EQ(state.str(), reference[event_index])
+            << "state diverged at threads=" << threads << " event "
+            << event_index << " (" << ev.describe(topo.net) << ")";
+      }
+      ++event_index;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dfsssp

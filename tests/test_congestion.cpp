@@ -11,7 +11,7 @@ namespace {
 
 TEST(Congestion, DisjointFlowsGetFullBandwidth) {
   Topology topo = make_ring(4, 1);
-  RoutingOutcome out = SsspRouter().route(topo);
+  RouteResponse out = SsspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   // Terminal 0 -> 1 and 2 -> 3: opposite sides, no sharing.
   Flows flows{{topo.net.terminal_by_index(0), topo.net.terminal_by_index(1)},
@@ -24,7 +24,7 @@ TEST(Congestion, DisjointFlowsGetFullBandwidth) {
 TEST(Congestion, SharedEjectionHalvesBandwidth) {
   // Two flows into the same destination terminal share its ejection link.
   Topology topo = make_single_switch(3);
-  RoutingOutcome out = SsspRouter().route(topo);
+  RouteResponse out = SsspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   Flows flows{{topo.net.terminal_by_index(0), topo.net.terminal_by_index(2)},
               {topo.net.terminal_by_index(1), topo.net.terminal_by_index(2)}};
@@ -36,7 +36,7 @@ TEST(Congestion, SharedEjectionHalvesBandwidth) {
 TEST(Congestion, BottleneckLinkCounts) {
   // Path of 2 switches: all cross-traffic shares the single link.
   Topology topo = make_path(2, 4);
-  RoutingOutcome out = SsspRouter().route(topo);
+  RouteResponse out = SsspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   Flows flows;
   for (std::uint32_t i = 0; i < 4; ++i) {
@@ -50,7 +50,7 @@ TEST(Congestion, BottleneckLinkCounts) {
 
 TEST(Congestion, LinkCapacityScalesResult) {
   Topology topo = make_path(2, 2);
-  RoutingOutcome out = SsspRouter().route(topo);
+  RouteResponse out = SsspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   Flows flows{{topo.net.terminal_by_index(0), topo.net.terminal_by_index(2)},
               {topo.net.terminal_by_index(1), topo.net.terminal_by_index(3)}};
@@ -64,7 +64,7 @@ TEST(Congestion, MaxMinFairDominatesShareMetric) {
   // Max-min fairness can only give each flow at least the bottleneck share.
   Rng rng(5);
   Topology topo = make_kautz(2, 3, 24);
-  RoutingOutcome out = SsspRouter().route(topo);
+  RouteResponse out = SsspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   RankMap map = RankMap::round_robin(topo.net, 24);
   Flows flows = map.to_flows(random_bisection(24, rng));
@@ -78,7 +78,7 @@ TEST(Congestion, MaxMinFairDominatesShareMetric) {
 
 TEST(Congestion, MaxMinFairConservesCapacityOnSingleLink) {
   Topology topo = make_path(2, 3);
-  RoutingOutcome out = SsspRouter().route(topo);
+  RouteResponse out = SsspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   Flows flows;
   for (std::uint32_t i = 0; i < 3; ++i) {
@@ -93,7 +93,7 @@ TEST(Congestion, MaxMinFairConservesCapacityOnSingleLink) {
 
 TEST(Congestion, EbbOnSingleSwitchIsPerfect) {
   Topology topo = make_single_switch(16);
-  RoutingOutcome out = MinHopRouter().route(topo);
+  RouteResponse out = MinHopRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   Rng rng(6);
   RankMap map = RankMap::round_robin(topo.net, 16);
@@ -104,7 +104,7 @@ TEST(Congestion, EbbOnSingleSwitchIsPerfect) {
 TEST(Congestion, EbbDropsOnOversubscribedTree) {
   // 4 leaves with 4 terminals each, single spine: 4:1 oversubscription.
   Topology topo = make_clos2(4, 1, 1, 4);
-  RoutingOutcome out = MinHopRouter().route(topo);
+  RouteResponse out = MinHopRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   Rng rng(7);
   RankMap map = RankMap::round_robin(topo.net, 16);
@@ -117,7 +117,7 @@ TEST(Congestion, EbbDropsOnOversubscribedTree) {
 
 TEST(Congestion, BatchSimulationMatchesSingleCalls) {
   Topology topo = make_kautz(2, 3, 24);
-  RoutingOutcome out = SsspRouter().route(topo);
+  RouteResponse out = SsspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   RankMap map = RankMap::round_robin(topo.net, 24);
   Rng rng(11);
@@ -141,7 +141,7 @@ TEST(Congestion, BatchSimulationMatchesSingleCalls) {
 
 TEST(Congestion, EbbIsSeedDeterministic) {
   Topology topo = make_ring(6, 2);
-  RoutingOutcome out = SsspRouter().route(topo);
+  RouteResponse out = SsspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   RankMap map = RankMap::round_robin(topo.net, 12);
   Rng r1(42), r2(42);

@@ -45,8 +45,8 @@ TEST(Determinism, EnginesAreDeterministic) {
             [] { return std::make_unique<LashRouter>(); }),
         std::function<std::unique_ptr<Router>()>(
             [] { return std::make_unique<DfssspRouter>(); })}) {
-    RoutingOutcome a = make_router()->route(t1);
-    RoutingOutcome b = make_router()->route(t2);
+    RouteResponse a = make_router()->route(RouteRequest(t1));
+    RouteResponse b = make_router()->route(RouteRequest(t2));
     ASSERT_EQ(a.ok, b.ok);
     if (a.ok) expect_identical_tables(t1.net, a.table, b.table);
   }
@@ -54,7 +54,7 @@ TEST(Determinism, EnginesAreDeterministic) {
 
 TEST(Determinism, SimulationIsSeedStable) {
   Topology topo = make_kautz(2, 3, 48);
-  RoutingOutcome out = DfssspRouter().route(topo);
+  RouteResponse out = DfssspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   RankMap map = RankMap::round_robin(topo.net, 48);
   Rng r1(777), r2(777);
@@ -69,7 +69,7 @@ TEST(Determinism, EbbIsThreadCountInvariant) {
   // The determinism contract of the parallel layer: simulated numbers are
   // bitwise identical no matter how many threads computed them.
   Topology topo = make_kautz(2, 3, 48);
-  RoutingOutcome out = DfssspRouter().route(topo);
+  RouteResponse out = DfssspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   RankMap map = RankMap::round_robin(topo.net, 48);
   Rng r1(777), r8(777);
@@ -85,7 +85,7 @@ TEST(Determinism, EbbIsThreadCountInvariant) {
 TEST(Determinism, VerificationIsThreadCountInvariant) {
   Rng rng(901);
   Topology topo = make_random(20, 2, 50, 8, rng);
-  RoutingOutcome out = DfssspRouter().route(topo);
+  RouteResponse out = DfssspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   VerifyReport serial = verify_routing(topo.net, out.table, ExecContext{1});
   VerifyReport parallel = verify_routing(topo.net, out.table, ExecContext{8});
@@ -104,7 +104,7 @@ TEST(Determinism, MetricReadingsAreThreadCountInvariant) {
     const obs::Snapshot before = obs::registry().snapshot();
     Rng rng(424242);
     Topology topo = make_random(20, 2, 50, 8, rng);
-    RoutingOutcome out = DfssspRouter().route(topo);
+    RouteResponse out = DfssspRouter().route(RouteRequest(topo));
     EXPECT_TRUE(out.ok);
     RankMap map = RankMap::round_robin(topo.net, 40);
     Rng pat(777);
@@ -132,9 +132,9 @@ TEST(Determinism, RoutingIndependentOfPriorRouting) {
   Topology a = make_ring(6, 1);
   Topology b = make_kary_ntree(3, 2);
   DfssspRouter router;
-  (void)router.route(a);
-  RoutingOutcome after = router.route(b);
-  RoutingOutcome fresh = DfssspRouter().route(b);
+  (void)router.route(RouteRequest(a));
+  RouteResponse after = router.route(RouteRequest(b));
+  RouteResponse fresh = DfssspRouter().route(RouteRequest(b));
   ASSERT_TRUE(after.ok);
   ASSERT_TRUE(fresh.ok);
   expect_identical_tables(b.net, after.table, fresh.table);

@@ -14,11 +14,11 @@ TEST(Dfsssp, RingBecomesDeadlockFree) {
   // Figure 2's scenario: SSSP on a ring is cyclic; DFSSSP must fix it with
   // one extra layer while keeping SSSP's paths.
   Topology topo = make_ring(5, 1);
-  RoutingOutcome sssp = SsspRouter().route(topo);
+  RouteResponse sssp = SsspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(sssp.ok);
   EXPECT_FALSE(routing_is_deadlock_free(topo.net, sssp.table));
 
-  RoutingOutcome dfsssp = DfssspRouter().route(topo);
+  RouteResponse dfsssp = DfssspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(dfsssp.ok) << dfsssp.error;
   EXPECT_TRUE(routing_is_deadlock_free(topo.net, dfsssp.table));
   EXPECT_GE(dfsssp.stats.layers_used, 2);
@@ -41,7 +41,7 @@ TEST(Dfsssp, ConnectedAndMinimalEverywhere) {
                       make_kary_ntree(4, 2), make_xgft(2, ms, ws),
                       make_kautz(2, 3, 36), make_random(16, 2, 40, 10, rng)};
   for (const Topology& topo : topos) {
-    RoutingOutcome out = DfssspRouter().route(topo);
+    RouteResponse out = DfssspRouter().route(RouteRequest(topo));
     ASSERT_TRUE(out.ok) << topo.name << ": " << out.error;
     VerifyReport report = verify_routing(topo.net, out.table);
     EXPECT_TRUE(report.connected()) << topo.name;
@@ -52,8 +52,8 @@ TEST(Dfsssp, ConnectedAndMinimalEverywhere) {
 
 TEST(Dfsssp, OnlineModeMatchesDeadlockFreedom) {
   Topology topo = make_ring(7, 2);
-  RoutingOutcome out =
-      DfssspRouter(DfssspOptions{.online = true}).route(topo);
+  RouteResponse out =
+      DfssspRouter(DfssspOptions{.online = true}).route(RouteRequest(topo));
   ASSERT_TRUE(out.ok) << out.error;
   EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table));
 }
@@ -64,13 +64,13 @@ TEST(Dfsssp, NaiveOnlineModeMatchesInvariants) {
   // are first-fit over the same path order).
   Rng rng(99);
   Topology topo = make_random(10, 2, 22, 8, rng);
-  RoutingOutcome naive =
+  RouteResponse naive =
       DfssspRouter(DfssspOptions{.balance = false,
                                  .mode = LayeringMode::kOnlineNaive})
-          .route(topo);
-  RoutingOutcome pk = DfssspRouter(DfssspOptions{.balance = false,
+          .route(RouteRequest(topo));
+  RouteResponse pk = DfssspRouter(DfssspOptions{.balance = false,
                                                  .mode = LayeringMode::kOnline})
-                          .route(topo);
+                          .route(RouteRequest(topo));
   ASSERT_TRUE(naive.ok) << naive.error;
   ASSERT_TRUE(pk.ok);
   EXPECT_TRUE(routing_is_deadlock_free(topo.net, naive.table));
@@ -90,8 +90,8 @@ TEST(Dfsssp, HeuristicsAllProduceDeadlockFreedom) {
   for (CycleHeuristic h : {CycleHeuristic::kWeakestEdge,
                            CycleHeuristic::kHeaviestEdge,
                            CycleHeuristic::kFirstEdge}) {
-    RoutingOutcome out =
-        DfssspRouter(DfssspOptions{.heuristic = h}).route(topo);
+    RouteResponse out =
+        DfssspRouter(DfssspOptions{.heuristic = h}).route(RouteRequest(topo));
     ASSERT_TRUE(out.ok) << to_string(h) << ": " << out.error;
     EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table)) << to_string(h);
   }
@@ -99,16 +99,16 @@ TEST(Dfsssp, HeuristicsAllProduceDeadlockFreedom) {
 
 TEST(Dfsssp, FailsGracefullyWhenLayerBudgetTooSmall) {
   Topology topo = make_ring(12, 1);
-  RoutingOutcome out =
-      DfssspRouter(DfssspOptions{.max_layers = 1}).route(topo);
+  RouteResponse out =
+      DfssspRouter(DfssspOptions{.max_layers = 1}).route(RouteRequest(topo));
   EXPECT_FALSE(out.ok);
   EXPECT_NE(out.error.find("layer"), std::string::npos);
 }
 
 TEST(Dfsssp, TreeNeedsSingleLayer) {
   Topology topo = make_kary_ntree(4, 2);
-  RoutingOutcome out =
-      DfssspRouter(DfssspOptions{.balance = false}).route(topo);
+  RouteResponse out =
+      DfssspRouter(DfssspOptions{.balance = false}).route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   EXPECT_EQ(out.stats.layers_used, 1);
   EXPECT_EQ(out.stats.cycles_broken, 0U);
@@ -116,10 +116,10 @@ TEST(Dfsssp, TreeNeedsSingleLayer) {
 
 TEST(Dfsssp, BalanceSpreadsLayersWithoutBreakingCover) {
   Topology topo = make_ring(8, 2);
-  RoutingOutcome balanced =
-      DfssspRouter(DfssspOptions{.balance = true}).route(topo);
-  RoutingOutcome plain =
-      DfssspRouter(DfssspOptions{.balance = false}).route(topo);
+  RouteResponse balanced =
+      DfssspRouter(DfssspOptions{.balance = true}).route(RouteRequest(topo));
+  RouteResponse plain =
+      DfssspRouter(DfssspOptions{.balance = false}).route(RouteRequest(topo));
   ASSERT_TRUE(balanced.ok);
   ASSERT_TRUE(plain.ok);
   EXPECT_TRUE(routing_is_deadlock_free(topo.net, balanced.table));
@@ -128,7 +128,7 @@ TEST(Dfsssp, BalanceSpreadsLayersWithoutBreakingCover) {
 
 TEST(Dfsssp, LayersBelowTableCount) {
   Topology topo = make_ring(10, 1);
-  RoutingOutcome out = DfssspRouter().route(topo);
+  RouteResponse out = DfssspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   EXPECT_EQ(out.table.num_layers(), out.stats.layers_used);
   for (NodeId s : topo.net.switches()) {
@@ -141,7 +141,7 @@ TEST(Dfsssp, LayersBelowTableCount) {
 
 TEST(Dfsssp, StatsTimingsPopulated) {
   Topology topo = make_ring(6, 2);
-  RoutingOutcome out = DfssspRouter().route(topo);
+  RouteResponse out = DfssspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   EXPECT_GT(out.stats.route_seconds, 0.0);
   EXPECT_GT(out.stats.layering_seconds, 0.0);

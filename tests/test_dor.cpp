@@ -12,7 +12,7 @@ namespace {
 TEST(Dor, ConnectedAndMinimalOnTorus) {
   std::uint32_t dims[2] = {5, 4};
   Topology topo = make_torus(dims, 1, true);
-  RoutingOutcome out = DorRouter().route(topo);
+  RouteResponse out = DorRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok) << out.error;
   VerifyReport report = verify_routing(topo.net, out.table);
   EXPECT_TRUE(report.connected());
@@ -22,7 +22,7 @@ TEST(Dor, ConnectedAndMinimalOnTorus) {
 TEST(Dor, ConnectedAndMinimalOnMesh) {
   std::uint32_t dims[3] = {3, 3, 2};
   Topology topo = make_torus(dims, 1, false);
-  RoutingOutcome out = DorRouter().route(topo);
+  RouteResponse out = DorRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   VerifyReport report = verify_routing(topo.net, out.table);
   EXPECT_TRUE(report.connected());
@@ -34,19 +34,19 @@ TEST(Dor, DeadlockFreeOnMeshButNotTorus) {
   // dimension order is cycle-free on meshes, cyclic on wraparound rings.
   std::uint32_t dims[2] = {4, 4};
   Topology mesh = make_torus(dims, 1, false);
-  RoutingOutcome mesh_out = DorRouter().route(mesh);
+  RouteResponse mesh_out = DorRouter().route(RouteRequest(mesh));
   ASSERT_TRUE(mesh_out.ok);
   EXPECT_TRUE(routing_is_deadlock_free(mesh.net, mesh_out.table));
 
   Topology torus = make_torus(dims, 1, true);
-  RoutingOutcome torus_out = DorRouter().route(torus);
+  RouteResponse torus_out = DorRouter().route(RouteRequest(torus));
   ASSERT_TRUE(torus_out.ok);
   EXPECT_FALSE(routing_is_deadlock_free(torus.net, torus_out.table));
 }
 
 TEST(Dor, RefusesTopologyWithoutCoordinates) {
   Topology topo = make_kary_ntree(2, 2);
-  RoutingOutcome out = DorRouter().route(topo);
+  RouteResponse out = DorRouter().route(RouteRequest(topo));
   EXPECT_FALSE(out.ok);
   EXPECT_NE(out.error.find("coordinates"), std::string::npos);
 }
@@ -54,7 +54,7 @@ TEST(Dor, RefusesTopologyWithoutCoordinates) {
 TEST(Dor, TakesShorterWayAround) {
   // Ring of 6, switch 0 -> switch 5 must go the -1 way (1 hop), not +5.
   Topology topo = make_ring(6, 1);
-  RoutingOutcome out = DorRouter().route(topo);
+  RouteResponse out = DorRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   NodeId s0 = topo.net.switch_by_index(0);
   NodeId t5 = topo.net.terminal_by_index(5);  // terminal on switch 5
@@ -66,7 +66,7 @@ TEST(Dor, DimensionOrderIsRespected) {
   // On a 3x3 torus, a diagonal route must correct dimension 0 first.
   std::uint32_t dims[2] = {3, 3};
   Topology topo = make_torus(dims, 1, true);
-  RoutingOutcome out = DorRouter().route(topo);
+  RouteResponse out = DorRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   // src (0,0) = index 0; dst (1,1) = index 4. First hop must go to (1,0).
   NodeId src = topo.net.switch_by_index(0);

@@ -15,7 +15,7 @@ TEST(DorDateline, DeadlockFreeOnTori) {
   for (auto dims : std::vector<std::vector<std::uint32_t>>{
            {5}, {4, 4}, {5, 4}, {3, 3, 3}, {4, 3, 3}}) {
     Topology topo = make_torus(dims, 1, true);
-    RoutingOutcome out = DorDatelineRouter().route(topo);
+    RouteResponse out = DorDatelineRouter().route(RouteRequest(topo));
     ASSERT_TRUE(out.ok) << topo.name << ": " << out.error;
     VerifyReport report = verify_routing(topo.net, out.table);
     EXPECT_TRUE(report.connected()) << topo.name;
@@ -28,8 +28,8 @@ TEST(DorDateline, DeadlockFreeOnTori) {
 TEST(DorDateline, SamePortsAsPlainDor) {
   std::uint32_t dims[2] = {5, 5};
   Topology topo = make_torus(dims, 2, true);
-  RoutingOutcome plain = DorRouter().route(topo);
-  RoutingOutcome dated = DorDatelineRouter().route(topo);
+  RouteResponse plain = DorRouter().route(RouteRequest(topo));
+  RouteResponse dated = DorDatelineRouter().route(RouteRequest(topo));
   ASSERT_TRUE(plain.ok);
   ASSERT_TRUE(dated.ok);
   for (NodeId s : topo.net.switches()) {
@@ -43,7 +43,7 @@ TEST(DorDateline, SamePortsAsPlainDor) {
 TEST(DorDateline, MeshUsesOneLayer) {
   std::uint32_t dims[2] = {4, 4};
   Topology topo = make_torus(dims, 1, false);
-  RoutingOutcome out = DorDatelineRouter().route(topo);
+  RouteResponse out = DorDatelineRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   EXPECT_EQ(out.stats.layers_used, 1);
 }
@@ -51,7 +51,7 @@ TEST(DorDateline, MeshUsesOneLayer) {
 TEST(DorDateline, RefusesTooManyDimensions) {
   std::uint32_t dims[4] = {3, 3, 3, 3};
   Topology topo = make_torus(dims, 1, true);
-  RoutingOutcome out = DorDatelineRouter(8).route(topo);
+  RouteResponse out = DorDatelineRouter(8).route(RouteRequest(topo));
   EXPECT_FALSE(out.ok);
   EXPECT_NE(out.error.find("layers"), std::string::npos);
 }
@@ -70,14 +70,14 @@ TEST(DorDateline, DrainsWherePlainDorDeadlocks) {
   opts.buffer_slots = 1;
   opts.packets_per_flow = 16;
 
-  RoutingOutcome plain = DorRouter().route(topo);
+  RouteResponse plain = DorRouter().route(RouteRequest(topo));
   ASSERT_TRUE(plain.ok);
   Rng r1(3);
   FlitSimResult plain_result =
       simulate_flit_level(topo.net, plain.table, flows, opts, r1);
   EXPECT_TRUE(plain_result.deadlocked);
 
-  RoutingOutcome dated = DorDatelineRouter().route(topo);
+  RouteResponse dated = DorDatelineRouter().route(RouteRequest(topo));
   ASSERT_TRUE(dated.ok);
   Rng r2(3);
   FlitSimResult dated_result =
@@ -89,7 +89,7 @@ TEST(DorDateline, LayerMatchesCrossingPattern) {
   // Ring of 6: path 5 -> 0 wraps forward (layer bit 0), path 0 -> 1 not.
   std::uint32_t dims[1] = {6};
   Topology topo = make_torus(dims, 1, true);
-  RoutingOutcome out = DorDatelineRouter().route(topo);
+  RouteResponse out = DorDatelineRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   NodeId sw5 = topo.net.switch_by_index(5);
   NodeId sw0 = topo.net.switch_by_index(0);

@@ -15,7 +15,7 @@ namespace {
 TEST(Dump, RoundTripPreservesForwardingAndLayers) {
   Rng rng(77);
   Topology topo = make_random(10, 2, 24, 8, rng);
-  RoutingOutcome out = DfssspRouter().route(topo);
+  RouteResponse out = DfssspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
 
   std::ostringstream os;
@@ -47,7 +47,7 @@ TEST(Dump, RoundTripWithParallelLinks) {
   net.add_terminal(b, "tb");
   net.freeze();
   Topology topo{"par", std::move(net), {}};
-  RoutingOutcome out = DfssspRouter().route(topo);
+  RouteResponse out = DfssspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
 
   std::ostringstream os;

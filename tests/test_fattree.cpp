@@ -12,7 +12,7 @@ namespace {
 
 TEST(FatTree, ConnectedMinimalDeadlockFreeOnKaryNTree) {
   Topology topo = make_kary_ntree(4, 3);
-  RoutingOutcome out = FatTreeRouter().route(topo);
+  RouteResponse out = FatTreeRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok) << out.error;
   VerifyReport report = verify_routing(topo.net, out.table);
   EXPECT_TRUE(report.connected());
@@ -24,7 +24,7 @@ TEST(FatTree, WorksOnXgft) {
   std::uint32_t ms[2] = {4, 4};
   std::uint32_t ws[2] = {2, 2};
   Topology topo = make_xgft(2, ms, ws);
-  RoutingOutcome out = FatTreeRouter().route(topo);
+  RouteResponse out = FatTreeRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok) << out.error;
   VerifyReport report = verify_routing(topo.net, out.table);
   EXPECT_TRUE(report.connected());
@@ -34,17 +34,17 @@ TEST(FatTree, WorksOnXgft) {
 
 TEST(FatTree, WorksOnOdinStandIn) {
   Topology topo = make_odin();
-  RoutingOutcome out = FatTreeRouter().route(topo);
+  RouteResponse out = FatTreeRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok) << out.error;
   EXPECT_TRUE(verify_routing(topo.net, out.table).connected());
 }
 
 TEST(FatTree, RefusesNonTreeTopologies) {
   // No level metadata at all.
-  EXPECT_FALSE(FatTreeRouter().route(make_ring(5, 1)).ok);
+  EXPECT_FALSE(FatTreeRouter().route(RouteRequest(make_ring(5, 1))).ok);
   // Parallel links break down-path uniqueness (Ranger-style NEM uplinks).
   Topology clos = make_clos2(3, 2, 2, 2);
-  RoutingOutcome out = FatTreeRouter().route(clos);
+  RouteResponse out = FatTreeRouter().route(RouteRequest(clos));
   EXPECT_FALSE(out.ok);
   EXPECT_NE(out.error.find("unique"), std::string::npos);
 }
@@ -52,7 +52,7 @@ TEST(FatTree, RefusesNonTreeTopologies) {
 TEST(FatTree, SpreadsDestinationsOverSpines) {
   // d-mod-k: consecutive destination indices should use different spines.
   Topology topo = make_clos2(2, 4, 1, 8);
-  RoutingOutcome out = FatTreeRouter().route(topo);
+  RouteResponse out = FatTreeRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok) << out.error;
   NodeId leaf0 = topo.net.switch_by_index(0);
   std::set<NodeId> spines_used;

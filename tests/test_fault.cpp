@@ -73,8 +73,8 @@ TEST(FaultInjection, DegradedFatTreeStaysDeadlockFree) {
   Rng rng(1001);
   for (int round = 0; round < 3; ++round) {
     Topology topo = degrade(pristine, 6, 2, rng);
-    RoutingOutcome out =
-        DfssspRouter(DfssspOptions{.max_layers = 16}).route(topo);
+    RouteResponse out =
+        DfssspRouter(DfssspOptions{.max_layers = 16}).route(RouteRequest(topo));
     ASSERT_TRUE(out.ok) << out.error;
     VerifyReport report = verify_routing(topo.net, out.table);
     EXPECT_TRUE(report.connected());
@@ -89,8 +89,8 @@ TEST(FaultInjection, DegradedTorusStaysDeadlockFree) {
   Rng rng(2002);
   for (int round = 0; round < 3; ++round) {
     Topology topo = degrade(pristine, 4, 1, rng);
-    RoutingOutcome out =
-        DfssspRouter(DfssspOptions{.max_layers = 16}).route(topo);
+    RouteResponse out =
+        DfssspRouter(DfssspOptions{.max_layers = 16}).route(RouteRequest(topo));
     ASSERT_TRUE(out.ok) << out.error;
     EXPECT_TRUE(verify_routing(topo.net, out.table).connected());
     EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table));
@@ -105,7 +105,7 @@ TEST(FaultInjection, SpecializedEnginesDegradeButDfssspSurvives) {
   Topology topo = degrade(pristine, 8, 3, rng);
   bool dfsssp_ok = false;
   for (const auto& router : make_all_routers()) {
-    RoutingOutcome out = router->route(topo);
+    RouteResponse out = router->route(RouteRequest(topo));
     if (router->name() == "DFSSSP") dfsssp_ok = out.ok;
     if (router->name() == "FatTree") {
       EXPECT_FALSE(out.ok) << "degraded topology lost its level metadata";
@@ -118,7 +118,7 @@ TEST(FaultInjection, DegradedDeimosStandIn) {
   Topology pristine = make_deimos();
   Rng rng(4004);
   Topology topo = degrade(pristine, 10, 0, rng);
-  RoutingOutcome out = DfssspRouter().route(topo);
+  RouteResponse out = DfssspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok) << out.error;
   EXPECT_TRUE(verify_routing(topo.net, out.table).connected());
   EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table));

@@ -25,7 +25,7 @@ TEST(FlitSim, SsspDeadlocksOnFigure2Ring) {
   // The paper's Figure 2: 5-switch ring, 2-hop clockwise shift, SSSP routes
   // everything clockwise; with finite buffers the network must wedge.
   Topology topo = make_ring(5, 1);
-  RoutingOutcome out = SsspRouter().route(topo);
+  RouteResponse out = SsspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   Rng rng(1);
   FlitSimOptions opts;
@@ -40,7 +40,7 @@ TEST(FlitSim, SsspDeadlocksOnFigure2Ring) {
 
 TEST(FlitSim, DfssspDrainsTheSameTraffic) {
   Topology topo = make_ring(5, 1);
-  RoutingOutcome out = DfssspRouter().route(topo);
+  RouteResponse out = DfssspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok) << out.error;
   Rng rng(1);
   FlitSimOptions opts;
@@ -55,7 +55,7 @@ TEST(FlitSim, DfssspDrainsTheSameTraffic) {
 
 TEST(FlitSim, UpDownDrainsRingTraffic) {
   Topology topo = make_ring(6, 1);
-  RoutingOutcome out = UpDownRouter().route(topo);
+  RouteResponse out = UpDownRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   Rng rng(2);
   FlitSimOptions opts;
@@ -70,7 +70,7 @@ TEST(FlitSim, BiggerBuffersCanHideTheDeadlockBriefly) {
   // With buffers larger than the traffic, the Figure 2 cycle never fills:
   // packet counts below the buffer capacity drain even under SSSP.
   Topology topo = make_ring(5, 1);
-  RoutingOutcome out = SsspRouter().route(topo);
+  RouteResponse out = SsspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   Rng rng(3);
   FlitSimOptions opts;
@@ -83,7 +83,7 @@ TEST(FlitSim, BiggerBuffersCanHideTheDeadlockBriefly) {
 
 TEST(FlitSim, DeliversPointToPoint) {
   Topology topo = make_kary_ntree(2, 2);
-  RoutingOutcome out = DfssspRouter().route(topo);
+  RouteResponse out = DfssspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   Rng rng(4);
   Flows flows{{topo.net.terminal_by_index(0), topo.net.terminal_by_index(3)}};
@@ -98,7 +98,7 @@ TEST(FlitSim, DeliversPointToPoint) {
 
 TEST(FlitSim, IntraSwitchFlowsAndSelfFlowsHandled) {
   Topology topo = make_single_switch(4);
-  RoutingOutcome out = DfssspRouter().route(topo);
+  RouteResponse out = DfssspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   Rng rng(5);
   Flows flows{{topo.net.terminal_by_index(0), topo.net.terminal_by_index(1)},

@@ -11,7 +11,7 @@ namespace {
 
 TEST(FlitSimMultiFlit, SerializationScalesDrainTime) {
   Topology topo = make_path(3, 1);
-  RoutingOutcome out = DfssspRouter().route(topo);
+  RouteResponse out = DfssspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   Flows flows{{topo.net.terminal_by_index(0), topo.net.terminal_by_index(2)}};
 
@@ -34,7 +34,7 @@ TEST(FlitSimMultiFlit, SerializationScalesDrainTime) {
 
 TEST(FlitSimMultiFlit, StillDetectsDeadlock) {
   Topology topo = make_ring(5, 1);
-  RoutingOutcome out = SsspRouter().route(topo);
+  RouteResponse out = SsspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   Flows flows;
   for (std::uint32_t i = 0; i < 5; ++i) {
@@ -53,7 +53,7 @@ TEST(FlitSimMultiFlit, StillDetectsDeadlock) {
 TEST(FlitSimMultiFlit, ThroughputReflectsContention) {
   // Two flows share one link: each gets about half the packet rate.
   Topology topo = make_path(2, 2);
-  RoutingOutcome out = DfssspRouter().route(topo);
+  RouteResponse out = DfssspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   Flows flows{{topo.net.terminal_by_index(0), topo.net.terminal_by_index(2)},
               {topo.net.terminal_by_index(1), topo.net.terminal_by_index(3)}};

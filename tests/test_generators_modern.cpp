@@ -35,7 +35,7 @@ TEST(HyperX, DiameterEqualsDimensions) {
   std::uint32_t dims[3] = {3, 3, 3};
   Topology t = make_hyperx(dims, 1);
   std::vector<ChannelId> seq;
-  RoutingOutcome out = DfssspRouter().route(t);
+  RouteResponse out = DfssspRouter().route(RouteRequest(t));
   ASSERT_TRUE(out.ok);
   for (NodeId s : t.net.switches()) {
     for (NodeId term : t.net.terminals()) {
@@ -49,7 +49,7 @@ TEST(HyperX, DiameterEqualsDimensions) {
 TEST(HyperX, DfssspHandlesIt) {
   std::uint32_t dims[2] = {4, 4};
   Topology t = make_hyperx(dims, 2);
-  RoutingOutcome out = DfssspRouter().route(t);
+  RouteResponse out = DfssspRouter().route(RouteRequest(t));
   ASSERT_TRUE(out.ok) << out.error;
   VerifyReport report = verify_routing(t.net, out.table);
   EXPECT_TRUE(report.connected());
@@ -68,8 +68,8 @@ TEST(FullyConnected, Structure) {
 TEST(FullyConnected, OneLayerSuffices) {
   // All minimal paths are single hops: the CDG has no edges at all.
   Topology t = make_fully_connected(5, 2);
-  RoutingOutcome out =
-      DfssspRouter(DfssspOptions{.balance = false}).route(t);
+  RouteResponse out =
+      DfssspRouter(DfssspOptions{.balance = false}).route(RouteRequest(t));
   ASSERT_TRUE(out.ok);
   EXPECT_EQ(out.stats.layers_used, 1);
   EXPECT_EQ(out.stats.cycles_broken, 0U);

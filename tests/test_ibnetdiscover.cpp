@@ -80,7 +80,7 @@ TEST(IbNetDiscover, UsesCommentNames) {
 TEST(IbNetDiscover, LoadedFabricRoutes) {
   std::istringstream in(kSample);
   Topology topo = read_ibnetdiscover(in);
-  RoutingOutcome out = DfssspRouter().route(topo);
+  RouteResponse out = DfssspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok) << out.error;
   EXPECT_TRUE(verify_routing(topo.net, out.table).connected());
   EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table));

@@ -36,7 +36,7 @@ TEST(Integration, EveryEngineOnEveryTopology) {
   auto routers = make_all_routers();
   for (const Topology& topo : small_zoo()) {
     for (const auto& router : routers) {
-      RoutingOutcome out = router->route(topo);
+      RouteResponse out = router->route(RouteRequest(topo));
       if (!out.ok) {
         // Failing is allowed (fat-tree on a ring, DOR without coords), but
         // must come with an explanation.
@@ -62,7 +62,7 @@ TEST(Integration, ShortestPathEnginesAreMinimal) {
     for (const char* name : {"MinHop", "SSSP", "DFSSSP", "LASH"}) {
       for (const auto& router : make_all_routers()) {
         if (router->name() != name) continue;
-        RoutingOutcome out = router->route(topo);
+        RouteResponse out = router->route(RouteRequest(topo));
         if (!out.ok) continue;
         VerifyReport report = verify_routing(topo.net, out.table);
         EXPECT_TRUE(report.minimal())
@@ -75,10 +75,10 @@ TEST(Integration, ShortestPathEnginesAreMinimal) {
 
 TEST(Integration, SsspAndDfssspShareForwardingPorts) {
   for (const Topology& topo : small_zoo()) {
-    RoutingOutcome sssp, dfsssp;
+    RouteResponse sssp, dfsssp;
     for (const auto& router : make_all_routers()) {
-      if (router->name() == "SSSP") sssp = router->route(topo);
-      if (router->name() == "DFSSSP") dfsssp = router->route(topo);
+      if (router->name() == "SSSP") sssp = router->route(RouteRequest(topo));
+      if (router->name() == "DFSSSP") dfsssp = router->route(RouteRequest(topo));
     }
     if (!sssp.ok || !dfsssp.ok) continue;
     for (NodeId s : topo.net.switches()) {
@@ -99,7 +99,7 @@ TEST(Integration, EbbComparableAcrossEngines) {
   RankMap map = RankMap::round_robin(topo.net, 36);
   double minhop_ebb = 0, dfsssp_ebb = 0;
   for (const auto& router : make_all_routers()) {
-    RoutingOutcome out = router->route(topo);
+    RouteResponse out = router->route(RouteRequest(topo));
     if (!out.ok) continue;
     Rng pat(2718);
     EbbResult ebb =
@@ -118,7 +118,7 @@ TEST(Integration, RealSystemStandInsRouteAndVerify) {
   // Keep to the two smaller systems here; the large ones run in benches.
   for (Topology topo : {make_odin(), make_chic()}) {
     for (const auto& router : make_all_routers()) {
-      RoutingOutcome out = router->route(topo);
+      RouteResponse out = router->route(RouteRequest(topo));
       if (!out.ok) continue;
       EXPECT_TRUE(verify_routing(topo.net, out.table).connected())
           << router->name() << " on " << topo.name;

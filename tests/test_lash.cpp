@@ -11,7 +11,7 @@ namespace {
 
 TEST(Lash, ConnectedMinimalDeadlockFreeOnRing) {
   Topology topo = make_ring(8, 2);
-  RoutingOutcome out = LashRouter().route(topo);
+  RouteResponse out = LashRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok) << out.error;
   VerifyReport report = verify_routing(topo.net, out.table);
   EXPECT_TRUE(report.connected());
@@ -24,7 +24,7 @@ TEST(Lash, TorusNeedsFewLayers) {
   // LASH was designed for tori; it should succeed with few layers.
   std::uint32_t dims[2] = {4, 4};
   Topology topo = make_torus(dims, 1, true);
-  RoutingOutcome out = LashRouter().route(topo);
+  RouteResponse out = LashRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok) << out.error;
   EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table));
   EXPECT_LE(out.stats.layers_used, 4);
@@ -36,13 +36,13 @@ TEST(Lash, StructuredSelectionBeatsHashedOnTori) {
   // shortest paths.
   std::uint32_t dims[2] = {8, 8};
   Topology topo = make_torus(dims, 1, true);
-  RoutingOutcome structured =
+  RouteResponse structured =
       LashRouter(LashOptions{
           .max_layers = 16,
           .selection = LashOptions::PathSelection::kFirstCandidate})
-          .route(topo);
-  RoutingOutcome hashed =
-      LashRouter(LashOptions{.max_layers = 16}).route(topo);
+          .route(RouteRequest(topo));
+  RouteResponse hashed =
+      LashRouter(LashOptions{.max_layers = 16}).route(RouteRequest(topo));
   ASSERT_TRUE(structured.ok) << structured.error;
   ASSERT_TRUE(hashed.ok) << hashed.error;
   EXPECT_LT(structured.stats.layers_used, hashed.stats.layers_used);
@@ -52,7 +52,7 @@ TEST(Lash, StructuredSelectionBeatsHashedOnTori) {
 
 TEST(Lash, TreeNeedsOneLayer) {
   Topology topo = make_kary_ntree(3, 2);
-  RoutingOutcome out = LashRouter().route(topo);
+  RouteResponse out = LashRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   EXPECT_EQ(out.stats.layers_used, 1);
   EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table));
@@ -60,14 +60,14 @@ TEST(Lash, TreeNeedsOneLayer) {
 
 TEST(Lash, FailsWhenLayersExhausted) {
   Topology topo = make_ring(12, 1);
-  RoutingOutcome out = LashRouter(LashOptions{.max_layers = 1}).route(topo);
+  RouteResponse out = LashRouter(LashOptions{.max_layers = 1}).route(RouteRequest(topo));
   EXPECT_FALSE(out.ok);
   EXPECT_NE(out.error.find("virtual layers"), std::string::npos);
 }
 
 TEST(Lash, LayerSharedByAllTerminalPairsOfSwitchPair) {
   Topology topo = make_ring(5, 3);
-  RoutingOutcome out = LashRouter().route(topo);
+  RouteResponse out = LashRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   const Network& net = topo.net;
   for (NodeId s : net.switches()) {
@@ -85,7 +85,7 @@ TEST(Lash, RandomTopologiesStayDeadlockFree) {
   Rng rng(404);
   for (int i = 0; i < 3; ++i) {
     Topology topo = make_random(16, 2, 40, 10, rng);
-    RoutingOutcome out = LashRouter().route(topo);
+    RouteResponse out = LashRouter().route(RouteRequest(topo));
     ASSERT_TRUE(out.ok) << out.error;
     EXPECT_TRUE(verify_routing(topo.net, out.table).connected());
     EXPECT_TRUE(verify_routing(topo.net, out.table).minimal());

@@ -16,7 +16,7 @@ namespace {
 TEST(Lints, CleanRoutingReportsNothing) {
   Rng rng(11);
   Topology topo = make_random(16, 2, 40, 8, rng);
-  RoutingOutcome out = DfssspRouter().route(topo);
+  RouteResponse out = DfssspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   LintReport report = lint_routing(topo.net, out.table);
   EXPECT_EQ(report.count(LintKind::kUnreachableDestination), 0u);
@@ -29,7 +29,7 @@ TEST(Lints, CleanRoutingReportsNothing) {
 
 TEST(Lints, MissingEntryIsUnreachable) {
   Topology topo = make_ring(4, 1);
-  RoutingOutcome out = MinHopRouter().route(topo);
+  RouteResponse out = MinHopRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   const NodeId sw0 = topo.net.switch_by_index(0);
   const NodeId far = topo.net.terminal_by_index(2);  // on the opposite switch
@@ -54,7 +54,7 @@ TEST(Lints, DetourPastBfsDistanceIsNonMinimal) {
   net.freeze();
   Topology topo{"triangle", std::move(net), {}};
 
-  RoutingOutcome out = MinHopRouter().route(topo);
+  RouteResponse out = MinHopRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   LintReport before = lint_routing(topo.net, out.table);
   EXPECT_EQ(before.count(LintKind::kNonMinimalPath), 0u);
@@ -69,7 +69,7 @@ TEST(Lints, DetourPastBfsDistanceIsNonMinimal) {
 
 TEST(Lints, DeclaredButUnusedLayerIsEmpty) {
   Topology topo = make_ring(4, 1);
-  RoutingOutcome out = MinHopRouter().route(topo);
+  RouteResponse out = MinHopRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   ASSERT_EQ(out.table.num_layers(), 1);
   out.table.set_num_layers(2);  // everything still runs on layer 0
@@ -79,7 +79,7 @@ TEST(Lints, DeclaredButUnusedLayerIsEmpty) {
 
 TEST(Lints, SlBeyondDeclaredLayersIsFlagged) {
   Topology topo = make_ring(4, 1);
-  RoutingOutcome out = MinHopRouter().route(topo);
+  RouteResponse out = MinHopRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   const NodeId sw0 = topo.net.switch_by_index(0);
   const NodeId far = topo.net.terminal_by_index(2);
@@ -90,7 +90,7 @@ TEST(Lints, SlBeyondDeclaredLayersIsFlagged) {
 
 TEST(Lints, ForwardingEntryForLocalTerminalIsDangling) {
   Topology topo = make_ring(4, 1);
-  RoutingOutcome out = MinHopRouter().route(topo);
+  RouteResponse out = MinHopRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   const NodeId sw0 = topo.net.switch_by_index(0);
   const NodeId sw1 = topo.net.switch_by_index(1);
@@ -105,7 +105,7 @@ TEST(Lints, ForwardingEntryForLocalTerminalIsDangling) {
 
 TEST(Lints, ExcessLayersComparedToHardwareVls) {
   Topology topo = make_ring(4, 1);
-  RoutingOutcome out = MinHopRouter().route(topo);
+  RouteResponse out = MinHopRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   out.table.set_num_layers(12);  // more than the 8 hardware VLs
   LintReport report = lint_routing(topo.net, out.table);
@@ -137,7 +137,7 @@ TEST(Lints, DumpDuplicatesSurfaceAsFileLints) {
 TEST(Lints, ReportIsThreadCountInvariant) {
   Rng rng(5);
   Topology topo = make_random(20, 2, 50, 8, rng);
-  RoutingOutcome out = DfssspRouter().route(topo);
+  RouteResponse out = DfssspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   // Break a few entries so there is something to report.
   const NodeId sw0 = topo.net.switch_by_index(0);

@@ -10,7 +10,7 @@ namespace {
 
 TEST(MinHop, ConnectedAndMinimalOnRing) {
   Topology topo = make_ring(6, 2);
-  RoutingOutcome out = MinHopRouter().route(topo);
+  RouteResponse out = MinHopRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok) << out.error;
   VerifyReport report = verify_routing(topo.net, out.table);
   EXPECT_TRUE(report.connected());
@@ -20,7 +20,7 @@ TEST(MinHop, ConnectedAndMinimalOnRing) {
 
 TEST(MinHop, ConnectedAndMinimalOnTree) {
   Topology topo = make_kary_ntree(4, 2);
-  RoutingOutcome out = MinHopRouter().route(topo);
+  RouteResponse out = MinHopRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   VerifyReport report = verify_routing(topo.net, out.table);
   EXPECT_TRUE(report.connected());
@@ -40,7 +40,7 @@ TEST(MinHop, BalancesOverParallelLinks) {
   net.freeze();
   Topology topo{"par", std::move(net), {}};
 
-  RoutingOutcome out = MinHopRouter().route(topo);
+  RouteResponse out = MinHopRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   std::vector<int> used(4, 0);
   for (NodeId t : topo.net.terminals()) {
@@ -61,14 +61,14 @@ TEST(MinHop, FailsOnDisconnected) {
   net.add_terminal(b);
   net.freeze();
   Topology topo{"disc", std::move(net), {}};
-  RoutingOutcome out = MinHopRouter().route(topo);
+  RouteResponse out = MinHopRouter().route(RouteRequest(topo));
   EXPECT_FALSE(out.ok);
   EXPECT_NE(out.error.find("disconnected"), std::string::npos);
 }
 
 TEST(MinHop, SingleSwitchTrivial) {
   Topology topo = make_single_switch(4);
-  RoutingOutcome out = MinHopRouter().route(topo);
+  RouteResponse out = MinHopRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   VerifyReport report = verify_routing(topo.net, out.table);
   EXPECT_TRUE(report.connected());

@@ -59,7 +59,7 @@ TEST(AdversarialPatterns, TornadoCongestsDorRing) {
   // loads one direction with ~n/2 flows per link.
   std::uint32_t dims[1] = {8};
   Topology topo = make_torus(dims, 1, true);
-  RoutingOutcome out = DorRouter().route(topo);
+  RouteResponse out = DorRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   RankMap map = RankMap::round_robin(topo.net, 8);
   Flows flows = map.to_flows(tornado(8));
@@ -69,7 +69,7 @@ TEST(AdversarialPatterns, TornadoCongestsDorRing) {
 
 TEST(LoadReportTest, CountsFabricAndTerminalLoads) {
   Topology topo = make_path(2, 2);
-  RoutingOutcome out = SsspRouter().route(topo);
+  RouteResponse out = SsspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   // Both left terminals send to terminal 2 (on the right switch).
   Flows flows{{topo.net.terminal_by_index(0), topo.net.terminal_by_index(2)},
@@ -84,7 +84,7 @@ TEST(LoadReportTest, CountsFabricAndTerminalLoads) {
 
 TEST(LoadReportTest, BalancedRoutingHasLowerImbalance) {
   Topology topo = make_clos2(4, 4, 1, 4);
-  RoutingOutcome balanced = SsspRouter().route(topo);
+  RouteResponse balanced = SsspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(balanced.ok);
   Rng rng(5);
   RankMap map = RankMap::round_robin(topo.net, 16);

@@ -35,8 +35,8 @@ TEST_P(RandomTopologyProperty, DfssspInvariants) {
   const RandomCase& c = GetParam();
   Rng rng(c.seed);
   Topology topo = make_random(c.switches, 2, c.links, 12, rng);
-  RoutingOutcome out =
-      DfssspRouter(DfssspOptions{.max_layers = 16}).route(topo);
+  RouteResponse out =
+      DfssspRouter(DfssspOptions{.max_layers = 16}).route(RouteRequest(topo));
   ASSERT_TRUE(out.ok) << out.error;
   VerifyReport report = verify_routing(topo.net, out.table);
   EXPECT_TRUE(report.connected());
@@ -49,7 +49,7 @@ TEST_P(RandomTopologyProperty, LashInvariants) {
   const RandomCase& c = GetParam();
   Rng rng(c.seed ^ 0xABCDEF);
   Topology topo = make_random(c.switches, 2, c.links, 12, rng);
-  RoutingOutcome out = LashRouter(LashOptions{.max_layers = 16}).route(topo);
+  RouteResponse out = LashRouter(LashOptions{.max_layers = 16}).route(RouteRequest(topo));
   ASSERT_TRUE(out.ok) << out.error;
   EXPECT_TRUE(verify_routing(topo.net, out.table).connected());
   EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table));
@@ -59,7 +59,7 @@ TEST_P(RandomTopologyProperty, UpDownInvariants) {
   const RandomCase& c = GetParam();
   Rng rng(c.seed ^ 0x123456);
   Topology topo = make_random(c.switches, 2, c.links, 12, rng);
-  RoutingOutcome out = UpDownRouter().route(topo);
+  RouteResponse out = UpDownRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok) << out.error;
   EXPECT_TRUE(verify_routing(topo.net, out.table).connected());
   EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table));
@@ -70,11 +70,11 @@ TEST_P(RandomTopologyProperty, OfflineAndOnlineDfssspBothCover) {
   const RandomCase& c = GetParam();
   Rng rng(c.seed ^ 0x777);
   Topology topo = make_random(c.switches, 2, c.links, 12, rng);
-  RoutingOutcome offline =
-      DfssspRouter(DfssspOptions{.max_layers = 16, .balance = false}).route(topo);
-  RoutingOutcome online = DfssspRouter(
+  RouteResponse offline =
+      DfssspRouter(DfssspOptions{.max_layers = 16, .balance = false}).route(RouteRequest(topo));
+  RouteResponse online = DfssspRouter(
       DfssspOptions{.max_layers = 16, .balance = false, .online = true})
-      .route(topo);
+      .route(RouteRequest(topo));
   ASSERT_TRUE(offline.ok) << offline.error;
   ASSERT_TRUE(online.ok) << online.error;
   EXPECT_TRUE(routing_is_deadlock_free(topo.net, offline.table));
@@ -101,8 +101,8 @@ TEST_P(RingSizeProperty, DfssspNeedsExactlyTwoLayersOnOddRings) {
   // DFSSSP must settle at 2 layers without balancing.
   const std::uint32_t n = GetParam();
   Topology topo = make_ring(n, 1);
-  RoutingOutcome out =
-      DfssspRouter(DfssspOptions{.balance = false}).route(topo);
+  RouteResponse out =
+      DfssspRouter(DfssspOptions{.balance = false}).route(RouteRequest(topo));
   ASSERT_TRUE(out.ok) << out.error;
   EXPECT_EQ(out.stats.layers_used, 2) << "ring size " << n;
   EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table));
@@ -119,7 +119,7 @@ TEST_P(TorusSizeProperty, DfssspHandlesTori) {
   auto [a, b] = GetParam();
   std::uint32_t dims[2] = {a, b};
   Topology topo = make_torus(dims, 1, true);
-  RoutingOutcome out = DfssspRouter().route(topo);
+  RouteResponse out = DfssspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok) << out.error;
   EXPECT_TRUE(verify_routing(topo.net, out.table).minimal());
   EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table));
@@ -139,7 +139,7 @@ class KautzProperty
 TEST_P(KautzProperty, DfssspOnKautz) {
   auto [b, n] = GetParam();
   Topology topo = make_kautz(b, n, 8 * (b + 1));
-  RoutingOutcome out = DfssspRouter(DfssspOptions{.max_layers = 16}).route(topo);
+  RouteResponse out = DfssspRouter(DfssspOptions{.max_layers = 16}).route(RouteRequest(topo));
   ASSERT_TRUE(out.ok) << out.error;
   EXPECT_TRUE(verify_routing(topo.net, out.table).minimal());
   EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table));
@@ -160,7 +160,7 @@ TEST(Property, DumpRoundTripAcrossZoo) {
                     make_kary_ntree(3, 2), make_kautz(2, 2, 12),
                     make_random(10, 2, 24, 8, rng)};
   for (const Topology& topo : zoo) {
-    RoutingOutcome out = DfssspRouter().route(topo);
+    RouteResponse out = DfssspRouter().route(RouteRequest(topo));
     ASSERT_TRUE(out.ok) << topo.name;
     std::ostringstream os;
     write_forwarding_dump(topo.net, out.table, os);
@@ -188,8 +188,8 @@ TEST(Property, NetfileRoundTripPreservesRoutingBehavior) {
   Topology reloaded = read_netfile(is);
   ASSERT_EQ(reloaded.net.num_switches(), original.net.num_switches());
   ASSERT_EQ(reloaded.net.num_terminals(), original.net.num_terminals());
-  RoutingOutcome a = DfssspRouter().route(original);
-  RoutingOutcome b = DfssspRouter().route(reloaded);
+  RouteResponse a = DfssspRouter().route(RouteRequest(original));
+  RouteResponse b = DfssspRouter().route(RouteRequest(reloaded));
   ASSERT_TRUE(a.ok);
   ASSERT_TRUE(b.ok);
   EXPECT_TRUE(verify_routing(reloaded.net, b.table).minimal());
@@ -210,7 +210,7 @@ TEST(Property, CollectedPathsMatchTableLayerDomain) {
   // the table's layer count and path channels are contiguous.
   Rng rng(31337);
   Topology topo = make_random(20, 3, 45, 10, rng);
-  RoutingOutcome out = DfssspRouter().route(topo);
+  RouteResponse out = DfssspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   PathSet paths = collect_paths(topo.net, out.table);
   std::vector<Layer> layers = collect_layers(topo.net, out.table, paths);

@@ -11,7 +11,7 @@ namespace {
 
 TEST(Sssp, ConnectedAndMinimalOnRing) {
   Topology topo = make_ring(7, 2);
-  RoutingOutcome out = SsspRouter().route(topo);
+  RouteResponse out = SsspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok) << out.error;
   VerifyReport report = verify_routing(topo.net, out.table);
   EXPECT_TRUE(report.connected());
@@ -24,7 +24,7 @@ TEST(Sssp, MinimalDespiteWeightGrowth) {
   std::uint32_t ms[2] = {6, 6};
   std::uint32_t ws[2] = {3, 3};
   Topology topo = make_xgft(2, ms, ws);
-  RoutingOutcome out = SsspRouter().route(topo);
+  RouteResponse out = SsspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   VerifyReport report = verify_routing(topo.net, out.table);
   EXPECT_TRUE(report.connected());
@@ -35,7 +35,7 @@ TEST(Sssp, BalancesBetterThanSingleLink) {
   // Two leaf switches under two spines: SSSP must not send everything over
   // one spine.
   Topology topo = make_clos2(2, 2, 1, 4);
-  RoutingOutcome out = SsspRouter().route(topo);
+  RouteResponse out = SsspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   PathSet paths = collect_paths(topo.net, out.table);
   std::vector<std::uint64_t> load(topo.net.num_channels(), 0);
@@ -66,12 +66,12 @@ TEST(Sssp, Figure1InitialWeightOnePathology) {
   for (std::uint64_t seed = 1; seed <= 20 && !pathology_seen; ++seed) {
     Rng rng(seed);
     Topology topo = make_random(10, 4, 16, 8, rng);
-    RoutingOutcome bad =
-        SsspRouter(SsspOptions{.initial_weight = 1}).route(topo);
+    RouteResponse bad =
+        SsspRouter(SsspOptions{.initial_weight = 1}).route(RouteRequest(topo));
     ASSERT_TRUE(bad.ok);
     if (!verify_routing(topo.net, bad.table).minimal()) {
       pathology_seen = true;
-      RoutingOutcome good = SsspRouter().route(topo);
+      RouteResponse good = SsspRouter().route(RouteRequest(topo));
       ASSERT_TRUE(good.ok);
       EXPECT_TRUE(verify_routing(topo.net, good.table).minimal());
     }
@@ -82,7 +82,7 @@ TEST(Sssp, Figure1InitialWeightOnePathology) {
 
 TEST(Sssp, UnbalancedOptionSkipsWeightUpdates) {
   Topology topo = make_ring(5, 1);
-  RoutingOutcome out = SsspRouter(SsspOptions{.balance = false}).route(topo);
+  RouteResponse out = SsspRouter(SsspOptions{.balance = false}).route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   EXPECT_TRUE(verify_routing(topo.net, out.table).connected());
 }
@@ -95,12 +95,12 @@ TEST(Sssp, FailsOnDisconnected) {
   net.add_terminal(b);
   net.freeze();
   Topology topo{"disc", std::move(net), {}};
-  EXPECT_FALSE(SsspRouter().route(topo).ok);
+  EXPECT_FALSE(SsspRouter().route(RouteRequest(topo)).ok);
 }
 
 TEST(Sssp, PathCountsReported) {
   Topology topo = make_ring(4, 1);
-  RoutingOutcome out = SsspRouter().route(topo);
+  RouteResponse out = SsspRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   // 4 destinations x 3 non-destination switches.
   EXPECT_EQ(out.stats.paths, 12U);

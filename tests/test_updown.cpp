@@ -12,7 +12,7 @@ namespace {
 
 TEST(UpDown, ConnectedOnRing) {
   Topology topo = make_ring(6, 1);
-  RoutingOutcome out = UpDownRouter().route(topo);
+  RouteResponse out = UpDownRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok) << out.error;
   EXPECT_TRUE(verify_routing(topo.net, out.table).connected());
 }
@@ -21,7 +21,7 @@ TEST(UpDown, DeadlockFreeOnRing) {
   // The crucial property: a ring's CDG under Up*/Down* stays acyclic on a
   // single virtual layer (the root's two sides never form the full cycle).
   Topology topo = make_ring(8, 2);
-  RoutingOutcome out = UpDownRouter().route(topo);
+  RouteResponse out = UpDownRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   EXPECT_EQ(out.stats.layers_used, 1);
   EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table));
@@ -30,7 +30,7 @@ TEST(UpDown, DeadlockFreeOnRing) {
 TEST(UpDown, DeadlockFreeOnTorus) {
   std::uint32_t dims[2] = {4, 4};
   Topology topo = make_torus(dims, 1, true);
-  RoutingOutcome out = UpDownRouter().route(topo);
+  RouteResponse out = UpDownRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   EXPECT_TRUE(verify_routing(topo.net, out.table).connected());
   EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table));
@@ -40,7 +40,7 @@ TEST(UpDown, DeadlockFreeOnRandom) {
   Rng rng(31);
   for (int i = 0; i < 3; ++i) {
     Topology topo = make_random(20, 2, 45, 8, rng);
-    RoutingOutcome out = UpDownRouter().route(topo);
+    RouteResponse out = UpDownRouter().route(RouteRequest(topo));
     ASSERT_TRUE(out.ok);
     EXPECT_TRUE(verify_routing(topo.net, out.table).connected());
     EXPECT_TRUE(routing_is_deadlock_free(topo.net, out.table));
@@ -50,7 +50,7 @@ TEST(UpDown, DeadlockFreeOnRandom) {
 TEST(UpDown, MinimalOnTree) {
   // On a tree all paths are forced; Up*/Down* must still be minimal there.
   Topology topo = make_kary_ntree(3, 2);
-  RoutingOutcome out = UpDownRouter().route(topo);
+  RouteResponse out = UpDownRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   VerifyReport report = verify_routing(topo.net, out.table);
   EXPECT_TRUE(report.connected());
@@ -61,7 +61,7 @@ TEST(UpDown, PathsAreUpThenDown) {
   // Extract paths and check the up*down* shape directly against the rank
   // labeling the engine used (recomputed here the same way).
   Topology topo = make_ring(7, 1);
-  RoutingOutcome out = UpDownRouter().route(topo);
+  RouteResponse out = UpDownRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   PathSet paths = collect_paths(topo.net, out.table);
   // Recompute ranks from the same center choice.

@@ -12,7 +12,7 @@ namespace {
 
 TEST(VerifyModule, CountsTotalPaths) {
   Topology topo = make_ring(4, 2);  // 4 switches x 2 terminals
-  RoutingOutcome out = MinHopRouter().route(topo);
+  RouteResponse out = MinHopRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   VerifyReport report = verify_routing(topo.net, out.table);
   // Per terminal: 3 foreign switches -> 8 * 3 = 24 (src switch, dst) pairs.
@@ -23,7 +23,7 @@ TEST(VerifyModule, CountsTotalPaths) {
 
 TEST(VerifyModule, DetectsBrokenEntries) {
   Topology topo = make_ring(4, 1);
-  RoutingOutcome out = MinHopRouter().route(topo);
+  RouteResponse out = MinHopRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   // Damage one entry: switch 0 loses its route to terminal 2.
   out.table.set_next(topo.net.switch_by_index(0),
@@ -36,7 +36,7 @@ TEST(VerifyModule, DetectsBrokenEntries) {
 TEST(VerifyModule, DetectsNonMinimalPaths) {
   // Force the long way around a 5-ring for one (switch, dst) pair.
   Topology topo = make_ring(5, 1);
-  RoutingOutcome out = MinHopRouter().route(topo);
+  RouteResponse out = MinHopRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   const Network& net = topo.net;
   NodeId sw0 = net.switch_by_index(0);
@@ -60,7 +60,7 @@ TEST(VerifyModule, SkipsSwitchesWithoutTerminals) {
   // Spine switches originate no traffic; their (broken) entries are not
   // counted as paths.
   Topology topo = make_clos2(2, 1, 1, 2);
-  RoutingOutcome out = MinHopRouter().route(topo);
+  RouteResponse out = MinHopRouter().route(RouteRequest(topo));
   ASSERT_TRUE(out.ok);
   VerifyReport report = verify_routing(topo.net, out.table);
   // Sources: 2 leaves x 4 terminals minus own-switch 2 each = 2 * 2 = 4.

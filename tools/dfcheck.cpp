@@ -338,10 +338,10 @@ int run(int argc, char** argv) {
                    engine.c_str(), roster.c_str());
       return 2;
     }
-    RoutingOutcome out = [&] {
+    RouteResponse out = [&] {
       TRACE_SPAN("dfcheck/route");
       ScopedTimer timer("dfcheck/route_ns");
-      return chosen->route(topo);
+      return chosen->route(RouteRequest(topo, exec));
     }();
     if (!out.ok) {
       std::fprintf(stderr, "dfcheck: %s refused %s: %s\n",
