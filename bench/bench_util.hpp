@@ -7,9 +7,10 @@
 //   --threads=N   worker threads for the parallel layers (default: one per
 //                 hardware core; results are identical at any N)
 //   --csv=FILE    additionally dump the table as CSV
-//   --json=FILE   structured run report {bench, config, wall_seconds,
-//                 tables, metrics, timing_metrics}; the `metrics` section is
-//                 bitwise identical at any --threads=N
+//   --json=FILE   structured run report in the versioned obs/report schema
+//                 (schema_version, git_rev, build_flags, config, tables,
+//                 metrics, timing_metrics, timing_stats); the `metrics`
+//                 section is bitwise identical at any --threads=N
 //   --trace=FILE  Chrome trace_event span log (load in ui.perfetto.dev)
 // Default sizes finish in seconds so `for b in build/bench/*; do $b; done`
 // stays practical; --full reproduces the paper's largest configurations.
@@ -27,11 +28,12 @@
 
 #include "analysis/certificate.hpp"
 #include "common/cli.hpp"
-#include "common/json.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report/build_info.hpp"
+#include "obs/report/report.hpp"
 #include "obs/trace.hpp"
 #include "routing/router.hpp"
 #include "sim/congestion.hpp"
@@ -49,6 +51,12 @@ struct BenchConfig {
   std::string json;
   std::string trace;
   std::string program;
+  /// Whether this binary's table cells are derived purely from the work
+  /// (eBB values, layer counts, modeled times) and therefore bitwise
+  /// identical across runs and thread counts. Binaries whose cells embed
+  /// wall clock (fig7/fig8 runtimes, churn repair latencies) clear this so
+  /// the dfbench quality gate never diffs their tables.
+  bool tables_deterministic = true;
 
   static BenchConfig parse(int argc, char** argv) {
     Cli cli(argc, argv);
@@ -89,36 +97,52 @@ struct BenchConfig {
     }
   }
 
-  /// The structured run report behind --json: config and tables for the
-  /// trajectory plots, the obs registry split into the deterministic
-  /// `metrics` section (diffable across thread counts) and the wall-clock
-  /// `timing_metrics` section. Rewritten on every emit() so multi-table
-  /// binaries accumulate.
+  /// The structured run report behind --json, in the versioned schema of
+  /// obs/report (schema_version, git rev, build flags, deterministic
+  /// `metrics` vs wall-clock `timing_metrics`/`timing_stats` split).
+  /// Rewritten on every emit() so multi-table binaries accumulate; dfbench
+  /// aggregates several of these single-repetition reports into the
+  /// canonical BENCH_<name>.json trajectory points.
   void write_json_report() const {
-    std::ofstream out(json);
-    if (!out) {
-      std::fprintf(stderr, "cannot open json report: %s\n", json.c_str());
-      return;
+    obs::RunReport report;
+    report.bench = program;
+    report.git_rev = obs::git_rev();
+    report.build_flags = obs::build_flags();
+    report.repetitions = 1;
+    report.tables_deterministic = tables_deterministic;
+    report.config.set("full", obs::JsonValue::boolean(full));
+    report.config.set("patterns", obs::JsonValue::integer(patterns));
+    report.config.set("seeds", obs::JsonValue::integer(seeds));
+    report.config.set("threads", obs::JsonValue::integer(threads));
+    report.wall_seconds = wall_.seconds();
+    for (const Table& t : emitted_) {
+      obs::JsonValue table = obs::JsonValue::object();
+      table.set("title", obs::JsonValue::string(t.title()));
+      obs::JsonValue columns = obs::JsonValue::array();
+      for (const std::string& c : t.columns()) {
+        columns.push_back(obs::JsonValue::string(c));
+      }
+      table.set("columns", std::move(columns));
+      obs::JsonValue rows = obs::JsonValue::array();
+      for (const auto& r : t.rows()) {
+        obs::JsonValue row = obs::JsonValue::array();
+        for (const std::string& cell : r) {
+          row.push_back(obs::JsonValue::string(cell));
+        }
+        rows.push_back(std::move(row));
+      }
+      table.set("rows", std::move(rows));
+      report.tables.push_back(std::move(table));
     }
-    char wall[32];
-    std::snprintf(wall, sizeof(wall), "%.3f", wall_.seconds());
-    out << "{\n  \"bench\": " << json_quote(program) << ",\n";
-    out << "  \"config\": {\"full\": " << (full ? "true" : "false")
-        << ", \"patterns\": " << patterns << ", \"seeds\": " << seeds
-        << ", \"threads\": " << threads << "},\n";
-    out << "  \"wall_seconds\": " << wall << ",\n";
-    out << "  \"tables\": [";
-    for (std::size_t i = 0; i < emitted_.size(); ++i) {
-      out << (i ? ",\n    " : "\n    ");
-      emitted_[i].write_json(out, 4);
-    }
-    out << (emitted_.empty() ? "]" : "\n  ]") << ",\n";
     const obs::Snapshot snap = obs::registry().snapshot();
-    out << "  \"metrics\": ";
-    obs::write_metrics_json(out, snap, obs::Kind::kDeterministic, 2);
-    out << ",\n  \"timing_metrics\": ";
-    obs::write_metrics_json(out, snap, obs::Kind::kTiming, 2);
-    out << "\n}\n";
+    report.metrics = obs::metrics_to_json(snap, obs::Kind::kDeterministic);
+    report.timing_metrics = obs::metrics_to_json(snap, obs::Kind::kTiming);
+    obs::derive_timing_stats(report);
+    try {
+      obs::write_run_report(report, json);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot write json report: %s\n", e.what());
+    }
   }
 
  private:

@@ -5,6 +5,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "common/timer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -267,6 +268,9 @@ LayerResult assign_layers_offline(const PathSet& paths,
     if (members.empty()) break;
     layers_used = static_cast<Layer>(l + 1);
     TRACE_SPAN("dfsssp/cycle_search");
+    static obs::Histogram& h_cycle_search_ns =
+        obs::registry().timing_histogram("cdg/cycle_search_ns");
+    ScopedTimer phase_timer(h_cycle_search_ns);
     Cdg cdg(paths, members, num_channels);
     CycleFinder finder(cdg);
     std::vector<std::uint32_t> moved;

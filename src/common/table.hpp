@@ -45,6 +45,8 @@ class Table {
   void write_json(const std::string& path) const;
 
   std::size_t num_rows() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& columns() const { return columns_; }
   const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
  private:

@@ -219,6 +219,9 @@ RouteResponse IncrementalDfsssp::finish(const RouteRequest& request,
 
 RouteResponse IncrementalDfsssp::route(const RouteRequest& request) {
   TRACE_SPAN("fault/route_full");
+  static obs::Histogram& h_route_full_ns =
+      obs::registry().timing_histogram("fault/route_full_ns");
+  ScopedTimer phase_timer(h_route_full_ns);
   const Topology& topo = request.topo();
   reset(topo, request.layer_budget(options_.max_layers));
   dijkstra_seconds_ = layering_seconds_ = 0.0;
@@ -244,6 +247,9 @@ RouteResponse IncrementalDfsssp::route(const RouteRequest& request) {
 RouteResponse IncrementalDfsssp::repair(const RouteRequest& request,
                                         const ChurnDelta& delta) {
   TRACE_SPAN("fault/repair");
+  static obs::Histogram& h_repair_ns =
+      obs::registry().timing_histogram("fault/repair_ns");
+  ScopedTimer phase_timer(h_repair_ns);
   obs::Registry& sink = request.sink();
   sink.counter("fault/repairs").add(1);
 

@@ -1,0 +1,16 @@
+#include "obs/report/build_info.hpp"
+
+#ifndef DFS_GIT_REV
+#define DFS_GIT_REV "unknown"
+#endif
+#ifndef DFS_BUILD_FLAGS
+#define DFS_BUILD_FLAGS "unknown"
+#endif
+
+namespace dfsssp::obs {
+
+const char* git_rev() { return DFS_GIT_REV; }
+
+const char* build_flags() { return DFS_BUILD_FLAGS; }
+
+}  // namespace dfsssp::obs

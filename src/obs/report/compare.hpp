@@ -1,0 +1,79 @@
+// Noise-aware baseline comparison for run reports — the dfbench regression
+// gate.
+//
+// Two regimes, matching the two metric kinds:
+//   * deterministic quality metrics (the `metrics` section, plus `tables`
+//     when both sides declare them deterministic): compared for EXACT
+//     equality. These are bitwise-stable at any --threads=N by the repo's
+//     determinism contract, so any difference is a real behavior change —
+//     there is no noise to allow for. A changed value is REGRESSED
+//     regardless of direction (fewer layers might be an improvement, but
+//     the gate cannot know; a human refreshes the baseline deliberately).
+//   * timing stats: |run - baseline| medians compared against a threshold
+//     of max(mad_k * kMadToSigma * baseline MAD,
+//             rel_epsilon * baseline median, abs_epsilon_ms).
+//     The MAD term adapts to each timing's measured noise; the relative
+//     and absolute floors keep the zero-MAD case (single repetition, or a
+//     perfectly repeatable phase) from gating on sub-noise deltas.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/report/report.hpp"
+
+namespace dfsssp::obs {
+
+enum class Verdict : std::uint8_t {
+  kPass,       // unchanged (exact for quality, within noise for timing)
+  kImproved,   // timing median dropped below the noise threshold
+  kRegressed,  // quality drift, or timing median rose above the threshold
+  kNew,        // present in the run but not in the baseline
+  kMissing,    // present in the baseline but gone from the run
+};
+
+const char* to_string(Verdict v);
+
+struct CompareOptions {
+  /// Timing threshold in MAD-sigmas (MAD * kMadToSigma approximates one
+  /// standard deviation).
+  double mad_k = 3.0;
+  /// Relative floor on the timing threshold (fraction of baseline median).
+  double rel_epsilon = 0.10;
+  /// Absolute floor on the timing threshold, milliseconds.
+  double abs_epsilon_ms = 0.5;
+  /// When true, timing regressions fail the gate too. Off by default:
+  /// committed baselines travel across machines (laptop -> CI runner),
+  /// where absolute wall clock is incomparable; quality metrics are not.
+  bool fail_on_timing = false;
+};
+
+struct Finding {
+  std::string metric;       // "dfsssp/layers_used", "tables", "bench/wall_ms"
+  Verdict verdict = Verdict::kPass;
+  bool deterministic = true;  // quality-gate finding vs timing finding
+  std::string baseline;       // rendered baseline value ("-" when absent)
+  std::string run;            // rendered run value
+  std::string note;           // threshold / delta detail for timing rows
+};
+
+struct CompareResult {
+  std::vector<Finding> findings;     // every comparison, PASS rows included
+  std::uint32_t quality_drift = 0;   // deterministic REGRESSED + MISSING
+  std::uint32_t timing_regressions = 0;
+  std::uint32_t timing_improvements = 0;
+  std::uint32_t new_metrics = 0;
+
+  /// The gate: quality drift always fails; timing regressions fail only
+  /// under opts.fail_on_timing.
+  bool gate_ok(const CompareOptions& opts) const {
+    return quality_drift == 0 &&
+           (!opts.fail_on_timing || timing_regressions == 0);
+  }
+};
+
+CompareResult compare_reports(const RunReport& baseline, const RunReport& run,
+                              const CompareOptions& opts = {});
+
+}  // namespace dfsssp::obs

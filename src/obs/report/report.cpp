@@ -1,0 +1,224 @@
+#include "obs/report/report.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/report/stats.hpp"
+
+namespace dfsssp::obs {
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open report: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+double get_double_or(const JsonValue& obj, std::string_view key,
+                     double fallback) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->as_double() : fallback;
+}
+
+}  // namespace
+
+RunReport parse_run_report(const std::string& text) {
+  const JsonValue doc = JsonValue::parse(text);
+  if (!doc.is_object()) throw std::runtime_error("run report is not an object");
+
+  RunReport r;
+  const JsonValue* version = doc.find("schema_version");
+  r.schema_version = version != nullptr ? static_cast<int>(version->as_int())
+                                        : 1;
+  if (r.schema_version < 1 || r.schema_version > kReportSchemaVersion) {
+    throw std::runtime_error("unsupported run-report schema_version " +
+                             std::to_string(r.schema_version));
+  }
+  r.bench = doc.at("bench").as_string();
+  if (const JsonValue* v = doc.find("git_rev")) r.git_rev = v->as_string();
+  if (const JsonValue* v = doc.find("build_flags")) {
+    r.build_flags = v->as_string();
+  }
+  if (const JsonValue* v = doc.find("repetitions")) {
+    r.repetitions = static_cast<std::uint32_t>(v->as_uint());
+  }
+  if (const JsonValue* v = doc.find("tables_deterministic")) {
+    r.tables_deterministic = v->as_bool();
+  } else if (r.schema_version == 1) {
+    // Schema 1 predates the flag and fig7/fig8-style reports embed wall
+    // clock in their cells; never treat v1 tables as gateable.
+    r.tables_deterministic = false;
+  }
+  if (const JsonValue* v = doc.find("config")) r.config = *v;
+  r.wall_seconds = get_double_or(doc, "wall_seconds", 0.0);
+  if (const JsonValue* v = doc.find("tables")) r.tables = *v;
+  if (const JsonValue* v = doc.find("metrics")) r.metrics = *v;
+  if (const JsonValue* v = doc.find("timing_metrics")) r.timing_metrics = *v;
+  if (const JsonValue* v = doc.find("timing_stats")) {
+    for (const JsonValue::Member& m : v->members()) {
+      TimingStat st;
+      st.median_ms = get_double_or(m.second, "median_ms", 0.0);
+      st.mad_ms = get_double_or(m.second, "mad_ms", 0.0);
+      st.reps = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(get_double_or(m.second, "reps", 1)));
+      r.timing_stats.emplace(m.first, st);
+    }
+  }
+  if (r.schema_version == 1) {
+    derive_timing_stats(r);
+    r.schema_version = kReportSchemaVersion;  // reader upgrades in place
+  }
+  return r;
+}
+
+RunReport read_run_report(const std::string& path) {
+  try {
+    return parse_run_report(read_file(path));
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+void write_run_report(const RunReport& report, std::ostream& out) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema_version", JsonValue::integer(kReportSchemaVersion));
+  doc.set("bench", JsonValue::string(report.bench));
+  doc.set("git_rev", JsonValue::string(report.git_rev));
+  doc.set("build_flags", JsonValue::string(report.build_flags));
+  doc.set("repetitions",
+          JsonValue::integer(static_cast<std::int64_t>(report.repetitions)));
+  doc.set("tables_deterministic",
+          JsonValue::boolean(report.tables_deterministic));
+  doc.set("config", report.config);
+  doc.set("wall_seconds", JsonValue::number(report.wall_seconds));
+  doc.set("tables", report.tables);
+  doc.set("metrics", report.metrics);
+  doc.set("timing_metrics", report.timing_metrics);
+  JsonValue stats = JsonValue::object();
+  for (const auto& [name, st] : report.timing_stats) {
+    JsonValue entry = JsonValue::object();
+    entry.set("median_ms", JsonValue::number(st.median_ms));
+    entry.set("mad_ms", JsonValue::number(st.mad_ms));
+    entry.set("reps", JsonValue::integer(static_cast<std::int64_t>(st.reps)));
+    stats.set(name, std::move(entry));
+  }
+  doc.set("timing_stats", std::move(stats));
+  doc.write(out);
+  out << "\n";
+}
+
+void write_run_report(const RunReport& report, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open report output: " + path);
+  write_run_report(report, out);
+}
+
+void derive_timing_stats(RunReport& report) {
+  if (report.timing_metrics.is_object()) {
+    for (const JsonValue::Member& m : report.timing_metrics.members()) {
+      if (report.timing_stats.count(m.first) != 0) continue;
+      if (!m.second.is_object()) continue;
+      const JsonValue* sum = m.second.find("sum");
+      if (sum == nullptr || !sum->is_number()) continue;
+      TimingStat st;
+      st.median_ms = sum->as_double() / 1e6;  // summed nanoseconds
+      st.mad_ms = 0.0;
+      st.reps = 1;
+      report.timing_stats.emplace(m.first, st);
+    }
+  }
+  if (report.timing_stats.count("bench/wall_ms") == 0) {
+    TimingStat st;
+    st.median_ms = report.wall_seconds * 1e3;
+    st.mad_ms = 0.0;
+    st.reps = 1;
+    report.timing_stats.emplace("bench/wall_ms", st);
+  }
+}
+
+RunReport aggregate_runs(const std::vector<RunReport>& reps) {
+  if (reps.empty()) throw std::runtime_error("aggregate_runs: no repetitions");
+  RunReport out = reps.front();
+  out.repetitions = static_cast<std::uint32_t>(reps.size());
+  for (std::size_t i = 1; i < reps.size(); ++i) {
+    const RunReport& r = reps[i];
+    if (r.bench != out.bench) {
+      throw std::runtime_error("aggregate_runs: bench name differs ('" +
+                               out.bench + "' vs '" + r.bench + "')");
+    }
+    if (!(r.config == out.config)) {
+      throw std::runtime_error("aggregate_runs: config differs between "
+                               "repetitions of " + out.bench);
+    }
+    if (!(r.metrics == out.metrics)) {
+      throw std::runtime_error(
+          "aggregate_runs: deterministic metrics differ between identical "
+          "invocations of " + out.bench +
+          " — the bench violates the determinism contract");
+    }
+    if (out.tables_deterministic && r.tables_deterministic &&
+        !(r.tables == out.tables)) {
+      throw std::runtime_error(
+          "aggregate_runs: deterministic tables differ between identical "
+          "invocations of " + out.bench);
+    }
+  }
+
+  // Per timing quantity: one sample per repetition (that repetition's
+  // median — a plain value for single-rep inputs), then median/MAD across.
+  std::map<std::string, std::vector<double>> samples;
+  std::vector<double> wall_ms;
+  for (const RunReport& r : reps) {
+    RunReport derived = r;
+    derive_timing_stats(derived);
+    for (const auto& [name, st] : derived.timing_stats) {
+      samples[name].push_back(st.median_ms);
+    }
+    wall_ms.push_back(r.wall_seconds * 1e3);
+  }
+  out.timing_stats.clear();
+  for (auto& [name, vals] : samples) {
+    TimingStat st;
+    st.median_ms = median(vals);
+    st.mad_ms = mad(vals, st.median_ms);
+    st.reps = static_cast<std::uint32_t>(vals.size());
+    out.timing_stats.emplace(name, st);
+  }
+  out.wall_seconds = median(wall_ms) / 1e3;
+  return out;
+}
+
+JsonValue metrics_to_json(const Snapshot& snap, Kind kind) {
+  JsonValue out = JsonValue::object();
+  for (const auto& [name, v] : snap) {
+    if (v.kind != kind) continue;
+    if (v.type == MetricValue::Type::kHistogram) {
+      JsonValue h = JsonValue::object();
+      JsonValue edges = JsonValue::array();
+      for (std::uint64_t e : v.hist.edges) {
+        edges.push_back(JsonValue::integer(static_cast<std::int64_t>(e)));
+      }
+      JsonValue counts = JsonValue::array();
+      for (std::uint64_t c : v.hist.counts) {
+        counts.push_back(JsonValue::integer(static_cast<std::int64_t>(c)));
+      }
+      h.set("edges", std::move(edges));
+      h.set("counts", std::move(counts));
+      h.set("count",
+            JsonValue::integer(static_cast<std::int64_t>(v.hist.count)));
+      h.set("sum", JsonValue::integer(static_cast<std::int64_t>(v.hist.sum)));
+      h.set("max", JsonValue::integer(static_cast<std::int64_t>(v.hist.max)));
+      out.set(name, std::move(h));
+    } else {
+      out.set(name, JsonValue::integer(static_cast<std::int64_t>(v.value)));
+    }
+  }
+  return out;
+}
+
+}  // namespace dfsssp::obs

@@ -1,0 +1,23 @@
+#include "obs/report/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dfsssp::obs {
+
+double median(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t mid = samples.size() / 2;
+  if (samples.size() % 2 == 1) return samples[mid];
+  return (samples[mid - 1] + samples[mid]) / 2.0;
+}
+
+double mad(const std::vector<double>& samples, double center) {
+  std::vector<double> dev;
+  dev.reserve(samples.size());
+  for (double s : samples) dev.push_back(std::fabs(s - center));
+  return median(std::move(dev));
+}
+
+}  // namespace dfsssp::obs

@@ -1,0 +1,23 @@
+// Robust statistics for multi-repetition bench runs: median and MAD
+// (median absolute deviation). Wall-clock samples are heavy-tailed — one
+// scheduler hiccup blows a mean/stddev gate wide open — so the compare
+// logic scales its thresholds by MAD instead.
+#pragma once
+
+#include <vector>
+
+namespace dfsssp::obs {
+
+/// Median of `samples` (even count: mean of the middle two). Returns 0 for
+/// an empty vector. The input is copied; callers keep their order.
+double median(std::vector<double> samples);
+
+/// Median absolute deviation around `center` (usually median(samples)).
+/// Multiply by kMadToSigma for a sigma-equivalent scale under normality.
+double mad(const std::vector<double>& samples, double center);
+
+/// 1 / Phi^-1(3/4): MAD * kMadToSigma estimates the standard deviation of
+/// normally distributed samples.
+inline constexpr double kMadToSigma = 1.4826;
+
+}  // namespace dfsssp::obs

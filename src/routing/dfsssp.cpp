@@ -20,6 +20,9 @@ RouteResponse DfssspRouter::route(const RouteRequest& request) const {
   if (!out.ok) return out;
 
   TRACE_SPAN("dfsssp/layering");
+  static obs::Histogram& h_layering_ns =
+      obs::registry().timing_histogram("dfsssp/layering_ns");
+  ScopedTimer phase_timer(h_layering_ns);
   Timer timer;
   std::uint64_t acyclicity_checks = 0, pk_reorders = 0;
   const std::uint32_t num_channels =

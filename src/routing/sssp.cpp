@@ -16,6 +16,12 @@ bool sssp_fill_planes(const Network& net, const SsspOptions& options,
                       std::span<RoutingTable> planes, RoutingStats& stats,
                       std::string& error) {
   TRACE_SPAN("sssp/fill_planes");
+  // Phase timing for the run reports' timing_metrics section: what --trace
+  // records as a span, --json reports as a histogram sample. Static
+  // reference so the hot path pays no registry lookup.
+  static obs::Histogram& h_fill_ns =
+      obs::registry().timing_histogram("sssp/fill_planes_ns");
+  ScopedTimer phase_timer(h_fill_ns);
   Timer timer;
   // Heap traffic is aggregated in locals and flushed once per call, so the
   // Dijkstra inner loop sees plain register increments, not atomics.

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/timer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -185,6 +186,9 @@ EbbResult effective_bisection_bandwidth(const Network& net,
                                         const ExecContext& exec) {
   EbbResult out;
   TRACE_SPAN("sim/ebb");
+  static obs::Histogram& h_ebb_ns =
+      obs::registry().timing_histogram("sim/ebb_ns");
+  ScopedTimer phase_timer(h_ebb_ns);
   out.min_pattern = std::numeric_limits<double>::infinity();
   // One base value from the caller's stream; pattern i generates and
   // simulates with its own Rng seeded from (base, i), and the reduction

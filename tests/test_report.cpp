@@ -1,0 +1,328 @@
+// Tests for the run-report library behind dfbench: JSON round trips,
+// median/MAD statistics, schema-1 upgrades, repetition aggregation, and
+// the noise-aware compare gate.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/report/compare.hpp"
+#include "obs/report/json_value.hpp"
+#include "obs/report/report.hpp"
+#include "obs/report/stats.hpp"
+
+namespace dfsssp::obs {
+namespace {
+
+// ---- JsonValue --------------------------------------------------------------
+
+TEST(JsonValueTest, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_EQ(JsonValue::parse("42").as_int(), 42);
+  EXPECT_EQ(JsonValue::parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonValueTest, IntegersStayExactBeyondDoublePrecision) {
+  // 2^63 - 1 is not representable as a double; the report schema keeps
+  // metric counters exact so the quality gate can diff them bitwise.
+  const JsonValue v = JsonValue::parse("9223372036854775807");
+  ASSERT_TRUE(v.is_integer());
+  EXPECT_EQ(v.as_int(), INT64_MAX);
+  EXPECT_EQ(JsonValue::parse(v.dump()).as_int(), INT64_MAX);
+}
+
+TEST(JsonValueTest, NumbersWithExponentOrDotAreDoubles) {
+  EXPECT_FALSE(JsonValue::parse("1.0").is_integer());
+  EXPECT_FALSE(JsonValue::parse("1e2").is_integer());
+  EXPECT_TRUE(JsonValue::parse("100").is_integer());
+}
+
+TEST(JsonValueTest, StringEscapesRoundTrip) {
+  const std::string doc = R"("a\"b\\c\n\tA")";
+  const JsonValue v = JsonValue::parse(doc);
+  EXPECT_EQ(v.as_string(), "a\"b\\c\n\tA");
+  EXPECT_EQ(JsonValue::parse(v.dump()).as_string(), v.as_string());
+}
+
+TEST(JsonValueTest, DumpParseRoundTripsNestedDocument) {
+  const std::string doc = R"({
+    "name": "fig9",
+    "values": [1, 2.5, true, null, "x"],
+    "nested": {"a": {"b": []}, "c": -3}
+  })";
+  const JsonValue v = JsonValue::parse(doc);
+  EXPECT_EQ(JsonValue::parse(v.dump()), v);
+}
+
+TEST(JsonValueTest, ObjectEqualityIsOrderInsensitive) {
+  const JsonValue a = JsonValue::parse(R"({"x": 1, "y": 2})");
+  const JsonValue b = JsonValue::parse(R"({"y": 2, "x": 1})");
+  const JsonValue c = JsonValue::parse(R"({"x": 1, "y": 3})");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(JsonValueTest, MalformedInputThrows) {
+  EXPECT_THROW(JsonValue::parse(""), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{\"a\": 1} x"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), std::runtime_error);
+}
+
+// ---- stats ------------------------------------------------------------------
+
+TEST(StatsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(StatsTest, MadMeasuresSpreadRobustly) {
+  // MAD of {1,2,3,4,100} around median 3: |deviations| = {2,1,0,1,97},
+  // median 1 — the outlier does not blow up the scale.
+  const std::vector<double> samples{1.0, 2.0, 3.0, 4.0, 100.0};
+  EXPECT_DOUBLE_EQ(mad(samples, median(samples)), 1.0);
+  EXPECT_DOUBLE_EQ(mad({5.0, 5.0, 5.0}, 5.0), 0.0);
+}
+
+// ---- RunReport schema -------------------------------------------------------
+
+RunReport make_report() {
+  RunReport r;
+  r.bench = "bench_fig9_vl_random";
+  r.git_rev = "abc123def456";
+  r.build_flags = "Release";
+  r.config = JsonValue::parse(R"({"seeds": 3, "threads": 0})");
+  r.wall_seconds = 1.25;
+  r.metrics = JsonValue::parse(
+      R"({"dfsssp/layers_used": 4, "dfsssp/acyclicity_checks": 812})");
+  r.timing_metrics = JsonValue::parse(
+      R"({"dfsssp/layering_ns": {"edges": [], "counts": [3],
+          "count": 3, "sum": 6000000, "max": 3000000}})");
+  derive_timing_stats(r);
+  return r;
+}
+
+TEST(RunReportTest, WriteParseRoundTrip) {
+  const RunReport r = make_report();
+  std::ostringstream out;
+  write_run_report(r, out);
+  const RunReport back = parse_run_report(out.str());
+  EXPECT_EQ(back.schema_version, kReportSchemaVersion);
+  EXPECT_EQ(back.bench, r.bench);
+  EXPECT_EQ(back.git_rev, r.git_rev);
+  EXPECT_EQ(back.repetitions, 1u);
+  EXPECT_TRUE(back.tables_deterministic);
+  EXPECT_EQ(back.config, r.config);
+  EXPECT_EQ(back.metrics, r.metrics);
+  EXPECT_EQ(back.timing_metrics, r.timing_metrics);
+  ASSERT_EQ(back.timing_stats.size(), r.timing_stats.size());
+  EXPECT_DOUBLE_EQ(back.timing_stats.at("dfsssp/layering_ns").median_ms,
+                   6.0);  // 6e6 ns summed
+  EXPECT_DOUBLE_EQ(back.timing_stats.at("bench/wall_ms").median_ms, 1250.0);
+}
+
+TEST(RunReportTest, SchemaOneUpgrades) {
+  // The shape PR 3's benches emitted: no schema_version, no timing_stats.
+  const std::string v1 = R"({
+    "bench": "bench_fig9_vl_random",
+    "config": {"seeds": 3},
+    "wall_seconds": 2.0,
+    "tables": [{"title": "t", "columns": ["a"], "rows": [["1"]]}],
+    "metrics": {"dfsssp/layers_used": 4},
+    "timing_metrics": {"sssp/fill_planes_ns":
+        {"edges": [], "counts": [1], "count": 1, "sum": 4000000, "max": 4000000}}
+  })";
+  const RunReport r = parse_run_report(v1);
+  EXPECT_EQ(r.schema_version, kReportSchemaVersion);  // upgraded in place
+  // v1 predates the flag and fig7/fig8-style tables embed wall clock:
+  // never gate them.
+  EXPECT_FALSE(r.tables_deterministic);
+  EXPECT_DOUBLE_EQ(r.timing_stats.at("sssp/fill_planes_ns").median_ms, 4.0);
+  EXPECT_DOUBLE_EQ(r.timing_stats.at("bench/wall_ms").median_ms, 2000.0);
+}
+
+TEST(RunReportTest, UnknownSchemaVersionThrows) {
+  EXPECT_THROW(
+      parse_run_report(R"({"schema_version": 99, "bench": "x"})"),
+      std::runtime_error);
+}
+
+// ---- aggregate_runs ---------------------------------------------------------
+
+TEST(AggregateTest, MedianAndMadAcrossRepetitions) {
+  std::vector<RunReport> reps(3, make_report());
+  reps[0].wall_seconds = 1.0;
+  reps[1].wall_seconds = 1.2;
+  reps[2].wall_seconds = 2.0;  // outlier repetition
+  for (auto& r : reps) {
+    r.timing_stats.clear();
+    derive_timing_stats(r);
+  }
+  const RunReport agg = aggregate_runs(reps);
+  EXPECT_EQ(agg.repetitions, 3u);
+  EXPECT_DOUBLE_EQ(agg.wall_seconds, 1.2);
+  const TimingStat& wall = agg.timing_stats.at("bench/wall_ms");
+  EXPECT_DOUBLE_EQ(wall.median_ms, 1200.0);
+  EXPECT_DOUBLE_EQ(wall.mad_ms, 200.0);  // |{1000,1200,2000} - 1200| -> 200
+  EXPECT_EQ(wall.reps, 3u);
+  // Deterministic sections come through unchanged.
+  EXPECT_EQ(agg.metrics, reps[0].metrics);
+}
+
+TEST(AggregateTest, MetricMismatchViolatesDeterminismContract) {
+  std::vector<RunReport> reps(2, make_report());
+  reps[1].metrics = JsonValue::parse(R"({"dfsssp/layers_used": 5})");
+  EXPECT_THROW(aggregate_runs(reps), std::runtime_error);
+}
+
+TEST(AggregateTest, ConfigMismatchThrows) {
+  std::vector<RunReport> reps(2, make_report());
+  reps[1].config = JsonValue::parse(R"({"seeds": 4, "threads": 0})");
+  EXPECT_THROW(aggregate_runs(reps), std::runtime_error);
+}
+
+// ---- compare ----------------------------------------------------------------
+
+TEST(CompareTest, IdenticalReportsPass) {
+  const RunReport r = make_report();
+  const CompareResult res = compare_reports(r, r);
+  EXPECT_EQ(res.quality_drift, 0u);
+  EXPECT_EQ(res.timing_regressions, 0u);
+  EXPECT_TRUE(res.gate_ok({}));
+}
+
+TEST(CompareTest, QualityMetricDriftRegressesBothDirections) {
+  const RunReport base = make_report();
+  RunReport run = make_report();
+  // Fewer layers might look like an improvement, but the gate cannot know;
+  // any exact-metric change is drift until a human refreshes the baseline.
+  run.metrics = JsonValue::parse(
+      R"({"dfsssp/layers_used": 3, "dfsssp/acyclicity_checks": 812})");
+  const CompareResult res = compare_reports(base, run);
+  EXPECT_EQ(res.quality_drift, 1u);
+  EXPECT_FALSE(res.gate_ok({}));
+  bool saw = false;
+  for (const Finding& f : res.findings) {
+    if (f.metric == "dfsssp/layers_used") {
+      EXPECT_EQ(f.verdict, Verdict::kRegressed);
+      EXPECT_TRUE(f.deterministic);
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(CompareTest, MissingQualityMetricFailsNewOnlyWarns) {
+  const RunReport base = make_report();
+  RunReport run = make_report();
+  run.metrics = JsonValue::parse(
+      R"({"dfsssp/layers_used": 4, "sssp/extra_metric": 1})");
+  const CompareResult res = compare_reports(base, run);
+  // acyclicity_checks vanished (gates) and extra_metric appeared (warns).
+  EXPECT_EQ(res.quality_drift, 1u);
+  EXPECT_EQ(res.new_metrics, 1u);
+  EXPECT_FALSE(res.gate_ok({}));
+}
+
+TEST(CompareTest, TablesGateOnlyWhenBothSidesDeterministic) {
+  RunReport base = make_report();
+  RunReport run = make_report();
+  base.tables = JsonValue::parse(R"([{"rows": [["1"]]}])");
+  run.tables = JsonValue::parse(R"([{"rows": [["2"]]}])");
+  EXPECT_EQ(compare_reports(base, run).quality_drift, 1u);
+  run.tables_deterministic = false;  // wall clock in the cells: exempt
+  EXPECT_EQ(compare_reports(base, run).quality_drift, 0u);
+}
+
+TEST(CompareTest, TimingWithinNoisePasses) {
+  RunReport base = make_report();
+  RunReport run = make_report();
+  TimingStat st;
+  st.median_ms = 100.0;
+  st.mad_ms = 2.0;
+  st.reps = 3;
+  base.timing_stats["phase/x_ns"] = st;
+  st.median_ms = 105.0;  // threshold = 3 * 1.4826 * 2 = 8.9ms > 5ms delta
+  run.timing_stats["phase/x_ns"] = st;
+  const CompareResult res = compare_reports(base, run);
+  EXPECT_EQ(res.timing_regressions, 0u);
+  EXPECT_TRUE(res.gate_ok({}));
+}
+
+TEST(CompareTest, TimingBeyondNoiseRegressesButGatesOnlyOnRequest) {
+  RunReport base = make_report();
+  RunReport run = make_report();
+  TimingStat st;
+  st.median_ms = 100.0;
+  st.mad_ms = 2.0;
+  st.reps = 3;
+  base.timing_stats["phase/x_ns"] = st;
+  st.median_ms = 150.0;  // way past max(8.9, 10, 0.5)
+  run.timing_stats["phase/x_ns"] = st;
+  const CompareResult res = compare_reports(base, run);
+  EXPECT_EQ(res.timing_regressions, 1u);
+  EXPECT_TRUE(res.gate_ok({}));  // timing only warns by default
+  CompareOptions gate;
+  gate.fail_on_timing = true;
+  EXPECT_FALSE(res.gate_ok(gate));
+}
+
+TEST(CompareTest, TimingImprovementIsReported) {
+  RunReport base = make_report();
+  RunReport run = make_report();
+  TimingStat st;
+  st.median_ms = 100.0;
+  st.mad_ms = 1.0;
+  st.reps = 3;
+  base.timing_stats["phase/x_ns"] = st;
+  st.median_ms = 50.0;
+  run.timing_stats["phase/x_ns"] = st;
+  EXPECT_EQ(compare_reports(base, run).timing_improvements, 1u);
+}
+
+TEST(CompareTest, ZeroMadFallsBackToRelativeAndAbsoluteFloors) {
+  // Single-repetition baselines have MAD 0; without the floors every
+  // nanosecond of jitter would read as a regression.
+  RunReport base = make_report();
+  RunReport run = make_report();
+  TimingStat st;
+  st.median_ms = 100.0;
+  st.mad_ms = 0.0;
+  st.reps = 1;
+  base.timing_stats["phase/x_ns"] = st;
+  st.median_ms = 109.0;  // within the 10% relative floor
+  run.timing_stats["phase/x_ns"] = st;
+  EXPECT_EQ(compare_reports(base, run).timing_regressions, 0u);
+  st.median_ms = 115.0;  // past it
+  run.timing_stats["phase/x_ns"] = st;
+  EXPECT_EQ(compare_reports(base, run).timing_regressions, 1u);
+  // Tiny timings fall under the absolute floor instead.
+  st.median_ms = 0.01;
+  st.mad_ms = 0.0;
+  base.timing_stats["phase/x_ns"] = st;
+  st.median_ms = 0.4;  // 40x slower but < abs_epsilon_ms above baseline
+  run.timing_stats["phase/x_ns"] = st;
+  EXPECT_EQ(compare_reports(base, run).timing_regressions, 0u);
+}
+
+TEST(CompareTest, NewTimingMetricDoesNotGate) {
+  RunReport base = make_report();
+  RunReport run = make_report();
+  TimingStat st;
+  st.median_ms = 5.0;
+  run.timing_stats["phase/brand_new_ns"] = st;
+  const CompareResult res = compare_reports(base, run);
+  EXPECT_TRUE(res.gate_ok({}));
+}
+
+}  // namespace
+}  // namespace dfsssp::obs

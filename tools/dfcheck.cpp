@@ -12,7 +12,10 @@
 //   * --lints:      runs the static lint suite (unreachable destinations,
 //                   non-minimal paths, layer skew, VL budget, dangling or
 //                   duplicate LFT entries, out-of-range SL entries);
-//   * --json:       machine-readable report of everything above.
+//   * --json:       machine-readable report of everything above;
+//   * --report:     versioned run report (the dfbench BENCH_*.json schema),
+//                   so dfcheck runs slot into the same baseline trajectory
+//                   and compare gate as the benches.
 //
 // Exit codes: 0 = clean, 1 = deadlock possible / certificate rejected /
 // structural lint defects, 2 = usage or I/O error.
@@ -36,6 +39,8 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report/build_info.hpp"
+#include "obs/report/report.hpp"
 #include "obs/trace.hpp"
 #include "routing/dump.hpp"
 #include "routing/router.hpp"
@@ -68,6 +73,7 @@ int usage(const char* program) {
                "  --dump-out=FILE     write the forwarding dump\n"
                "  --lints             run the lint suite\n"
                "  --json              machine-readable output\n"
+               "  --report=FILE       versioned run report (dfbench schema)\n"
                "  --witness-paths=N   inducing paths shown per cycle edge (3)\n"
                "  --threads=N         worker threads (0 = hardware)\n"
                "  --trace=FILE        Chrome trace_event span log (Perfetto)\n",
@@ -288,9 +294,57 @@ void print_json(const Network& net, const Report& r, std::ostream& out) {
   out << "\n}\n";
 }
 
+/// Writes the analysis as a versioned run report (the dfbench BENCH_*.json
+/// schema): analysis outcomes land in the deterministic `metrics` section,
+/// registry timing histograms in `timing_metrics`/`timing_stats`. A dfcheck
+/// run on a fixed topology+routing is bitwise reproducible, so the report
+/// slots straight into `dfbench compare`'s quality gate.
+void write_report(const Report& r, const obs::JsonValue& config,
+                  double wall_seconds, const std::string& path) {
+  obs::RunReport out;
+  out.bench = "dfcheck";
+  out.git_rev = obs::git_rev();
+  out.build_flags = obs::build_flags();
+  out.config = config;
+  out.wall_seconds = wall_seconds;
+
+  obs::JsonValue m = obs::JsonValue::object();
+  auto put = [&m](const char* key, std::uint64_t v) {
+    m.set(key, obs::JsonValue::integer(static_cast<std::int64_t>(v)));
+  };
+  put("dfcheck/switches", r.switches);
+  put("dfcheck/terminals", r.terminals);
+  put("dfcheck/channels", r.channels);
+  put("dfcheck/layers", r.layers);
+  if (r.analyzed) {
+    m.set("dfcheck/deadlock_free", obs::JsonValue::boolean(r.deadlock_free));
+    put("dfcheck/witness_edges", r.witness.edges.size());
+  }
+  if (r.checked) {
+    m.set("dfcheck/cert_ok", obs::JsonValue::boolean(r.check.ok));
+    put("dfcheck/cert_paths_checked", r.check.paths_checked);
+    put("dfcheck/cert_deps_checked", r.check.deps_checked);
+  }
+  if (r.linted) {
+    put("dfcheck/lint_paths_checked", r.lints.paths_checked);
+    for (std::size_t k = 0; k < kNumLintKinds; ++k) {
+      put((std::string("dfcheck/lint_") +
+           to_string(static_cast<LintKind>(k))).c_str(),
+          r.lints.counts[k]);
+    }
+  }
+  out.metrics = std::move(m);
+
+  const obs::Snapshot snap = obs::registry().snapshot();
+  out.timing_metrics = obs::metrics_to_json(snap, obs::Kind::kTiming);
+  obs::derive_timing_stats(out);
+  obs::write_run_report(out, path);
+}
+
 int run(int argc, char** argv) {
   Cli cli(argc, argv);
   if (cli.get_bool("help", false)) return usage(cli.program().c_str());
+  Timer wall_timer;
 
   const std::string topo_file = cli.get("topo", "");
   const std::string gen_spec = cli.get("gen", "");
@@ -454,6 +508,21 @@ int run(int argc, char** argv) {
           }
         }
       }
+    }
+  }
+
+  const std::string report_file = cli.get("report", "");
+  if (!report_file.empty()) {
+    obs::JsonValue config = obs::JsonValue::object();
+    config.set("topology", obs::JsonValue::string(
+                               topo_file.empty() ? gen_spec : topo_file));
+    config.set("routing", obs::JsonValue::string(report.routing_source));
+    config.set("threads", obs::JsonValue::integer(
+                              cli.get_int("threads", 0)));
+    config.set("lints", obs::JsonValue::boolean(want_lints));
+    write_report(report, config, wall_timer.seconds(), report_file);
+    if (!json) {
+      std::printf("run report written to %s\n", report_file.c_str());
     }
   }
 
