@@ -19,17 +19,10 @@ int main(int argc, char** argv) {
   Table table("Extension: eBB on modern topologies (relative)", columns);
 
   std::vector<Topology> zoo;
-  zoo.push_back(make_dragonfly(4, 4, 2, 9));
-  {
-    std::uint32_t dims[2] = {8, 8};
-    zoo.push_back(make_hyperx(dims, 4));
+  for (const char* key : {"dragonfly-a4p4h2g9", "hyperx-8-8", "hyperx-4-4-4",
+                          "complete-16", "kautz-3-3"}) {
+    zoo.push_back(build_topology_config(key));
   }
-  {
-    std::uint32_t dims[3] = {4, 4, 4};
-    zoo.push_back(make_hyperx(dims, 2));
-  }
-  zoo.push_back(make_fully_connected(16, 8));
-  zoo.push_back(make_kautz(3, 3, 512));
 
   for (const Topology& topo : zoo) {
     DfssspRouter dfsssp(DfssspOptions{.max_layers = 8, .balance = false});

@@ -21,11 +21,11 @@ int main(int argc, char** argv) {
               {"torus", "terminals", "DOR", "DOR-dateline",
                "LASH(structured)", "DFSSSP(16VL)", "DFSSSP online(16VL)"});
 
-  std::vector<std::vector<std::uint32_t>> sizes{{8, 8}, {12, 12}, {6, 6, 6}};
-  if (cfg.full) sizes.push_back({16, 16});
+  std::vector<std::string> sizes{"torus-8-8", "torus-12-12", "torus-6-6-6"};
+  if (cfg.full) sizes.push_back("torus-16-16");
 
-  for (const auto& dims : sizes) {
-    Topology topo = make_torus(dims, 2, true);
+  for (const auto& key : sizes) {
+    Topology topo = build_topology_config(key);
     table.row().cell(topo.name).cell(topo.net.num_terminals());
     std::vector<std::unique_ptr<Router>> routers;
     routers.push_back(std::make_unique<DorRouter>());

@@ -37,6 +37,7 @@
 #include "obs/trace.hpp"
 #include "routing/router.hpp"
 #include "sim/congestion.hpp"
+#include "topology/configs.hpp"
 #include "topology/generators.hpp"
 
 namespace dfsssp::bench {
@@ -252,25 +253,7 @@ inline std::string emit_certificate(const Topology& topo,
          std::to_string(check.deps_checked) + " deps)";
 }
 
-/// Table I of the paper, as data.
-struct TableOneRow {
-  std::uint32_t nominal_endpoints;
-  std::vector<std::uint32_t> xgft_ms, xgft_ws;
-  std::uint32_t kautz_b, kautz_n;
-  std::uint32_t tree_k, tree_n;
-};
-
-inline std::vector<TableOneRow> table_one(bool full) {
-  std::vector<TableOneRow> rows = {
-      {64, {6}, {3}, 2, 2, 6, 2},
-      {128, {10}, {5}, 2, 2, 10, 2},
-      {256, {16}, {8}, 2, 3, 16, 2},
-      {512, {6, 6}, {3, 3}, 3, 3, 6, 3},
-      {1024, {10, 10}, {5, 5}, 3, 3, 10, 3},
-      {2048, {14, 14}, {7, 7}, 4, 3, 14, 3},
-  };
-  if (full) rows.push_back({4096, {18, 18}, {9, 9}, 6, 3, 18, 3});
-  return rows;
-}
+// TableOneRow / table_one() moved to topology/configs.hpp — the named-config
+// registry shared by benches, dftopo and tests.
 
 }  // namespace dfsssp::bench

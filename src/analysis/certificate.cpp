@@ -22,7 +22,7 @@ constexpr std::uint32_t kNoPos = std::numeric_limits<std::uint32_t>::max();
 
 std::string channel_name(const Network& net, ChannelId c) {
   const Channel& ch = net.channel(c);
-  return net.node(ch.src).name + "->" + net.node(ch.dst).name;
+  return net.node_name(ch.src) + "->" + net.node_name(ch.dst);
 }
 
 /// Canonical topological order of one layer's CDG: Kahn's algorithm with a
@@ -136,8 +136,8 @@ void write_certificate(const Network& net, const Certificate& cert,
     out << "layer " << l << " " << cert.order[l].size() << "\n";
     for (ChannelId c : cert.order[l]) {
       auto [neighbor, index] = channel_slot(net, c);
-      out << "c " << net.node(net.channel(c).src).name << " "
-          << net.node(neighbor).name << " " << index << "\n";
+      out << "c " << net.node_name(net.channel(c).src) << " "
+          << net.node_name(neighbor) << " " << index << "\n";
     }
   }
   out << "end\n";
@@ -154,7 +154,7 @@ Certificate read_certificate(const Network& net, std::istream& in,
                              const std::string& source) {
   std::map<std::string, NodeId> by_name;
   for (NodeId n = 0; n < net.num_nodes(); ++n) {
-    by_name[net.node(n).name] = n;
+    by_name[net.node_name(n)] = n;
   }
 
   std::size_t lineno = 0;
@@ -299,7 +299,7 @@ CertCheckResult check_certificate(const Network& net,
     for (NodeId t : net.terminals()) {
       if (net.switch_of(t) == sw || !net.terminal_alive(t)) continue;
       const std::string pair_name =
-          net.node(sw).name + " -> " + net.node(t).name;
+          net.node_name(sw) + " -> " + net.node_name(t);
       if (!table.extract_path(net, sw, t, seq)) {
         return reject("broken forwarding path " + pair_name +
                       " (dead end or loop); nothing to certify");

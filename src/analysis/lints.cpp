@@ -86,8 +86,8 @@ LintReport lint_routing(const Network& net, const RoutingTable& table,
           if (sw == dst_sw) {
             if (table.next(sw, dst) != kInvalidChannel) {
               emit(LintKind::kDanglingLftEntry,
-                   "lft entry at " + net.node(sw).name + " for local terminal " +
-                       net.node(dst).name + " (should eject, not forward)");
+                   "lft entry at " + net.node_name(sw) + " for local terminal " +
+                       net.node_name(dst) + " (should eject, not forward)");
             }
             continue;
           }
@@ -96,7 +96,7 @@ LintReport lint_routing(const Network& net, const RoutingTable& table,
           // switches originate nothing either.
           if (net.terminals_on(sw) == 0 || !net.switch_up(sw)) continue;
           const std::string pair_name =
-              net.node(sw).name + " -> " + net.node(dst).name;
+              net.node_name(sw) + " -> " + net.node_name(dst);
           const Layer l = table.layer(sw, dst);
           if (l >= table.num_layers()) {
             emit(LintKind::kSlOutOfRange,

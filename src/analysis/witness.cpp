@@ -156,7 +156,7 @@ void write_witness(const Network& net, const DeadlockWitness& witness,
   }
   auto channel_name = [&](ChannelId c) {
     const Channel& ch = net.channel(c);
-    return net.node(ch.src).name + "->" + net.node(ch.dst).name;
+    return net.node_name(ch.src) + "->" + net.node_name(ch.dst);
   };
   out << "deadlock witness: layer " << unsigned(witness.layer)
       << ", cycle of " << witness.edges.size() << " channels\n";
@@ -165,8 +165,8 @@ void write_witness(const Network& net, const DeadlockWitness& witness,
         << "  (" << e.inducing_paths << " inducing path"
         << (e.inducing_paths == 1 ? "" : "s") << ")\n";
     for (const WitnessPathRef& p : e.examples) {
-      out << "    via " << net.node(net.switch_by_index(p.src_switch)).name
-          << " -> " << net.node(net.terminal_by_index(p.dst_terminal)).name
+      out << "    via " << net.node_name(net.switch_by_index(p.src_switch))
+          << " -> " << net.node_name(net.terminal_by_index(p.dst_terminal))
           << " (weight " << p.weight << ")\n";
     }
   }

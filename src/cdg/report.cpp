@@ -59,7 +59,7 @@ void write_cdg_dot(const Network& net, const PathSet& paths,
   }
   auto label = [&](ChannelId c) {
     const Channel& ch = net.channel(c);
-    return net.node(ch.src).name + "->" + net.node(ch.dst).name;
+    return net.node_name(ch.src) + "->" + net.node_name(ch.dst);
   };
   out << "digraph cdg_layer_" << unsigned(which) << " {\n";
   for (ChannelId c : nodes) {

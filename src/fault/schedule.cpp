@@ -22,9 +22,9 @@ std::string FaultEvent::describe(const Network& net) const {
   std::string s = to_string(kind);
   if (kind == FaultKind::kLinkDown || kind == FaultKind::kLinkUp) {
     const Channel& ch = net.channel(channel);
-    s += " " + net.node(ch.src).name + "<->" + net.node(ch.dst).name;
+    s += " " + net.node_name(ch.src) + "<->" + net.node_name(ch.dst);
   } else {
-    s += " " + net.node(sw).name;
+    s += " " + net.node_name(sw);
   }
   return s;
 }

@@ -16,8 +16,8 @@ PathSet collect_paths(const Network& net, const RoutingTable& table) {
       if (net.switch_of(t) == src_sw || !net.terminal_alive(t)) continue;
       if (!table.extract_path(net, src_sw, t, seq)) {
         throw std::runtime_error("collect_paths: broken forwarding from " +
-                                 net.node(src_sw).name + " to " +
-                                 net.node(t).name);
+                                 net.node_name(src_sw) + " to " +
+                                 net.node_name(t));
       }
       paths.add(net.node(src_sw).type_index, net.node(t).type_index, seq,
                 weight);

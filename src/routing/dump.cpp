@@ -46,8 +46,8 @@ void write_forwarding_dump(const Network& net, const RoutingTable& table,
       const ChannelId c = table.next(sw, t);
       if (c == kInvalidChannel) continue;
       auto [neighbor, index] = channel_slot(net, c);
-      out << "lft " << net.node(sw).name << " " << net.node(t).name << " "
-          << net.node(neighbor).name << " " << index << "\n";
+      out << "lft " << net.node_name(sw) << " " << net.node_name(t) << " "
+          << net.node_name(neighbor) << " " << index << "\n";
     }
   }
   for (NodeId sw : net.switches()) {
@@ -56,7 +56,7 @@ void write_forwarding_dump(const Network& net, const RoutingTable& table,
       if (net.switch_of(t) == sw || !net.terminal_alive(t)) continue;
       const Layer l = table.layer(sw, t);
       if (l != 0) {
-        out << "sl " << net.node(sw).name << " " << net.node(t).name << " "
+        out << "sl " << net.node_name(sw) << " " << net.node_name(t) << " "
             << unsigned(l) << "\n";
       }
     }
@@ -75,7 +75,7 @@ RoutingTable read_forwarding_dump(const Network& net, std::istream& in,
                                   DumpStats* stats) {
   std::map<std::string, NodeId> by_name;
   for (NodeId n = 0; n < net.num_nodes(); ++n) {
-    by_name[net.node(n).name] = n;
+    by_name[net.node_name(n)] = n;
   }
 
   RoutingTable table(net);

@@ -1,0 +1,112 @@
+#include "topology/builder.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace dfsssp {
+
+NetworkBuilder::NetworkBuilder(std::uint64_t num_switches)
+    : num_switches_(num_switches) {
+  if (num_switches >= static_cast<std::uint64_t>(kInvalidNode)) {
+    throw std::overflow_error(
+        "NetworkBuilder: switch count overflows 32-bit NodeId");
+  }
+}
+
+void NetworkBuilder::add_link(std::uint32_t a, std::uint32_t b) {
+  if (a >= num_switches_ || b >= num_switches_) {
+    throw std::invalid_argument("NetworkBuilder: link endpoint out of range");
+  }
+  if (a == b) throw std::invalid_argument("NetworkBuilder: self-loop");
+  links_.push_back({a, b});
+}
+
+void NetworkBuilder::add_links(std::span<const SwitchLink> links) {
+  links_.reserve(links_.size() + links.size());
+  for (const SwitchLink& l : links) add_link(l.a, l.b);
+}
+
+void NetworkBuilder::add_terminal(std::uint32_t sw) {
+  if (sw >= num_switches_) {
+    throw std::invalid_argument(
+        "NetworkBuilder: terminal switch out of range");
+  }
+  terminal_switch_.push_back(sw);
+}
+
+void NetworkBuilder::add_terminals(std::span<const std::uint32_t> switch_of) {
+  terminal_switch_.reserve(terminal_switch_.size() + switch_of.size());
+  for (std::uint32_t sw : switch_of) add_terminal(sw);
+}
+
+void NetworkBuilder::set_switch_name(std::uint32_t sw, std::string name) {
+  if (sw >= num_switches_) {
+    throw std::invalid_argument("NetworkBuilder: name for unknown switch");
+  }
+  names_.emplace_back(sw, std::move(name));
+}
+
+Network NetworkBuilder::build(bool validate) {
+  const std::uint64_t S = num_switches_;
+  const std::uint64_t T = terminal_switch_.size();
+  const std::uint64_t L = links_.size();
+  if (S + T >= static_cast<std::uint64_t>(kInvalidNode)) {
+    throw std::overflow_error(
+        "NetworkBuilder: node count overflows 32-bit NodeId");
+  }
+  if (2 * L + 2 * T >= static_cast<std::uint64_t>(kInvalidChannel)) {
+    throw std::overflow_error(
+        "NetworkBuilder: channel count overflows 32-bit ChannelId");
+  }
+
+  Network net;
+  net.nodes_.resize(S + T);
+  net.switches_.resize(S);
+  net.terminals_on_switch_.assign(S, 0);
+  for (std::uint64_t i = 0; i < S; ++i) {
+    net.nodes_[i] = {NodeType::kSwitch, static_cast<std::uint32_t>(i)};
+    net.switches_[i] = static_cast<NodeId>(i);
+  }
+
+  net.channels_.resize(2 * L + 2 * T);
+  for (std::uint64_t i = 0; i < L; ++i) {
+    const ChannelId ab = static_cast<ChannelId>(2 * i);
+    const ChannelId ba = ab + 1;
+    net.channels_[ab] = {links_[i].a, links_[i].b, ba};
+    net.channels_[ba] = {links_[i].b, links_[i].a, ab};
+  }
+
+  net.terminals_.resize(T);
+  net.terminal_switch_.resize(T);
+  net.injection_.resize(T);
+  for (std::uint64_t j = 0; j < T; ++j) {
+    const NodeId id = static_cast<NodeId>(S + j);
+    const NodeId sw = terminal_switch_[j];
+    const ChannelId inj = static_cast<ChannelId>(2 * L + 2 * j);
+    const ChannelId ej = inj + 1;
+    net.nodes_[id] = {NodeType::kTerminal, static_cast<std::uint32_t>(j)};
+    net.terminals_[j] = id;
+    net.terminal_switch_[j] = sw;
+    net.injection_[j] = inj;
+    net.channels_[inj] = {id, sw, ej};
+    net.channels_[ej] = {sw, id, inj};
+    ++net.terminals_on_switch_[sw];
+  }
+
+  for (auto& [sw, name] : names_) {
+    net.set_node_name(static_cast<NodeId>(sw), std::move(name));
+  }
+
+  net.freeze();
+  if (validate) net.validate();
+
+  num_switches_ = 0;
+  links_.clear();
+  links_.shrink_to_fit();
+  terminal_switch_.clear();
+  terminal_switch_.shrink_to_fit();
+  names_.clear();
+  return net;
+}
+
+}  // namespace dfsssp

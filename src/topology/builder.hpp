@@ -1,0 +1,76 @@
+// Streaming bulk constructor for Network.
+//
+// The incremental Network::add_* API allocates and validates per call, which
+// is fine for netfiles and tests but not for warehouse-scale generation. The
+// builder instead accepts flat streams — switch count up front, then link
+// pairs and terminal attachments in bulk — and assembles the final Network
+// (including its CSR adjacency) with counting passes only: no per-node
+// staging, no incremental reallocation beyond the flat stream vectors.
+//
+// Stream semantics: all links precede all terminals, mirroring the channel
+// numbering of the sequential generators — link i becomes channels (2i,
+// 2i+1) = (a->b, b->a) and terminal j becomes channels (2L+2j, 2L+2j+1) =
+// (injection, ejection). A builder-built Network is therefore bitwise
+// identical (nodes, channels, CSR) to an incremental construction that adds
+// every switch, then every link, then every terminal in the same order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "topology/network.hpp"
+
+namespace dfsssp {
+
+/// One bidirectional inter-switch link, by switch id.
+struct SwitchLink {
+  std::uint32_t a;
+  std::uint32_t b;
+};
+
+class NetworkBuilder {
+ public:
+  /// Declares the switch count up front; switch ids are [0, num_switches).
+  /// Throws std::overflow_error when the count cannot fit 32-bit NodeIds.
+  explicit NetworkBuilder(std::uint64_t num_switches);
+
+  void reserve_links(std::uint64_t n) { links_.reserve(n); }
+  void reserve_terminals(std::uint64_t n) { terminal_switch_.reserve(n); }
+
+  /// Appends one link; endpoints must be distinct switch ids. Like
+  /// Network::add_link, parallel links are allowed.
+  void add_link(std::uint32_t a, std::uint32_t b);
+
+  /// Appends a chunk of links (the per-chunk output of a ChunkedGenerator).
+  void add_links(std::span<const SwitchLink> links);
+
+  /// Appends one terminal attached to `sw`; terminal indices are assigned
+  /// in stream order.
+  void add_terminal(std::uint32_t sw);
+
+  void add_terminals(std::span<const std::uint32_t> switch_of);
+
+  /// Records a custom switch name (applied to the side table at build()).
+  void set_switch_name(std::uint32_t sw, std::string name);
+
+  std::uint64_t num_switches() const { return num_switches_; }
+  std::uint64_t num_links() const { return links_.size(); }
+  std::uint64_t num_terminals() const { return terminal_switch_.size(); }
+
+  /// Assembles the frozen Network and resets the builder. Throws
+  /// std::overflow_error when node or channel counts overflow the 32-bit
+  /// ids/CSR offsets, and runs Network::validate() unless `validate` is
+  /// false.
+  Network build(bool validate = true);
+
+ private:
+  std::uint64_t num_switches_ = 0;
+  std::vector<SwitchLink> links_;
+  std::vector<std::uint32_t> terminal_switch_;
+  std::vector<std::pair<std::uint32_t, std::string>> names_;
+};
+
+}  // namespace dfsssp

@@ -1,0 +1,262 @@
+// Chunked streaming topology generation (KaGen-style).
+//
+// A ChunkedGenerator describes a topology as a pure function of (phase,
+// chunk): layout() declares the switch/link/terminal counts and how the
+// link and terminal streams are partitioned into chunks, and emit_links /
+// emit_terminals produce the chunk's slice of the stream from its indices
+// alone. generate_chunked() then evaluates chunks through parallel_map and
+// concatenates the per-chunk buffers in chunk-index order into a
+// NetworkBuilder — so the assembled channel stream is identical at any
+// --threads=N, and identical to a sequential generator that walks the same
+// (phase, chunk, item) order. The small-instance property tests in
+// tests/test_chunked.cpp pin each chunked family bitwise to its
+// independent sequential seed generator in generators.cpp.
+//
+// Determinism contract (common/parallel.hpp): chunk counts derive from the
+// topology size only, never from the thread count, and any randomness a
+// chunk consumes comes from the Rng handed to emit_links — seeded by
+// stream_seed(seed(), phase/chunk index) — or from per-phase streams the
+// generator derives itself (the random-regular permutation keys), never
+// from state shared across chunks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "topology/builder.hpp"
+#include "topology/topology.hpp"
+
+namespace dfsssp {
+
+/// Stream partitioning declared by a generator up front (the KaGen
+/// "requirements" idiom): exact switch/terminal counts, a link-count
+/// reserve hint, and the chunk grid.
+struct GenLayout {
+  std::uint64_t num_switches = 0;
+  /// Exact for the closed-form families; an upper bound used only as a
+  /// reserve hint for families that drop items (random-regular skips
+  /// permutation fixed points).
+  std::uint64_t num_links = 0;
+  std::uint64_t num_terminals = 0;
+  /// Link stream: `link_phases` sequential phases (e.g. dragonfly local
+  /// links then global links), each split into `link_chunks` chunks.
+  std::uint32_t link_phases = 1;
+  std::uint64_t link_chunks = 1;
+  std::uint64_t terminal_chunks = 1;
+};
+
+class ChunkedGenerator {
+ public:
+  virtual ~ChunkedGenerator() = default;
+
+  virtual std::string family() const = 0;
+  virtual std::string topo_name() const = 0;
+  virtual GenLayout layout() const = 0;
+
+  /// Appends chunk `chunk` of phase `phase` of the link stream to `out`.
+  /// `rng` is this chunk's private stream — Rng(stream_seed(seed(),
+  /// phase/chunk index)) — and is the only scheduling-safe randomness
+  /// source besides self-derived per-phase streams.
+  virtual void emit_links(std::uint32_t phase, std::uint64_t chunk, Rng& rng,
+                          std::vector<SwitchLink>& out) const = 0;
+
+  /// Appends chunk `chunk` of the terminal stream (attachment switch ids,
+  /// in terminal-index order) to `out`.
+  virtual void emit_terminals(std::uint64_t chunk,
+                              std::vector<std::uint32_t>& out) const = 0;
+
+  /// Custom name for switch `sw`, or empty for the synthesized default.
+  virtual std::string switch_name(std::uint64_t sw) const {
+    (void)sw;
+    return {};
+  }
+
+  /// Populates generator metadata (dims, coordinates, levels).
+  virtual void fill_meta(TopologyMeta& meta) const { (void)meta; }
+
+  /// Base seed the per-chunk streams are derived from.
+  virtual std::uint64_t seed() const { return 0; }
+};
+
+struct ChunkedOptions {
+  /// Record per-switch custom names. Off saves the side table entirely for
+  /// warehouse-scale runs (nodes then answer to their synthesized "sw<i>"
+  /// defaults).
+  bool record_names = true;
+  bool validate = true;
+};
+
+/// Evaluates the generator's chunk grid under `exec` and assembles the
+/// frozen, validated Topology. Bitwise identical output at any thread
+/// count.
+Topology generate_chunked(const ChunkedGenerator& gen,
+                          const ExecContext& exec = {},
+                          const ChunkedOptions& opts = {});
+
+// ---- concrete chunked families ---------------------------------------------
+
+/// Balanced dragonfly(a, p, h, g) with a*h == g-1; same wiring as
+/// make_dragonfly. Phase 0: per-group local cliques; phase 1: per-group
+/// global links; one chunk per group.
+class ChunkedDragonfly : public ChunkedGenerator {
+ public:
+  ChunkedDragonfly(std::uint32_t a, std::uint32_t p, std::uint32_t h,
+                   std::uint32_t g);
+
+  std::string family() const override { return "dragonfly"; }
+  std::string topo_name() const override;
+  GenLayout layout() const override;
+  void emit_links(std::uint32_t phase, std::uint64_t chunk, Rng& rng,
+                  std::vector<SwitchLink>& out) const override;
+  void emit_terminals(std::uint64_t chunk,
+                      std::vector<std::uint32_t>& out) const override;
+  std::string switch_name(std::uint64_t sw) const override;
+
+ protected:
+  std::uint32_t a_, p_, h_, g_;
+};
+
+/// XGFT(h; m1..mh; w1..wh), same recursive wiring as make_xgft but via a
+/// closed-form decode of the post-order switch ids; chunks are contiguous
+/// switch-id ranges (links) and terminal-index ranges.
+class ChunkedXgft : public ChunkedGenerator {
+ public:
+  ChunkedXgft(std::uint32_t h, std::vector<std::uint32_t> ms,
+              std::vector<std::uint32_t> ws, std::uint32_t terminals_per_leaf);
+
+  std::string family() const override { return "xgft"; }
+  std::string topo_name() const override;
+  GenLayout layout() const override;
+  void emit_links(std::uint32_t phase, std::uint64_t chunk, Rng& rng,
+                  std::vector<SwitchLink>& out) const override;
+  void emit_terminals(std::uint64_t chunk,
+                      std::vector<std::uint32_t>& out) const override;
+  void fill_meta(TopologyMeta& meta) const override;
+
+ private:
+  /// Height-l subtree switch count S(l) and root count tops(l).
+  std::uint64_t subtree_size(std::uint32_t l) const { return size_[l]; }
+
+  struct Decoded {
+    std::uint32_t level;      // 0 = leaf
+    std::uint64_t base;       // base id of the height-`level` subtree
+    std::uint64_t root_index; // r*w + j among the subtree's roots (level>0)
+  };
+  Decoded decode(std::uint64_t id) const;
+  std::uint64_t leaf_id(std::uint64_t leaf_index) const;
+
+  std::uint32_t h_;
+  std::vector<std::uint32_t> ms_, ws_;
+  std::uint32_t tpl_;
+  std::vector<std::uint64_t> size_;    // S(l), l in [0, h]
+  std::vector<std::uint64_t> tops_;    // tops(l)
+  std::vector<std::uint64_t> leaves_;  // leaves(l)
+};
+
+/// Torus / mesh over `dims` (dimension 0 fastest), same wiring as
+/// make_torus; chunks are contiguous switch-id ranges.
+class ChunkedTorus : public ChunkedGenerator {
+ public:
+  ChunkedTorus(std::vector<std::uint32_t> dims,
+               std::uint32_t terminals_per_switch, bool wraparound);
+
+  std::string family() const override {
+    return wraparound_ ? "torus" : "mesh";
+  }
+  std::string topo_name() const override;
+  GenLayout layout() const override;
+  void emit_links(std::uint32_t phase, std::uint64_t chunk, Rng& rng,
+                  std::vector<SwitchLink>& out) const override;
+  void emit_terminals(std::uint64_t chunk,
+                      std::vector<std::uint32_t>& out) const override;
+  void fill_meta(TopologyMeta& meta) const override;
+
+ private:
+  std::uint32_t coord_of(std::uint64_t idx, std::size_t dim) const;
+
+  std::vector<std::uint32_t> dims_;
+  std::uint32_t tps_;
+  bool wraparound_;
+  std::uint64_t total_;
+};
+
+/// HyperX over `dims`: full connectivity along every axis line, same wiring
+/// as make_hyperx; chunks are contiguous switch-id ranges.
+class ChunkedHyperx : public ChunkedGenerator {
+ public:
+  ChunkedHyperx(std::vector<std::uint32_t> dims,
+                std::uint32_t terminals_per_switch);
+
+  std::string family() const override { return "hyperx"; }
+  std::string topo_name() const override;
+  GenLayout layout() const override;
+  void emit_links(std::uint32_t phase, std::uint64_t chunk, Rng& rng,
+                  std::vector<SwitchLink>& out) const override;
+  void emit_terminals(std::uint64_t chunk,
+                      std::vector<std::uint32_t>& out) const override;
+  void fill_meta(TopologyMeta& meta) const override;
+
+ private:
+  std::uint32_t coord_of(std::uint64_t idx, std::size_t dim) const;
+
+  std::vector<std::uint32_t> dims_;
+  std::uint32_t tps_;
+  std::uint64_t total_;
+};
+
+/// Keyed bijection on [0, n) built from a 4-round Feistel network over the
+/// next even power-of-two domain, shrunk to [0, n) by cycle-walking. O(1)
+/// random access — the primitive that lets random-regular rounds be
+/// generated chunk-parallel without a shared shuffle.
+class IndexPermutation {
+ public:
+  IndexPermutation(std::uint64_t n, std::uint64_t seed);
+
+  std::uint64_t operator()(std::uint64_t i) const;
+
+ private:
+  std::uint64_t permute_once(std::uint64_t x) const;
+
+  std::uint64_t n_;
+  std::uint32_t half_bits_;
+  std::uint64_t half_mask_;
+  std::uint64_t keys_[4];
+};
+
+/// Seed of round `round`'s permutation stream; shared between the chunked
+/// and the sequential random-regular generators.
+std::uint64_t random_regular_round_seed(std::uint64_t seed,
+                                        std::uint32_t round);
+
+/// Random near-regular fabric on `n` switches with even degree `d`: round 0
+/// is a Hamiltonian ring (connectivity), rounds 1..d/2-1 each add the cycle
+/// cover of an independent keyed random permutation — link(i, P_r(i)) for
+/// every non-fixed i. Permutation fixed points are skipped (expected O(1)
+/// per round), so a handful of switches may sit 2 below the nominal degree;
+/// 2-cycles contribute parallel links, which the multigraph model allows.
+/// One phase per round; chunks are contiguous switch-id ranges.
+class ChunkedRandomRegular : public ChunkedGenerator {
+ public:
+  ChunkedRandomRegular(std::uint64_t n, std::uint32_t degree,
+                       std::uint32_t terminals_per_switch, std::uint64_t seed);
+
+  std::string family() const override { return "random-regular"; }
+  std::string topo_name() const override;
+  GenLayout layout() const override;
+  void emit_links(std::uint32_t phase, std::uint64_t chunk, Rng& rng,
+                  std::vector<SwitchLink>& out) const override;
+  void emit_terminals(std::uint64_t chunk,
+                      std::vector<std::uint32_t>& out) const override;
+  std::uint64_t seed() const override { return seed_; }
+
+ private:
+  std::uint64_t n_;
+  std::uint32_t degree_;
+  std::uint32_t tps_;
+  std::uint64_t seed_;
+};
+
+}  // namespace dfsssp

@@ -1,0 +1,59 @@
+// Named topology configurations shared by benches, dftopo and tests.
+//
+// The per-figure generator parameter tables used to be duplicated across
+// bench_util.hpp and the bench roster; they live here once. A config is a
+// registry key, a one-line summary, and a build function taking the
+// ExecContext (chunked configs generate in parallel under it; sequential
+// ones ignore it). The registry key is stable tooling vocabulary ("dftopo
+// generate xgft-1024"); the built Topology keeps its generator-assigned
+// name, which is what bench tables print.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "topology/topology.hpp"
+
+namespace dfsssp {
+
+struct TopoConfig {
+  std::string name;
+  std::string summary;
+  std::function<Topology(const ExecContext&)> build;
+};
+
+/// All registered configs, in registry order (Table I rows, real systems,
+/// modern zoo, tori, chunked mid-size, warehouse).
+const std::vector<TopoConfig>& topology_configs();
+
+/// Nullptr when `name` is not registered.
+const TopoConfig* find_topology_config(const std::string& name);
+
+/// Builds a registered config; throws std::invalid_argument listing the
+/// known names when `name` is not registered.
+Topology build_topology_config(const std::string& name,
+                               const ExecContext& exec = {});
+
+/// Table I of the paper, as data: per nominal endpoint count the XGFT
+/// parameters, the Kautz parameters, and the k-ary n-tree parameters.
+struct TableOneRow {
+  std::uint32_t nominal_endpoints;
+  std::vector<std::uint32_t> xgft_ms, xgft_ws;
+  std::uint32_t kautz_b, kautz_n;
+  std::uint32_t tree_k, tree_n;
+};
+
+std::vector<TableOneRow> table_one(bool full);
+
+/// Warehouse-scale chunked dragonfly(a, h, g) with `dests` terminals spread
+/// evenly over the switches instead of p per switch — destination sharding:
+/// routing cost scales with `dests` while the fabric keeps its full size.
+Topology make_warehouse_dragonfly(std::uint32_t a, std::uint32_t h,
+                                  std::uint32_t g, std::uint32_t dests,
+                                  const ExecContext& exec = {},
+                                  bool record_names = false);
+
+}  // namespace dfsssp

@@ -6,6 +6,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "topology/chunked.hpp"
+
 namespace dfsssp {
 
 namespace {
@@ -424,6 +426,44 @@ Topology make_random(std::uint32_t num_switches,
   meta.family = "random";
   return finish("random-" + std::to_string(num_switches) + "sw-" +
                     std::to_string(num_links) + "l",
+                std::move(net), std::move(meta));
+}
+
+Topology make_random_regular(std::uint32_t num_switches, std::uint32_t degree,
+                             std::uint32_t terminals_per_switch,
+                             std::uint64_t seed) {
+  if (num_switches < 3) {
+    throw std::invalid_argument("random-regular: >= 3 switches");
+  }
+  if (degree < 2 || degree % 2 != 0) {
+    throw std::invalid_argument("random-regular: degree must be even >= 2");
+  }
+  Network net;
+  std::vector<NodeId> sws;
+  sws.reserve(num_switches);
+  for (std::uint32_t i = 0; i < num_switches; ++i) {
+    sws.push_back(net.add_switch());
+  }
+  for (std::uint32_t i = 0; i < num_switches; ++i) {
+    net.add_link(sws[i], sws[(i + 1) % num_switches]);
+  }
+  for (std::uint32_t round = 1; round < degree / 2; ++round) {
+    const IndexPermutation perm(num_switches,
+                                random_regular_round_seed(seed, round));
+    for (std::uint32_t i = 0; i < num_switches; ++i) {
+      const std::uint64_t j = perm(i);
+      if (j != i) net.add_link(sws[i], sws[static_cast<std::uint32_t>(j)]);
+    }
+  }
+  for (NodeId sw : sws) {
+    for (std::uint32_t t = 0; t < terminals_per_switch; ++t) {
+      net.add_terminal(sw);
+    }
+  }
+  TopologyMeta meta;
+  meta.family = "random-regular";
+  return finish("random-regular-" + std::to_string(num_switches) + "x" +
+                    std::to_string(degree) + "-s" + std::to_string(seed),
                 std::move(net), std::move(meta));
 }
 

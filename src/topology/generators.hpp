@@ -95,6 +95,15 @@ Topology make_hyperx(std::span<const std::uint32_t> dims,
 Topology make_fully_connected(std::uint32_t num_switches,
                               std::uint32_t terminals_per_switch);
 
+/// Random near-regular fabric with even degree `degree`: a Hamiltonian
+/// ring plus degree/2 - 1 keyed random-permutation cycle covers (see
+/// ChunkedRandomRegular in topology/chunked.hpp for the construction and
+/// the fixed-point caveat). This sequential builder is the seed reference
+/// the chunked generator is pinned against bitwise.
+Topology make_random_regular(std::uint32_t num_switches, std::uint32_t degree,
+                             std::uint32_t terminals_per_switch,
+                             std::uint64_t seed);
+
 // ---- real-system stand-ins (see DESIGN.md §4) ------------------------------
 
 /// Odin (Indiana University): 128 nodes behind one 144-port switch, modeled

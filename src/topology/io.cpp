@@ -12,16 +12,16 @@ namespace dfsssp {
 void write_dot(const Network& net, std::ostream& out) {
   out << "graph network {\n";
   for (NodeId sw : net.switches()) {
-    out << "  \"" << net.node(sw).name << "\" [shape=box];\n";
+    out << "  \"" << net.node_name(sw) << "\" [shape=box];\n";
   }
   for (NodeId t : net.terminals()) {
-    out << "  \"" << net.node(t).name << "\" [shape=circle];\n";
+    out << "  \"" << net.node_name(t) << "\" [shape=circle];\n";
   }
   for (ChannelId c = 0; c < net.num_channels(); ++c) {
     const Channel& ch = net.channel(c);
     if (c < ch.reverse) {  // one line per physical link
-      out << "  \"" << net.node(ch.src).name << "\" -- \""
-          << net.node(ch.dst).name << "\";\n";
+      out << "  \"" << net.node_name(ch.src) << "\" -- \""
+          << net.node_name(ch.dst) << "\";\n";
     }
   }
   out << "}\n";
@@ -31,16 +31,16 @@ void write_netfile(const Network& net, std::ostream& out) {
   out << "# dfsssp netfile: " << net.num_switches() << " switches, "
       << net.num_terminals() << " terminals\n";
   for (NodeId sw : net.switches()) {
-    out << "switch " << net.node(sw).name << "\n";
+    out << "switch " << net.node_name(sw) << "\n";
   }
   for (NodeId t : net.terminals()) {
-    out << "terminal " << net.node(t).name << " "
-        << net.node(net.switch_of(t)).name << "\n";
+    out << "terminal " << net.node_name(t) << " "
+        << net.node_name(net.switch_of(t)) << "\n";
   }
   for (ChannelId c = 0; c < net.num_channels(); ++c) {
     const Channel& ch = net.channel(c);
     if (c < ch.reverse && net.is_switch(ch.src) && net.is_switch(ch.dst)) {
-      out << "link " << net.node(ch.src).name << " " << net.node(ch.dst).name
+      out << "link " << net.node_name(ch.src) << " " << net.node_name(ch.dst)
           << "\n";
     }
   }
@@ -105,6 +105,209 @@ Topology read_netfile_path(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open netfile: " + path);
   return read_netfile(in, path);
+}
+
+// ---- binary edge list (DFEL) ------------------------------------------------
+
+namespace {
+
+void put_u32(unsigned char* out, std::uint32_t v) {
+  out[0] = static_cast<unsigned char>(v);
+  out[1] = static_cast<unsigned char>(v >> 8);
+  out[2] = static_cast<unsigned char>(v >> 16);
+  out[3] = static_cast<unsigned char>(v >> 24);
+}
+
+void put_u64(unsigned char* out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const unsigned char* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+std::uint64_t get_u64(const unsigned char* in) {
+  return static_cast<std::uint64_t>(get_u32(in)) |
+         (static_cast<std::uint64_t>(get_u32(in + 4)) << 32);
+}
+
+/// Links or terminals serialized per buffer flush.
+constexpr std::size_t kEdgeListBatch = 1 << 16;
+
+}  // namespace
+
+struct EdgeListWriter::Impl {
+  std::ofstream out;
+  std::string path;
+  std::uint64_t num_links = 0;
+  std::uint64_t num_terminals = 0;
+  bool in_terminals = false;
+  bool finished = false;
+};
+
+EdgeListWriter::EdgeListWriter(const std::string& path,
+                               std::uint64_t num_switches)
+    : impl_(new Impl) {
+  impl_->path = path;
+  impl_->out.open(path, std::ios::binary | std::ios::trunc);
+  if (!impl_->out) {
+    delete impl_;
+    throw std::runtime_error("cannot open for writing: " + path);
+  }
+  unsigned char header[32];
+  put_u64(header, kEdgeListMagic);
+  put_u64(header + 8, num_switches);
+  put_u64(header + 16, 0);  // num_links, patched by finish()
+  put_u64(header + 24, 0);  // num_terminals, patched by finish()
+  impl_->out.write(reinterpret_cast<const char*>(header), sizeof header);
+}
+
+EdgeListWriter::~EdgeListWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructor swallows; call finish() directly for error reporting.
+  }
+  delete impl_;
+}
+
+void EdgeListWriter::add_links(std::span<const SwitchLink> links) {
+  if (impl_->in_terminals) {
+    throw std::logic_error("EdgeListWriter: links after terminals");
+  }
+  std::vector<unsigned char> buf;
+  for (std::size_t base = 0; base < links.size(); base += kEdgeListBatch) {
+    const std::size_t n = std::min(kEdgeListBatch, links.size() - base);
+    buf.resize(n * 8);
+    for (std::size_t i = 0; i < n; ++i) {
+      put_u32(buf.data() + i * 8, links[base + i].a);
+      put_u32(buf.data() + i * 8 + 4, links[base + i].b);
+    }
+    impl_->out.write(reinterpret_cast<const char*>(buf.data()),
+                     static_cast<std::streamsize>(buf.size()));
+  }
+  impl_->num_links += links.size();
+}
+
+void EdgeListWriter::add_terminals(std::span<const std::uint32_t> switch_of) {
+  impl_->in_terminals = true;
+  std::vector<unsigned char> buf;
+  for (std::size_t base = 0; base < switch_of.size();
+       base += kEdgeListBatch) {
+    const std::size_t n = std::min(kEdgeListBatch, switch_of.size() - base);
+    buf.resize(n * 4);
+    for (std::size_t i = 0; i < n; ++i) {
+      put_u32(buf.data() + i * 4, switch_of[base + i]);
+    }
+    impl_->out.write(reinterpret_cast<const char*>(buf.data()),
+                     static_cast<std::streamsize>(buf.size()));
+  }
+  impl_->num_terminals += switch_of.size();
+}
+
+void EdgeListWriter::finish() {
+  if (impl_->finished) return;
+  impl_->finished = true;
+  unsigned char counts[16];
+  put_u64(counts, impl_->num_links);
+  put_u64(counts + 8, impl_->num_terminals);
+  impl_->out.seekp(16);
+  impl_->out.write(reinterpret_cast<const char*>(counts), sizeof counts);
+  impl_->out.close();
+  if (!impl_->out) {
+    throw std::runtime_error("edgelist: write failed: " + impl_->path);
+  }
+}
+
+void write_edgelist(const Network& net, const std::string& path) {
+  EdgeListWriter writer(path, net.num_switches());
+  std::vector<SwitchLink> links;
+  for (ChannelId c = 0; c < net.num_channels(); ++c) {
+    const Channel& ch = net.channel(c);
+    if (c < ch.reverse && net.is_switch(ch.src) && net.is_switch(ch.dst)) {
+      links.push_back({net.node(ch.src).type_index,
+                       net.node(ch.dst).type_index});
+      if (links.size() == kEdgeListBatch) {
+        writer.add_links(links);
+        links.clear();
+      }
+    }
+  }
+  writer.add_links(links);
+  std::vector<std::uint32_t> terminals;
+  terminals.reserve(net.num_terminals());
+  for (NodeId t : net.terminals()) {
+    terminals.push_back(net.node(net.switch_of(t)).type_index);
+  }
+  writer.add_terminals(terminals);
+  writer.finish();
+}
+
+Topology read_edgelist(std::istream& in, const std::string& name) {
+  unsigned char header[32];
+  in.read(reinterpret_cast<char*>(header), sizeof header);
+  if (in.gcount() != sizeof header) {
+    throw std::runtime_error("edgelist: truncated header");
+  }
+  if (get_u64(header) != kEdgeListMagic) {
+    throw std::runtime_error("edgelist: bad magic");
+  }
+  const std::uint64_t num_switches = get_u64(header + 8);
+  const std::uint64_t num_links = get_u64(header + 16);
+  const std::uint64_t num_terminals = get_u64(header + 24);
+
+  NetworkBuilder builder(num_switches);
+  builder.reserve_links(num_links);
+  builder.reserve_terminals(num_terminals);
+  try {
+    std::vector<unsigned char> buf;
+    for (std::uint64_t done = 0; done < num_links; done += kEdgeListBatch) {
+      const std::size_t n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(kEdgeListBatch, num_links - done));
+      buf.resize(n * 8);
+      in.read(reinterpret_cast<char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+      if (static_cast<std::size_t>(in.gcount()) != buf.size()) {
+        throw std::runtime_error("edgelist: truncated link section");
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        builder.add_link(get_u32(buf.data() + i * 8),
+                         get_u32(buf.data() + i * 8 + 4));
+      }
+    }
+    for (std::uint64_t done = 0; done < num_terminals;
+         done += kEdgeListBatch) {
+      const std::size_t n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(kEdgeListBatch, num_terminals - done));
+      buf.resize(n * 4);
+      in.read(reinterpret_cast<char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+      if (static_cast<std::size_t>(in.gcount()) != buf.size()) {
+        throw std::runtime_error("edgelist: truncated terminal section");
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        builder.add_terminal(get_u32(buf.data() + i * 4));
+      }
+    }
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("edgelist: ") + e.what());
+  }
+
+  Topology topo;
+  topo.net = builder.build();
+  topo.name = name;
+  topo.meta.family = "edgelist";
+  return topo;
+}
+
+Topology read_edgelist_path(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open edgelist: " + path);
+  return read_edgelist(in, path);
 }
 
 namespace {

@@ -1,18 +1,27 @@
 // Serialization of topologies.
 //
-// Two formats:
+// Three formats:
 //  * DOT (write-only) for visual inspection with graphviz;
 //  * a line-based "netfile" (read/write), the role the paper's graph files
-//    for ORCS played: one line per switch/terminal/link, '#' comments.
+//    for ORCS played: one line per switch/terminal/link, '#' comments;
+//  * a binary streaming edge list ("DFEL"), the warehouse-scale format:
+//    switch count up front, then raw little-endian u32 link pairs and
+//    terminal attachment switch ids — 8 bytes per link, 4 per terminal,
+//    no names. Read back through NetworkBuilder, which canonicalizes the
+//    channel numbering to links-then-terminals (the order every generator
+//    produces anyway).
 //
 //      switch <name>
 //      terminal <name> <switch-name>
 //      link <switch-name> <switch-name>
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 
+#include "topology/builder.hpp"
 #include "topology/topology.hpp"
 
 namespace dfsssp {
@@ -29,6 +38,56 @@ void write_netfile(const Network& net, const std::string& path);
 /// (family "netfile").
 Topology read_netfile(std::istream& in, const std::string& name = "netfile");
 Topology read_netfile_path(const std::string& path);
+
+// ---- binary edge list (DFEL) ------------------------------------------------
+//
+// Layout (all integers little-endian):
+//   u64 magic        "DFELIST1"
+//   u64 num_switches
+//   u64 num_links
+//   u64 num_terminals
+//   num_links     x (u32 a, u32 b)   inter-switch links, stream order
+//   num_terminals x u32              attachment switch per terminal, in
+//                                    terminal-index order
+
+/// The 8-byte magic ("DFELIST1" as a little-endian u64); exposed so format
+/// sniffers (dftopo validate) can recognize the file.
+constexpr std::uint64_t kEdgeListMagic = 0x315453494C454644ULL;
+
+/// Incremental writer for generators that stream chunks to disk: the
+/// header goes out with placeholder counts, add_links/add_terminals append
+/// raw records (all links before any terminal), and finish() seeks back to
+/// patch the counts. The stream must therefore be seekable (a file).
+class EdgeListWriter {
+ public:
+  EdgeListWriter(const std::string& path, std::uint64_t num_switches);
+  ~EdgeListWriter();
+
+  EdgeListWriter(const EdgeListWriter&) = delete;
+  EdgeListWriter& operator=(const EdgeListWriter&) = delete;
+
+  void add_links(std::span<const SwitchLink> links);
+  void add_terminals(std::span<const std::uint32_t> switch_of);
+
+  /// Patches the header counts and closes the file. Called by the
+  /// destructor when not invoked explicitly; call it directly to surface
+  /// write errors as exceptions.
+  void finish();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Writes a frozen network: links in channel order (each physical link
+/// once), then terminals in terminal-index order.
+void write_edgelist(const Network& net, const std::string& path);
+
+/// Reads a DFEL file into a frozen, validated topology (family
+/// "edgelist"). Throws std::runtime_error on bad magic, truncated body, or
+/// out-of-range endpoints.
+Topology read_edgelist(std::istream& in, const std::string& name = "edgelist");
+Topology read_edgelist_path(const std::string& path);
 
 /// Parses the text format of InfiniBand's `ibnetdiscover` tool (the way a
 /// real fabric is dumped), covering the structural subset:

@@ -133,6 +133,33 @@ std::uint64_t estimate_bisection_width(const Network& net, Rng& rng,
   return best;
 }
 
+std::uint64_t structure_hash(const Network& net) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t x) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (x >> (8 * byte)) & 0xFF;
+      h *= 0x100000001B3ULL;  // FNV prime
+    }
+  };
+  mix(net.num_nodes());
+  mix(net.num_switches());
+  mix(net.num_terminals());
+  mix(net.num_channels());
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    const Node& nd = net.node(n);
+    mix((static_cast<std::uint64_t>(nd.type_index) << 8) |
+        static_cast<std::uint64_t>(nd.type));
+  }
+  for (ChannelId c = 0; c < net.num_channels(); ++c) {
+    const Channel& ch = net.channel(c);
+    mix(ch.src);
+    mix(ch.dst);
+    mix(ch.reverse);
+  }
+  for (NodeId t : net.terminals()) mix(net.switch_of(t));
+  return h;
+}
+
 double bisection_bandwidth_ceiling(const Network& net, Rng& rng) {
   const double terminals = static_cast<double>(net.num_terminals());
   if (terminals < 2) return 1.0;

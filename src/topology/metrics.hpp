@@ -42,4 +42,12 @@ std::uint64_t estimate_bisection_width(const Network& net, Rng& rng,
 /// its flows across the cut, so eBB <= min(1, width / (terminals / 4)).
 double bisection_bandwidth_ceiling(const Network& net, Rng& rng);
 
+/// Order-sensitive 64-bit FNV-1a digest of the frozen network's structure:
+/// node types/indices, the full channel list (src, dst, reverse) and the
+/// terminal attachments. Names are excluded — two constructions that wire
+/// the same channels in the same order hash equal regardless of naming.
+/// The determinism fingerprint the gen_scale bench and the chunked-vs-seed
+/// property tests compare.
+std::uint64_t structure_hash(const Network& net);
+
 }  // namespace dfsssp

@@ -3,21 +3,61 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace dfsssp {
 
 void Network::require_mutable() const {
   if (frozen_) throw std::logic_error("Network is frozen; cannot modify");
 }
 
+namespace {
+
+// Ids double as array indices and kInvalid{Node,Channel} are sentinels, so
+// the usable range ends one short of the uint32 maximum.
+void check_node_capacity(std::size_t nodes, std::size_t adding) {
+  if (nodes + adding > static_cast<std::size_t>(kInvalidNode)) {
+    throw std::overflow_error("Network: node count overflows 32-bit NodeId");
+  }
+}
+
+void check_channel_capacity(std::size_t channels, std::size_t adding) {
+  if (channels + adding > static_cast<std::size_t>(kInvalidChannel)) {
+    throw std::overflow_error(
+        "Network: channel count overflows 32-bit ChannelId/CSR offsets");
+  }
+}
+
+}  // namespace
+
+std::string Network::node_name(NodeId n) const {
+  auto it = names_.find(n);
+  if (it != names_.end()) return it->second;
+  const Node& nd = nodes_[n];
+  return (nd.type == NodeType::kSwitch ? "sw" : "t") +
+         std::to_string(nd.type_index);
+}
+
+void Network::set_node_name(NodeId n, std::string name) {
+  if (n >= nodes_.size()) {
+    throw std::invalid_argument("set_node_name: no such node");
+  }
+  if (name.empty()) {
+    names_.erase(n);
+  } else {
+    names_[n] = std::move(name);
+  }
+}
+
 NodeId Network::add_switch(std::string name) {
   require_mutable();
+  check_node_capacity(nodes_.size(), 1);
   NodeId id = static_cast<NodeId>(nodes_.size());
   std::uint32_t index = static_cast<std::uint32_t>(switches_.size());
-  if (name.empty()) name = "sw" + std::to_string(index);
-  nodes_.push_back({NodeType::kSwitch, index, std::move(name)});
+  nodes_.push_back({NodeType::kSwitch, index});
   switches_.push_back(id);
   terminals_on_switch_.push_back(0);
-  staging_out_.emplace_back();
+  if (!name.empty()) names_[id] = std::move(name);
   return id;
 }
 
@@ -26,21 +66,20 @@ NodeId Network::add_terminal(NodeId sw, std::string name) {
   if (sw >= nodes_.size() || !is_switch(sw)) {
     throw std::invalid_argument("add_terminal: not a switch");
   }
+  check_node_capacity(nodes_.size(), 1);
+  check_channel_capacity(channels_.size(), 2);
   NodeId id = static_cast<NodeId>(nodes_.size());
   std::uint32_t index = static_cast<std::uint32_t>(terminals_.size());
-  if (name.empty()) name = "t" + std::to_string(index);
-  nodes_.push_back({NodeType::kTerminal, index, std::move(name)});
+  nodes_.push_back({NodeType::kTerminal, index});
   terminals_.push_back(id);
   terminal_switch_.push_back(sw);
-  staging_out_.emplace_back();
+  if (!name.empty()) names_[id] = std::move(name);
   ++terminals_on_switch_[nodes_[sw].type_index];
 
   ChannelId inj = static_cast<ChannelId>(channels_.size());
   ChannelId ej = inj + 1;
   channels_.push_back({id, sw, ej});
   channels_.push_back({sw, id, inj});
-  staging_out_[id].push_back(inj);
-  staging_out_[sw].push_back(ej);
   injection_.push_back(inj);
   return id;
 }
@@ -52,40 +91,78 @@ ChannelId Network::add_link(NodeId a, NodeId b) {
     throw std::invalid_argument("add_link: endpoints must be switches");
   }
   if (a == b) throw std::invalid_argument("add_link: self-loop");
+  check_channel_capacity(channels_.size(), 2);
   ChannelId ab = static_cast<ChannelId>(channels_.size());
   ChannelId ba = ab + 1;
   channels_.push_back({a, b, ba});
   channels_.push_back({b, a, ab});
-  staging_out_[a].push_back(ab);
-  staging_out_[b].push_back(ba);
   return ab;
 }
 
 void Network::freeze() {
   if (frozen_) return;
+  check_node_capacity(nodes_.size(), 0);
+  check_channel_capacity(channels_.size(), 0);
+
+  // Two counting passes: per-node out-degrees, prefix sums, then a scatter
+  // of the channel ids. Scanning channels in id order keeps every node's
+  // adjacency sorted by channel id — the same order incremental staging
+  // used to produce.
   out_offset_.assign(nodes_.size() + 1, 0);
+  for (const Channel& ch : channels_) ++out_offset_[ch.src + 1];
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
-    out_offset_[n + 1] =
-        out_offset_[n] + static_cast<std::uint32_t>(staging_out_[n].size());
+    out_offset_[n + 1] += out_offset_[n];
   }
-  out_.reserve(channels_.size());
-  out_.clear();
-  for (std::size_t n = 0; n < nodes_.size(); ++n) {
-    out_.insert(out_.end(), staging_out_[n].begin(), staging_out_[n].end());
+  out_.resize(channels_.size());
+  std::vector<std::uint32_t> cursor(out_offset_.begin(),
+                                    out_offset_.end() - 1);
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    out_[cursor[channels_[c].src]++] = static_cast<ChannelId>(c);
   }
 
   sw_out_offset_.assign(switches_.size() + 1, 0);
-  sw_out_.clear();
-  for (std::size_t i = 0; i < switches_.size(); ++i) {
-    NodeId sw = switches_[i];
-    for (ChannelId c : staging_out_[sw]) {
-      if (is_switch(channels_[c].dst)) sw_out_.push_back(c);
+  for (const Channel& ch : channels_) {
+    if (is_switch(ch.src) && is_switch(ch.dst)) {
+      ++sw_out_offset_[nodes_[ch.src].type_index + 1];
     }
-    sw_out_offset_[i + 1] = static_cast<std::uint32_t>(sw_out_.size());
   }
-  staging_out_.clear();
-  staging_out_.shrink_to_fit();
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    sw_out_offset_[i + 1] += sw_out_offset_[i];
+  }
+  sw_out_.resize(sw_out_offset_[switches_.size()]);
+  cursor.assign(sw_out_offset_.begin(), sw_out_offset_.end() - 1);
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    const Channel& ch = channels_[c];
+    if (is_switch(ch.src) && is_switch(ch.dst)) {
+      sw_out_[cursor[nodes_[ch.src].type_index]++] =
+          static_cast<ChannelId>(c);
+    }
+  }
   frozen_ = true;
+  obs::registry().gauge("topology/bytes").set(memory_footprint());
+}
+
+std::uint64_t Network::memory_footprint() const {
+  auto vec = [](const auto& v) {
+    return static_cast<std::uint64_t>(v.size()) *
+           sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  std::uint64_t total = sizeof(Network);
+  total += vec(nodes_) + vec(channels_) + vec(switches_) + vec(terminals_) +
+           vec(terminal_switch_) + vec(injection_) +
+           vec(terminals_on_switch_);
+  total += vec(out_offset_) + vec(out_) + vec(sw_out_offset_) + vec(sw_out_);
+  total += vec(link_up_) + vec(switch_up_) + vec(out_full_offset_) +
+           vec(out_full_) + vec(sw_out_full_offset_) + vec(sw_out_full_);
+  // Name side table: string payload plus a fixed per-entry estimate for the
+  // hash node (kept implementation-independent so the figure is stable
+  // across platforms).
+  constexpr std::uint64_t kNameEntryOverhead = 48;
+  for (const auto& [id, name] : names_) {
+    (void)id;
+    total += kNameEntryOverhead + name.size();
+  }
+  return total;
 }
 
 void Network::ensure_fault_state() {

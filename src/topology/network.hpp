@@ -12,11 +12,20 @@
 // sources and sinks, but they can never lie on a dependency cycle (an
 // injection channel has no predecessor in any path, an ejection channel no
 // successor).
+//
+// Memory model: the hot structures are pure struct-of-arrays — a Node is 8
+// bytes (type + dense type index), a Channel 12 bytes, and the adjacency
+// lives in flat CSR arrays built by freeze() with two counting passes over
+// the channel list (no per-node staging vectors). Node names are not stored
+// in Node at all: custom names live in an optional side table and default
+// names ("sw<i>" / "t<i>") are synthesized lazily by node_name(), so a
+// 100k-switch fabric carries no per-node heap allocations.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -30,7 +39,6 @@ struct Node {
   /// Dense index among nodes of the same type (switch index or terminal
   /// index); used to address per-switch / per-terminal flat arrays.
   std::uint32_t type_index;
-  std::string name;
 };
 
 struct Channel {
@@ -65,6 +73,19 @@ class Network {
   bool is_terminal(NodeId n) const {
     return nodes_[n].type == NodeType::kTerminal;
   }
+
+  /// The node's name: the custom name from the side table when one was set,
+  /// otherwise the synthesized default "sw<switch index>" / "t<terminal
+  /// index>". Names are presentation data — nothing on the routing hot path
+  /// reads them.
+  std::string node_name(NodeId n) const;
+
+  /// Records a custom name in the side table (empty erases, reverting the
+  /// node to its synthesized default).
+  void set_node_name(NodeId n, std::string name);
+
+  /// True when a custom (non-default) name was recorded for `n`.
+  bool has_custom_name(NodeId n) const { return names_.count(n) > 0; }
 
   /// All switch NodeIds, in creation order.
   std::span<const NodeId> switches() const { return switches_; }
@@ -184,8 +205,11 @@ class Network {
 
   // -- lifecycle ------------------------------------------------------------
 
-  /// Builds the CSR adjacency. Must be called once after construction and
-  /// before any routing; add_* calls afterwards throw.
+  /// Builds the CSR adjacency with two counting passes over the channel
+  /// list. Must be called once after construction and before any routing;
+  /// add_* calls afterwards throw. Throws std::overflow_error when node or
+  /// channel counts would overflow the 32-bit CSR offsets, and publishes
+  /// memory_footprint() to the "topology/bytes" gauge.
   void freeze();
 
   bool frozen() const { return frozen_; }
@@ -202,7 +226,15 @@ class Network {
     return static_cast<std::uint32_t>(out_switch_channels(sw).size());
   }
 
+  /// Bytes held by this Network's arrays (elements, not allocator
+  /// capacity) plus a fixed per-entry estimate for the name side table —
+  /// a deterministic figure, identical across runs and platforms for the
+  /// same construction sequence. Feeds the "topology/bytes" gauge.
+  std::uint64_t memory_footprint() const;
+
  private:
+  friend class NetworkBuilder;
+
   void require_mutable() const;
 
   /// True for alive switches and for terminals (terminals fail only through
@@ -227,6 +259,9 @@ class Network {
   std::vector<ChannelId> injection_;              // per terminal index
   std::vector<std::uint32_t> terminals_on_switch_;  // per switch index
 
+  // Custom names only; nodes without an entry synthesize their default.
+  std::unordered_map<NodeId, std::string> names_;
+
   // Adjacency in CSR form, built by freeze().
   std::vector<std::uint32_t> out_offset_;
   std::vector<ChannelId> out_;
@@ -244,9 +279,6 @@ class Network {
   std::vector<std::uint32_t> sw_out_full_offset_;  // per switch index
   std::vector<ChannelId> sw_out_full_;
   std::size_t num_dead_channels_ = 0;
-
-  // Pre-freeze edge staging: per node list of channels.
-  std::vector<std::vector<ChannelId>> staging_out_;
 };
 
 }  // namespace dfsssp

@@ -1,0 +1,104 @@
+#include "topology/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "topology/metrics.hpp"
+#include "topology/network.hpp"
+
+namespace dfsssp {
+namespace {
+
+// The builder's contract: a built Network is bitwise identical (nodes,
+// channels, CSR) to an incremental construction that adds every switch,
+// then every link, then every terminal in the same order.
+TEST(NetworkBuilder, MatchesIncrementalConstruction) {
+  const std::vector<SwitchLink> links{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}};
+  const std::vector<std::uint32_t> terms{0, 0, 1, 2, 3, 3};
+
+  NetworkBuilder builder(4);
+  builder.add_links(links);
+  builder.add_terminals(terms);
+  Network built = builder.build();
+
+  Network incr;
+  for (int i = 0; i < 4; ++i) incr.add_switch();
+  for (const SwitchLink& l : links) incr.add_link(l.a, l.b);
+  for (std::uint32_t sw : terms) incr.add_terminal(sw);
+  incr.freeze();
+  incr.validate();
+
+  EXPECT_EQ(structure_hash(built), structure_hash(incr));
+  ASSERT_EQ(built.num_channels(), incr.num_channels());
+  for (ChannelId c = 0; c < built.num_channels(); ++c) {
+    EXPECT_EQ(built.channel(c).src, incr.channel(c).src) << "channel " << c;
+    EXPECT_EQ(built.channel(c).dst, incr.channel(c).dst) << "channel " << c;
+    EXPECT_EQ(built.channel(c).reverse, incr.channel(c).reverse);
+  }
+  for (NodeId n = 0; n < built.num_nodes(); ++n) {
+    ASSERT_EQ(built.out_channels(n).size(), incr.out_channels(n).size());
+    for (std::size_t i = 0; i < built.out_channels(n).size(); ++i) {
+      EXPECT_EQ(built.out_channels(n)[i], incr.out_channels(n)[i]);
+    }
+  }
+}
+
+TEST(NetworkBuilder, AppliesNames) {
+  NetworkBuilder builder(2);
+  builder.add_link(0, 1);
+  builder.set_switch_name(0, "leaf");
+  Network net = builder.build();
+  EXPECT_EQ(net.node_name(0), "leaf");
+  EXPECT_EQ(net.node_name(1), "sw1");  // default, no side-table entry
+  EXPECT_FALSE(net.has_custom_name(1));
+}
+
+TEST(NetworkBuilder, SwitchCountOverflowThrows) {
+  EXPECT_THROW(NetworkBuilder(1ULL << 32), std::overflow_error);
+  EXPECT_THROW(NetworkBuilder(static_cast<std::uint64_t>(kInvalidNode)),
+               std::overflow_error);
+}
+
+TEST(NetworkBuilder, RejectsBadStreamEntries) {
+  NetworkBuilder builder(3);
+  EXPECT_THROW(builder.add_link(0, 3), std::invalid_argument);
+  EXPECT_THROW(builder.add_link(1, 1), std::invalid_argument);
+  EXPECT_THROW(builder.add_terminal(7), std::invalid_argument);
+  EXPECT_THROW(builder.set_switch_name(5, "x"), std::invalid_argument);
+  // The builder is still usable after rejected entries.
+  builder.add_link(0, 1);
+  builder.add_link(1, 2);
+  builder.add_terminal(0);
+  Network net = builder.build();
+  EXPECT_EQ(net.num_switches(), 3U);
+  EXPECT_EQ(net.num_terminals(), 1U);
+}
+
+TEST(NetworkBuilder, BuildResetsForReuse) {
+  NetworkBuilder builder(2);
+  builder.add_link(0, 1);
+  builder.add_terminal(0);
+  Network first = builder.build();
+  EXPECT_EQ(first.num_terminals(), 1U);
+  EXPECT_EQ(builder.num_switches(), 0U);
+  EXPECT_EQ(builder.num_links(), 0U);
+  EXPECT_EQ(builder.num_terminals(), 0U);
+}
+
+// The incremental API's own narrowing guard: Network::add_* must refuse to
+// run past the 32-bit id space instead of wrapping.
+TEST(Network, CheckedNarrowingGuardsExist) {
+  // We cannot allocate 2^32 nodes in a test; assert the guard is reachable
+  // through the builder (cheap: count check happens before allocation).
+  NetworkBuilder big(kInvalidNode - 1);  // max allowed switch count
+  EXPECT_EQ(big.num_switches(), static_cast<std::uint64_t>(kInvalidNode) - 1);
+  // One terminal pushes S + T past kInvalidNode: build() must throw before
+  // touching any 16-GiB allocation (the count check is first).
+  big.add_terminal(0);
+  EXPECT_THROW(big.build(), std::overflow_error);
+}
+
+}  // namespace
+}  // namespace dfsssp

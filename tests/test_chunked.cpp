@@ -1,0 +1,135 @@
+// Property tests pinning each chunked generator bitwise to its sequential
+// seed generator, at several thread counts. "Bitwise" means: identical
+// structure hash (nodes, channels, CSR, terminal attachments), identical
+// node names, identical topology name and metadata. The sequential
+// generators build through the incremental Network::add_* path, so these
+// tests also cross-check NetworkBuilder assembly against it at scale.
+#include "topology/chunked.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "topology/generators.hpp"
+#include "topology/metrics.hpp"
+
+namespace dfsssp {
+namespace {
+
+void expect_identical(const Topology& got, const Topology& want) {
+  EXPECT_EQ(got.name, want.name);
+  EXPECT_EQ(got.meta.family, want.meta.family);
+  EXPECT_EQ(got.meta.dims, want.meta.dims);
+  EXPECT_EQ(got.meta.wraparound, want.meta.wraparound);
+  EXPECT_EQ(got.meta.sw_coord, want.meta.sw_coord);
+  EXPECT_EQ(got.meta.sw_level, want.meta.sw_level);
+  ASSERT_EQ(got.net.num_nodes(), want.net.num_nodes());
+  ASSERT_EQ(got.net.num_channels(), want.net.num_channels());
+  EXPECT_EQ(structure_hash(got.net), structure_hash(want.net));
+  for (NodeId n = 0; n < got.net.num_nodes(); ++n) {
+    ASSERT_EQ(got.net.node_name(n), want.net.node_name(n)) << "node " << n;
+  }
+}
+
+void check_at_thread_counts(const ChunkedGenerator& gen,
+                            const Topology& seed) {
+  for (unsigned threads : {1U, 2U, 8U}) {
+    ExecContext exec(threads);
+    Topology got = generate_chunked(gen, exec);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_identical(got, seed);
+  }
+}
+
+TEST(Chunked, DragonflyMatchesSequential) {
+  check_at_thread_counts(ChunkedDragonfly(4, 2, 2, 9),
+                         make_dragonfly(4, 2, 2, 9));
+}
+
+TEST(Chunked, DragonflySecondShape) {
+  check_at_thread_counts(ChunkedDragonfly(2, 1, 3, 7),
+                         make_dragonfly(2, 1, 3, 7));
+}
+
+TEST(Chunked, XgftMatchesSequential) {
+  const std::vector<std::uint32_t> ms{4, 4}, ws{2, 2};
+  check_at_thread_counts(ChunkedXgft(2, ms, ws, 4), make_xgft(2, ms, ws, 4));
+}
+
+TEST(Chunked, XgftThreeLevels) {
+  const std::vector<std::uint32_t> ms{3, 2, 2}, ws{2, 2, 1};
+  check_at_thread_counts(ChunkedXgft(3, ms, ws, 3), make_xgft(3, ms, ws, 3));
+}
+
+TEST(Chunked, TorusMatchesSequential) {
+  const std::vector<std::uint32_t> dims{4, 3, 2};
+  check_at_thread_counts(ChunkedTorus(dims, 2, true),
+                         make_torus(dims, 2, true));
+}
+
+TEST(Chunked, MeshMatchesSequential) {
+  const std::vector<std::uint32_t> dims{5, 4};
+  check_at_thread_counts(ChunkedTorus(dims, 1, false),
+                         make_torus(dims, 1, false));
+}
+
+TEST(Chunked, HyperxMatchesSequential) {
+  const std::vector<std::uint32_t> dims{3, 4};
+  check_at_thread_counts(ChunkedHyperx(dims, 2), make_hyperx(dims, 2));
+}
+
+TEST(Chunked, RandomRegularMatchesSequential) {
+  check_at_thread_counts(ChunkedRandomRegular(50, 6, 1, 0xABCDEF),
+                         make_random_regular(50, 6, 1, 0xABCDEF));
+}
+
+TEST(Chunked, RandomRegularSeedChangesStructure) {
+  Topology a = generate_chunked(ChunkedRandomRegular(64, 4, 1, 1));
+  Topology b = generate_chunked(ChunkedRandomRegular(64, 4, 1, 2));
+  EXPECT_NE(structure_hash(a.net), structure_hash(b.net));
+}
+
+// Spans larger than one chunk (kChunkSpan = 2048 switch ids) exercise the
+// multi-chunk concatenation path; 2 threads keeps runtime reasonable.
+TEST(Chunked, MultiChunkTorusMatchesSequential) {
+  const std::vector<std::uint32_t> dims{80, 60};  // 4800 switches, 3 chunks
+  Topology seed = make_torus(dims, 1, true);
+  Topology got = generate_chunked(ChunkedTorus(dims, 1, true), ExecContext(2));
+  expect_identical(got, seed);
+}
+
+TEST(Chunked, NamesOffPreservesStructure) {
+  ChunkedDragonfly gen(4, 2, 2, 9);
+  Topology named = generate_chunked(gen);
+  ChunkedOptions opts;
+  opts.record_names = false;
+  Topology bare = generate_chunked(gen, {}, opts);
+  EXPECT_EQ(structure_hash(named.net), structure_hash(bare.net));
+  EXPECT_EQ(named.net.node_name(0), "g0.s0");
+  EXPECT_EQ(bare.net.node_name(0), "sw0");  // synthesized default
+  EXPECT_LT(bare.net.memory_footprint(), named.net.memory_footprint());
+}
+
+TEST(IndexPermutation, IsBijective) {
+  for (std::uint64_t n : {1ULL, 2ULL, 7ULL, 50ULL, 1000ULL}) {
+    IndexPermutation perm(n, 0xFEED + n);
+    std::set<std::uint64_t> image;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t j = perm(i);
+      ASSERT_LT(j, n);
+      image.insert(j);
+    }
+    EXPECT_EQ(image.size(), n) << "n=" << n;
+  }
+}
+
+TEST(IndexPermutation, KeyedBySeed) {
+  IndexPermutation a(1000, 1), b(1000, 2);
+  std::size_t differing = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) differing += a(i) != b(i);
+  EXPECT_GT(differing, 900U);
+}
+
+}  // namespace
+}  // namespace dfsssp

@@ -37,11 +37,11 @@ void expect_reachable(const Network& net, const RoutingTable& table) {
     for (NodeId sw : net.switches()) {
       if (!net.switch_up(sw)) continue;
       ASSERT_TRUE(table.extract_path(net, sw, d, path))
-          << "broken walk " << net.node(sw).name << " -> "
-          << net.node(d).name;
+          << "broken walk " << net.node_name(sw) << " -> "
+          << net.node_name(d);
       for (ChannelId c : path) {
         ASSERT_TRUE(net.channel_alive(c))
-            << "path " << net.node(sw).name << " -> " << net.node(d).name
+            << "path " << net.node_name(sw) << " -> " << net.node_name(d)
             << " crosses dead channel " << c;
       }
     }

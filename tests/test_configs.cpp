@@ -1,0 +1,91 @@
+#include "topology/configs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "topology/metrics.hpp"
+
+namespace dfsssp {
+namespace {
+
+TEST(TopoConfigs, RegistryIsWellFormed) {
+  const auto& configs = topology_configs();
+  ASSERT_FALSE(configs.empty());
+  std::set<std::string> names;
+  for (const TopoConfig& cfg : configs) {
+    EXPECT_FALSE(cfg.name.empty());
+    EXPECT_FALSE(cfg.summary.empty());
+    EXPECT_TRUE(static_cast<bool>(cfg.build));
+    EXPECT_TRUE(names.insert(cfg.name).second) << "duplicate " << cfg.name;
+  }
+}
+
+TEST(TopoConfigs, LookupAndBuild) {
+  ASSERT_NE(find_topology_config("torus-8-8"), nullptr);
+  EXPECT_EQ(find_topology_config("no-such-config"), nullptr);
+  Topology topo = build_topology_config("torus-8-8");
+  EXPECT_EQ(topo.net.num_switches(), 64U);
+  EXPECT_EQ(topo.meta.family, "torus");
+  topo.net.validate();
+  EXPECT_TRUE(topo.net.connected());
+}
+
+TEST(TopoConfigs, UnknownNameThrowsWithListing) {
+  try {
+    build_topology_config("bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("torus-8-8"), std::string::npos);
+  }
+}
+
+TEST(TopoConfigs, TableOneSizes) {
+  const auto quick = table_one(false);
+  const auto full = table_one(true);
+  ASSERT_FALSE(quick.empty());
+  EXPECT_GT(full.size(), quick.size());
+  for (const TableOneRow& row : quick) {
+    EXPECT_EQ(row.xgft_ms.size(), row.xgft_ws.size());
+    EXPECT_GT(row.nominal_endpoints, 0U);
+  }
+}
+
+TEST(TopoConfigs, BenchKeysResolve) {
+  // Keys the benches iterate over must stay registered.
+  for (const char* key :
+       {"dragonfly-a4p4h2g9", "hyperx-8-8", "hyperx-4-4-4", "complete-16",
+        "kautz-3-3", "torus-8-8", "torus-12-12", "torus-6-6-6", "torus-16-16",
+        "xgft-1024", "kautz-1024", "tree-1024", "dragonfly-mid", "torus-mid",
+        "xgft-mid", "random-regular-mid", "warehouse-dragonfly"}) {
+    EXPECT_NE(find_topology_config(key), nullptr) << key;
+  }
+}
+
+// Small variant of the warehouse config: destination sharding attaches
+// `dests` terminals with an even stride instead of p per switch.
+TEST(TopoConfigs, WarehouseDragonflySharded) {
+  Topology topo = make_warehouse_dragonfly(4, 2, 9, 8);
+  EXPECT_EQ(topo.net.num_switches(), 36U);  // a * g
+  EXPECT_EQ(topo.net.num_terminals(), 8U);
+  topo.net.validate();
+  EXPECT_TRUE(topo.net.connected());
+  // Sharded terminals land on distinct, spread-out switches.
+  std::set<NodeId> attach;
+  for (std::size_t t = 0; t < topo.net.num_terminals(); ++t) {
+    attach.insert(topo.net.switch_of(topo.net.terminal_by_index(
+        static_cast<std::uint32_t>(t))));
+  }
+  EXPECT_EQ(attach.size(), 8U);
+  // Structure is independent of thread count.
+  Topology threaded = make_warehouse_dragonfly(4, 2, 9, 8, ExecContext(4));
+  EXPECT_EQ(structure_hash(threaded.net), structure_hash(topo.net));
+  // Warehouse path skips the name side table by default.
+  EXPECT_FALSE(topo.net.has_custom_name(0));
+  EXPECT_EQ(topo.net.node_name(0), "sw0");
+}
+
+}  // namespace
+}  // namespace dfsssp

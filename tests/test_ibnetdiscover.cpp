@@ -68,10 +68,10 @@ TEST(IbNetDiscover, UsesCommentNames) {
   Topology topo = read_ibnetdiscover(in);
   bool found_sw = false, found_node = false;
   for (NodeId sw : topo.net.switches()) {
-    if (topo.net.node(sw).name.rfind("sw-left", 0) == 0) found_sw = true;
+    if (topo.net.node_name(sw).rfind("sw-left", 0) == 0) found_sw = true;
   }
   for (NodeId t : topo.net.terminals()) {
-    if (topo.net.node(t).name.rfind("node01", 0) == 0) found_node = true;
+    if (topo.net.node_name(t).rfind("node01", 0) == 0) found_node = true;
   }
   EXPECT_TRUE(found_sw);
   EXPECT_TRUE(found_node);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <vector>
+
 namespace dfsssp {
 namespace {
 
@@ -23,7 +26,7 @@ TEST(Network, SwitchAndTerminalBookkeeping) {
   EXPECT_EQ(net.switch_of(t2), s1);
   EXPECT_EQ(net.terminals_on(s0), 2U);
   EXPECT_EQ(net.terminals_on(s1), 1U);
-  EXPECT_EQ(net.node(s0).name, "alpha");
+  EXPECT_EQ(net.node_name(s0), "alpha");
   (void)t1;
   net.validate();
 }
@@ -116,6 +119,50 @@ TEST(Network, ConnectedDetection) {
   net2.add_terminal(x);
   net2.freeze();
   EXPECT_TRUE(net2.connected());
+}
+
+TEST(Network, NameSideTable) {
+  Network net;
+  NodeId s0 = net.add_switch("alpha");
+  NodeId s1 = net.add_switch();
+  NodeId t0 = net.add_terminal(s1);
+  net.freeze();
+  EXPECT_TRUE(net.has_custom_name(s0));
+  EXPECT_FALSE(net.has_custom_name(s1));
+  EXPECT_EQ(net.node_name(s0), "alpha");
+  EXPECT_EQ(net.node_name(s1), "sw1");  // synthesized default
+  EXPECT_EQ(net.node_name(t0), "t0");
+  net.set_node_name(s1, "beta");
+  EXPECT_EQ(net.node_name(s1), "beta");
+  net.set_node_name(s1, "");  // erase -> back to default
+  EXPECT_EQ(net.node_name(s1), "sw1");
+  EXPECT_THROW(net.set_node_name(99, "x"), std::invalid_argument);
+}
+
+TEST(Network, MemoryFootprintGrowsWithStructure) {
+  Network small;
+  NodeId a = small.add_switch();
+  small.add_terminal(a);
+  small.freeze();
+
+  Network big;
+  std::vector<NodeId> sws;
+  for (int i = 0; i < 32; ++i) sws.push_back(big.add_switch());
+  for (int i = 0; i < 31; ++i) big.add_link(sws[i], sws[i + 1]);
+  for (NodeId sw : sws) big.add_terminal(sw);
+  big.freeze();
+
+  EXPECT_GT(small.memory_footprint(), 0U);
+  EXPECT_GT(big.memory_footprint(), small.memory_footprint());
+
+  // Deterministic: same construction sequence, same figure.
+  Network big2;
+  std::vector<NodeId> sws2;
+  for (int i = 0; i < 32; ++i) sws2.push_back(big2.add_switch());
+  for (int i = 0; i < 31; ++i) big2.add_link(sws2[i], sws2[i + 1]);
+  for (NodeId sw : sws2) big2.add_terminal(sw);
+  big2.freeze();
+  EXPECT_EQ(big.memory_footprint(), big2.memory_footprint());
 }
 
 TEST(Network, TypeIndexIsDense) {

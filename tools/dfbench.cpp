@@ -133,6 +133,9 @@ std::vector<RosterEntry> roster() {
   // Defaults are the README's headline configuration (32-ary 2-tree,
   // 40 events) and already run in quick-tier time.
   add("churn", "bench_churn", true, {}, {"--events=200"}, 900);
+  // Chunked generation at 16k switches; the structure hashes in the table
+  // pin the emitted streams bitwise against the committed baseline.
+  add("gen_scale", "bench_gen_scale", true, {}, {"--full"}, 600);
   {
     RosterEntry micro;
     micro.name = "micro";
@@ -152,6 +155,9 @@ std::vector<RosterEntry> roster() {
   add("modern_topologies", "bench_modern_topologies", false, {}, {}, 900);
   add("lmc_multipath", "bench_lmc_multipath", false, {}, {}, 900);
   add("torus_routing", "bench_torus_routing", false, {}, {}, 900);
+  // 100k-switch dragonfly generated, routed (destination-sharded) and
+  // verified end to end; records phase timings and peak RSS.
+  add("warehouse", "bench_warehouse", false, {}, {"--full"}, 1800);
   return r;
 }
 

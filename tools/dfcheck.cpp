@@ -241,8 +241,8 @@ void print_json(const Network& net, const Report& r, std::ostream& out) {
         const WitnessEdge& e = r.witness.edges[i];
         const Channel& ch = net.channel(e.from);
         out << (i ? ", " : "") << "{\"channel\": \""
-            << json_escape(net.node(ch.src).name + "->" +
-                           net.node(ch.dst).name)
+            << json_escape(net.node_name(ch.src) + "->" +
+                           net.node_name(ch.dst))
             << "\", \"inducing_paths\": " << e.inducing_paths << "}";
       }
       out << "]}";
