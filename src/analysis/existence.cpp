@@ -1,0 +1,207 @@
+#include "analysis/existence.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace dfsssp {
+
+namespace {
+
+constexpr std::uint32_t kInf = 0xFFFFFFFFu;
+/// Path counts saturate here; a saturated count can never witness a forced
+/// dependency (the product comparison below fails), which errs toward the
+/// weaker bound.
+constexpr std::uint64_t kSat = std::uint64_t{1} << 62;
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t s = a + b;
+  return (s >= kSat || s < a) ? kSat : s;
+}
+
+/// Per-source BFS over the alive switch graph: hop distances and
+/// channel-distinct shortest-path counts (parallel channels count as
+/// distinct paths, matching how a routing must pick one channel).
+struct ShortestPaths {
+  std::vector<std::uint32_t> dist;  // by switch index
+  std::vector<std::uint64_t> cnt;   // by switch index, saturating
+};
+
+ShortestPaths bfs_counts(const Network& net, std::uint32_t src_idx) {
+  const std::size_t S = net.num_switches();
+  ShortestPaths sp{std::vector<std::uint32_t>(S, kInf),
+                   std::vector<std::uint64_t>(S, 0)};
+  sp.dist[src_idx] = 0;
+  sp.cnt[src_idx] = 1;
+  std::vector<std::uint32_t> frontier{src_idx}, next;
+  while (!frontier.empty()) {
+    next.clear();
+    for (std::uint32_t ui : frontier) {
+      const NodeId u = net.switch_by_index(ui);
+      const std::uint32_t du = sp.dist[ui];
+      for (ChannelId c : net.out_switch_channels(u)) {
+        const std::uint32_t vi = net.node(net.channel(c).dst).type_index;
+        if (sp.dist[vi] == kInf) {
+          sp.dist[vi] = du + 1;
+          next.push_back(vi);
+        }
+        if (sp.dist[vi] == du + 1) {
+          sp.cnt[vi] = sat_add(sp.cnt[vi], sp.cnt[ui]);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return sp;
+}
+
+using DepEdge = std::pair<ChannelId, ChannelId>;
+
+/// Kahn's algorithm over an explicit dependency edge list. Channel ids are
+/// compacted on the fly; edge lists here are small (forced deps only).
+bool has_cycle(std::vector<DepEdge> edges) {
+  if (edges.empty()) return false;
+  std::vector<ChannelId> ids;
+  ids.reserve(edges.size() * 2);
+  for (const DepEdge& e : edges) {
+    ids.push_back(e.first);
+    ids.push_back(e.second);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  auto index_of = [&](ChannelId c) {
+    return static_cast<std::uint32_t>(
+        std::lower_bound(ids.begin(), ids.end(), c) - ids.begin());
+  };
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  const std::uint32_t n = static_cast<std::uint32_t>(ids.size());
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  std::vector<std::uint32_t> indeg(n, 0);
+  for (const DepEdge& e : edges) {
+    const std::uint32_t a = index_of(e.first), b = index_of(e.second);
+    adj[a].push_back(b);
+    ++indeg[b];
+  }
+  std::vector<std::uint32_t> ready;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (indeg[i] == 0) ready.push_back(i);
+  }
+  std::uint32_t removed = 0;
+  while (!ready.empty()) {
+    const std::uint32_t u = ready.back();
+    ready.pop_back();
+    ++removed;
+    for (std::uint32_t v : adj[u]) {
+      if (--indeg[v] == 0) ready.push_back(v);
+    }
+  }
+  return removed != n;
+}
+
+}  // namespace
+
+ExistenceBound existence_lower_bound(const Network& net,
+                                     std::uint32_t max_switches) {
+  ExistenceBound bound;
+  const std::size_t S = net.num_switches();
+  if (S == 0 || S > max_switches) return bound;
+  bound.computed = true;
+
+  // All-pairs shortest-path structure. The switch graph is channel-wise
+  // symmetric (every channel has a reverse), so distances and counts from d
+  // double as distances and counts *to* d.
+  std::vector<ShortestPaths> sp;
+  sp.reserve(S);
+  for (std::uint32_t i = 0; i < S; ++i) sp.push_back(bfs_counts(net, i));
+
+  auto routed = [&](std::uint32_t i) {
+    const NodeId sw = net.switch_by_index(i);
+    return net.switch_up(sw) && net.terminals_on(sw) > 0;
+  };
+
+  // Forced dependencies per routed pair, pairs in (s, d) index order.
+  std::vector<std::vector<DepEdge>> pair_deps;
+  std::vector<DepEdge> all_deps;
+  for (std::uint32_t si = 0; si < S; ++si) {
+    if (!routed(si)) continue;
+    const ShortestPaths& from_s = sp[si];
+    for (std::uint32_t di = 0; di < S; ++di) {
+      if (di == si || !routed(di)) continue;
+      const ShortestPaths& from_d = sp[di];
+      const std::uint32_t dsd = from_s.dist[di];
+      const std::uint64_t total = from_s.cnt[di];
+      if (dsd == kInf || dsd < 2 || total >= kSat) continue;
+      std::vector<DepEdge> deps;
+      // A dependency u -> v pivots on the middle switch b: u = (a -> b),
+      // v = (b -> c), with a, b, c consecutive on a shortest s -> d path.
+      for (std::uint32_t bi = 0; bi < S; ++bi) {
+        const std::uint32_t db = from_s.dist[bi];
+        if (bi == si || bi == di || db == kInf ||
+            db + from_d.dist[bi] != dsd) {
+          continue;
+        }
+        const NodeId b = net.switch_by_index(bi);
+        for (ChannelId out : net.out_switch_channels(b)) {
+          // `out` reversed is a channel into b: u = (a -> b).
+          const ChannelId u = net.channel(out).reverse;
+          const std::uint32_t ai =
+              net.node(net.channel(u).src).type_index;
+          if (from_s.dist[ai] + 1 != db ||
+              from_s.dist[ai] + from_d.dist[ai] != dsd) {
+            continue;
+          }
+          for (ChannelId v : net.out_switch_channels(b)) {
+            const std::uint32_t ci =
+                net.node(net.channel(v).dst).type_index;
+            if (from_s.dist[ci] != db + 1 ||
+                from_s.dist[ci] + from_d.dist[ci] != dsd) {
+              continue;
+            }
+            // Shortest paths through u then v: (s ~> a) * u * v * (c ~> d).
+            // Forced exactly when that is ALL of them.
+            const std::uint64_t na = from_s.cnt[ai];
+            const std::uint64_t nc = from_d.cnt[ci];
+            if (na >= kSat || nc >= kSat) continue;
+            const unsigned __int128 through =
+                static_cast<unsigned __int128>(na) * nc;
+            if (through == total) deps.push_back({u, v});
+          }
+        }
+      }
+      if (!deps.empty()) {
+        bound.forced_deps += deps.size();
+        ++bound.pairs_with_forced;
+        all_deps.insert(all_deps.end(), deps.begin(), deps.end());
+        pair_deps.push_back(std::move(deps));
+      }
+    }
+  }
+
+  bound.union_cyclic = has_cycle(all_deps);
+
+  // Greedy conflict clique: pairs that pairwise cannot share a layer.
+  // Deterministic pair order makes the clique (and the bound) reproducible.
+  std::vector<std::uint32_t> clique;
+  for (std::uint32_t p = 0; p < pair_deps.size(); ++p) {
+    bool conflicts_all = true;
+    for (std::uint32_t m : clique) {
+      std::vector<DepEdge> merged = pair_deps[p];
+      merged.insert(merged.end(), pair_deps[m].begin(), pair_deps[m].end());
+      if (!has_cycle(std::move(merged))) {
+        conflicts_all = false;
+        break;
+      }
+    }
+    if (conflicts_all) clique.push_back(p);
+  }
+  bound.conflict_clique =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(clique.size()));
+
+  std::uint32_t layers = bound.conflict_clique;
+  if (bound.union_cyclic) layers = std::max<std::uint32_t>(layers, 2);
+  bound.min_layers = static_cast<Layer>(std::min<std::uint32_t>(layers, 255));
+  return bound;
+}
+
+}  // namespace dfsssp

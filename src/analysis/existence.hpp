@@ -1,0 +1,62 @@
+// Provable lower bound on the virtual-layer count of any minimal
+// deadlock-free routing — a conservative, certificate-compatible
+// approximation of the existence condition of Mendlovic & Matias,
+// "Deadlock-free routing for arbitrary networks" (arXiv:2503.04583).
+//
+// A minimal routing must assign every routed switch pair (s, d) one
+// shortest path, and the channel dependencies that path induces must be
+// acyclic within the pair's virtual layer (the paper's one-CDG-per-layer
+// certificate). Some dependencies cannot be routed around: when EVERY
+// shortest s->d path crosses channel u and then channel v, the dependency
+// u->v is *forced* — it appears in whichever layer (s, d) lands in. Two
+// sound bounds follow:
+//
+//   * If the union of all pairs' forced dependencies contains a cycle,
+//     one layer can never be enough: min_layers >= 2. (Classic example:
+//     a ring, where the distance-2 pairs force the full cycle.)
+//   * Pairs p, q *conflict* when F_p ∪ F_q is cyclic — they can never
+//     share a layer. Pairs that conflict pairwise need pairwise-distinct
+//     layers, so a conflict clique of size k gives min_layers >= k. A
+//     greedy clique (deterministic pair order) keeps this cheap.
+//
+// Both arguments are conservative: forced-dependency counts saturate
+// toward "not forced", non-forced dependencies are ignored entirely, and
+// the clique is greedy, so the reported bound can only be BELOW the true
+// optimum, never above it. A dump that declares fewer layers than this
+// bound while claiming minimal paths is therefore inconsistent — either
+// truncated or deadlock-prone (lint kLayersBelowExistenceBound).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "topology/network.hpp"
+
+namespace dfsssp {
+
+struct ExistenceBound {
+  /// Provable lower bound on layers for any minimal deadlock-free routing
+  /// of the routed pairs. 1 when nothing stronger could be proven (also
+  /// the value when the network exceeded `max_switches`).
+  Layer min_layers = 1;
+  /// The union of all forced dependencies contains a cycle.
+  bool union_cyclic = false;
+  /// Size of the greedy pairwise-conflict clique (>= 1).
+  std::uint32_t conflict_clique = 1;
+  /// Total forced channel dependencies across all routed pairs.
+  std::uint64_t forced_deps = 0;
+  /// Routed pairs contributing at least one forced dependency.
+  std::uint64_t pairs_with_forced = 0;
+  /// False when the network was larger than `max_switches` and the
+  /// computation was skipped (min_layers stays at its trivial value).
+  bool computed = false;
+};
+
+/// Computes the bound over the routed pairs (s, d): switches that are up
+/// and carry at least one terminal each, s != d. O(S^2 * C) worst case,
+/// so callers cap it: networks with more than `max_switches` switches
+/// return the trivial bound with computed == false. Deterministic.
+ExistenceBound existence_lower_bound(const Network& net,
+                                     std::uint32_t max_switches = 96);
+
+}  // namespace dfsssp

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <queue>
 
+#include "analysis/existence.hpp"
+
 namespace dfsssp {
 
 const char* to_string(LintKind kind) {
@@ -16,6 +18,8 @@ const char* to_string(LintKind kind) {
     case LintKind::kDuplicateLftEntry: return "duplicate-lft-entry";
     case LintKind::kSlOutOfRange: return "sl-out-of-range";
     case LintKind::kEmptyLayer: return "empty-layer";
+    case LintKind::kLayersBelowExistenceBound:
+      return "layers-below-existence-bound";
   }
   return "unknown";
 }
@@ -183,6 +187,31 @@ LintReport lint_routing(const Network& net, const RoutingTable& table,
                     "(threshold %.2f); consider balancing",
                     skew, options.skew_threshold);
       emit_global(LintKind::kLayerSkew, buf);
+    }
+  }
+
+  // Existence lower bound: only binds minimal routings (every non-minimal
+  // path is a routed-around dependency the bound knows nothing about). A
+  // valid minimal routing can never trip this — the bound is provably below
+  // the layer count of every certificate-passing minimal routing — so a hit
+  // means the dump is truncated or the claimed routing is deadlock-prone.
+  if (options.existence_bound && report.paths_checked > 0 &&
+      report.count(LintKind::kNonMinimalPath) == 0) {
+    const ExistenceBound bound =
+        existence_lower_bound(net, options.existence_max_switches);
+    if (bound.computed && num_layers < bound.min_layers) {
+      emit_global(
+          LintKind::kLayersBelowExistenceBound,
+          "routing declares " + std::to_string(unsigned(num_layers)) +
+              " layer(s) but any minimal deadlock-free routing of this "
+              "fabric needs at least " +
+              std::to_string(unsigned(bound.min_layers)) +
+              (bound.union_cyclic
+                   ? " (the forced-dependency union is cyclic;"
+                   : " (conflict clique of " +
+                         std::to_string(bound.conflict_clique) + " pairs;") +
+              " conservative Mendlovic-Matias existence bound, "
+              "arXiv:2503.04583)");
     }
   }
 

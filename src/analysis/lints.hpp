@@ -40,8 +40,12 @@ enum class LintKind : std::uint8_t {
   kSlOutOfRange,
   /// Declared layer carrying zero paths (a wasted virtual lane).
   kEmptyLayer,
+  /// Minimal routing declaring fewer layers than the provable existence
+  /// lower bound (analysis/existence.hpp): the dump is truncated or the
+  /// routing cannot actually be deadlock-free.
+  kLayersBelowExistenceBound,
 };
-inline constexpr std::size_t kNumLintKinds = 8;
+inline constexpr std::size_t kNumLintKinds = 9;
 
 const char* to_string(LintKind kind);
 
@@ -57,6 +61,13 @@ struct LintOptions {
   double skew_threshold = 2.0;
   /// Detailed messages are capped per kind; counts are always exact.
   std::uint32_t max_reports_per_kind = 8;
+  /// Compare the declared layer count against the existence lower bound
+  /// (only meaningful for minimal routings; skipped when any
+  /// kNonMinimalPath fired).
+  bool existence_bound = true;
+  /// The existence bound is an O(S^2) analysis; networks with more
+  /// switches than this skip it.
+  std::uint32_t existence_max_switches = 96;
 };
 
 struct LintReport {

@@ -1,0 +1,52 @@
+// Throwing checked-narrow helpers — the sanctioned way to shrink a 64-bit
+// quantity into the 32-bit index space of the topology layer.
+//
+// The SoA Network stores every node, channel, and CSR offset as a 32-bit
+// index (common/types.hpp); sizes and file offsets arrive as std::size_t or
+// std::uint64_t. A raw `static_cast<std::uint32_t>(n)` silently truncates
+// on a >4G-element input, so the dfs-checked-narrowing static-analysis
+// check (tools/tidy/) bans raw 64->32 casts in src/topology/ and points
+// here instead: checked_narrow() throws std::overflow_error with a caller
+//-supplied context string, and lo_u32()/hi_u32() cover the intentional
+// word-split in binary I/O where truncation is the point.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace dfsssp {
+
+/// `v` as a `To`, throwing std::overflow_error (tagged with `context`) when
+/// the value does not fit. Both types must be integral; the comparison is
+/// value-correct across signedness (std::in_range).
+template <typename To, typename From>
+constexpr To checked_narrow(From v, const char* context) {
+  if (!std::in_range<To>(v)) {
+    throw std::overflow_error(std::string(context) + ": value " +
+                              std::to_string(v) + " does not fit the " +
+                              std::to_string(sizeof(To) * 8) +
+                              "-bit index type");
+  }
+  // NOLINT(dfs-checked-narrowing): the range check above is the contract.
+  return static_cast<To>(v);
+}
+
+/// The common case: a size or count into a 32-bit index/offset.
+template <typename From>
+constexpr std::uint32_t checked_u32(From v, const char* context) {
+  return checked_narrow<std::uint32_t>(v, context);
+}
+
+/// Low 32 bits of `v` — intentional truncation for binary word splits.
+constexpr std::uint32_t lo_u32(std::uint64_t v) {
+  return static_cast<std::uint32_t>(v & 0xFFFF'FFFFull);
+}
+
+/// High 32 bits of `v`.
+constexpr std::uint32_t hi_u32(std::uint64_t v) {
+  return static_cast<std::uint32_t>(v >> 32);
+}
+
+}  // namespace dfsssp

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include <string>
+#include "common/narrow.hpp"
 
 namespace dfsssp {
 
@@ -64,13 +65,13 @@ Network NetworkBuilder::build(bool validate) {
   net.switches_.resize(S);
   net.terminals_on_switch_.assign(S, 0);
   for (std::uint64_t i = 0; i < S; ++i) {
-    net.nodes_[i] = {NodeType::kSwitch, static_cast<std::uint32_t>(i)};
-    net.switches_[i] = static_cast<NodeId>(i);
+    net.nodes_[i] = {NodeType::kSwitch, checked_u32(i, "build switch")};
+    net.switches_[i] = checked_narrow<NodeId>(i, "build switch");
   }
 
   net.channels_.resize(2 * L + 2 * T);
   for (std::uint64_t i = 0; i < L; ++i) {
-    const ChannelId ab = static_cast<ChannelId>(2 * i);
+    const ChannelId ab = checked_narrow<ChannelId>(2 * i, "build link");
     const ChannelId ba = ab + 1;
     net.channels_[ab] = {links_[i].a, links_[i].b, ba};
     net.channels_[ba] = {links_[i].b, links_[i].a, ab};
@@ -80,11 +81,12 @@ Network NetworkBuilder::build(bool validate) {
   net.terminal_switch_.resize(T);
   net.injection_.resize(T);
   for (std::uint64_t j = 0; j < T; ++j) {
-    const NodeId id = static_cast<NodeId>(S + j);
+    const NodeId id = checked_narrow<NodeId>(S + j, "build terminal");
     const NodeId sw = terminal_switch_[j];
-    const ChannelId inj = static_cast<ChannelId>(2 * L + 2 * j);
+    const ChannelId inj =
+        checked_narrow<ChannelId>(2 * L + 2 * j, "build terminal");
     const ChannelId ej = inj + 1;
-    net.nodes_[id] = {NodeType::kTerminal, static_cast<std::uint32_t>(j)};
+    net.nodes_[id] = {NodeType::kTerminal, checked_u32(j, "build terminal")};
     net.terminals_[j] = id;
     net.terminal_switch_[j] = sw;
     net.injection_[j] = inj;

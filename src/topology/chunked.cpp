@@ -1,6 +1,7 @@
 #include "topology/chunked.hpp"
 
 #include <stdexcept>
+#include "common/narrow.hpp"
 
 namespace dfsssp {
 
@@ -59,7 +60,7 @@ Topology generate_chunked(const ChunkedGenerator& gen, const ExecContext& exec,
     for (std::uint64_t sw = 0; sw < lay.num_switches; ++sw) {
       std::string name = gen.switch_name(sw);
       if (!name.empty()) {
-        builder.set_switch_name(static_cast<std::uint32_t>(sw),
+        builder.set_switch_name(checked_u32(sw, "switch name"),
                                 std::move(name));
       }
     }
@@ -110,7 +111,7 @@ void ChunkedDragonfly::emit_links(std::uint32_t phase, std::uint64_t chunk,
                                   Rng& rng,
                                   std::vector<SwitchLink>& out) const {
   (void)rng;
-  const std::uint32_t grp = static_cast<std::uint32_t>(chunk);
+  const std::uint32_t grp = checked_u32(chunk, "dragonfly group");
   const std::uint32_t base = grp * a_;
   if (phase == 0) {
     for (std::uint32_t i = 0; i < a_; ++i) {
@@ -141,7 +142,7 @@ void ChunkedDragonfly::emit_links(std::uint32_t phase, std::uint64_t chunk,
 
 void ChunkedDragonfly::emit_terminals(std::uint64_t chunk,
                                       std::vector<std::uint32_t>& out) const {
-  const std::uint32_t base = static_cast<std::uint32_t>(chunk) * a_;
+  const std::uint32_t base = checked_u32(chunk, "dragonfly group") * a_;
   for (std::uint32_t i = 0; i < a_; ++i) {
     for (std::uint32_t t = 0; t < p_; ++t) out.push_back(base + i);
   }
@@ -232,8 +233,8 @@ void ChunkedXgft::emit_links(std::uint32_t phase, std::uint64_t chunk,
         l == 1 ? 0 : ms_[l - 2] * size_[l - 2] + r;
     for (std::uint32_t s = 0; s < ms_[l - 1]; ++s) {
       const std::uint64_t child = d.base + s * size_[l - 1] + child_top;
-      out.push_back({static_cast<std::uint32_t>(id),
-                     static_cast<std::uint32_t>(child)});
+      out.push_back({checked_u32(id, "xgft switch"),
+                     checked_u32(child, "xgft switch")});
     }
   }
 }
@@ -242,14 +243,15 @@ void ChunkedXgft::emit_terminals(std::uint64_t chunk,
                                  std::vector<std::uint32_t>& out) const {
   const auto [lo, hi] = chunk_range(chunk, leaves_[h_] * tpl_);
   for (std::uint64_t t = lo; t < hi; ++t) {
-    out.push_back(static_cast<std::uint32_t>(leaf_id(t / tpl_)));
+    out.push_back(checked_u32(leaf_id(t / tpl_), "xgft leaf"));
   }
 }
 
 void ChunkedXgft::fill_meta(TopologyMeta& meta) const {
   meta.sw_level.resize(size_[h_]);
   for (std::uint64_t id = 0; id < size_[h_]; ++id) {
-    meta.sw_level[id] = static_cast<std::int32_t>(decode(id).level);
+    meta.sw_level[id] = checked_narrow<std::int32_t>(decode(id).level,
+                                                     "xgft level");
   }
 }
 
@@ -269,7 +271,7 @@ ChunkedTorus::ChunkedTorus(std::vector<std::uint32_t> dims,
 std::uint32_t ChunkedTorus::coord_of(std::uint64_t idx,
                                      std::size_t dim) const {
   for (std::size_t d = 0; d < dim; ++d) idx /= dims_[d];
-  return static_cast<std::uint32_t>(idx % dims_[dim]);
+  return checked_u32(idx % dims_[dim], "torus coord");
 }
 
 std::string ChunkedTorus::topo_name() const {
@@ -301,14 +303,14 @@ void ChunkedTorus::emit_links(std::uint32_t phase, std::uint64_t chunk,
     for (std::size_t d = 0; d < dims_.size(); ++d) {
       const std::uint32_t c = coord_of(i, d);
       if (c + 1 < dims_[d]) {
-        out.push_back({static_cast<std::uint32_t>(i),
-                       static_cast<std::uint32_t>(i + stride)});
+        out.push_back({checked_u32(i, "torus switch"),
+                       checked_u32(i + stride, "torus switch")});
       }
       // Wrap link once per ring, skipped for radix 2 where it would
       // duplicate the 0-1 link.
       if (wraparound_ && c == dims_[d] - 1 && dims_[d] > 2) {
-        out.push_back({static_cast<std::uint32_t>(i),
-                       static_cast<std::uint32_t>(i - c * stride)});
+        out.push_back({checked_u32(i, "torus switch"),
+                       checked_u32(i - c * stride, "torus switch")});
       }
       stride *= dims_[d];
     }
@@ -320,7 +322,7 @@ void ChunkedTorus::emit_terminals(std::uint64_t chunk,
   const auto [lo, hi] =
       chunk_range(chunk, static_cast<std::uint64_t>(tps_) * total_);
   for (std::uint64_t t = lo; t < hi; ++t) {
-    out.push_back(static_cast<std::uint32_t>(t / tps_));
+    out.push_back(checked_u32(t / tps_, "terminal switch"));
   }
 }
 
@@ -350,7 +352,7 @@ ChunkedHyperx::ChunkedHyperx(std::vector<std::uint32_t> dims,
 std::uint32_t ChunkedHyperx::coord_of(std::uint64_t idx,
                                       std::size_t dim) const {
   for (std::size_t d = 0; d < dim; ++d) idx /= dims_[d];
-  return static_cast<std::uint32_t>(idx % dims_[dim]);
+  return checked_u32(idx % dims_[dim], "hyperx coord");
 }
 
 std::string ChunkedHyperx::topo_name() const {
@@ -382,9 +384,10 @@ void ChunkedHyperx::emit_links(std::uint32_t phase, std::uint64_t chunk,
     for (std::size_t d = 0; d < dims_.size(); ++d) {
       const std::uint32_t c = coord_of(i, d);
       for (std::uint32_t other = c + 1; other < dims_[d]; ++other) {
-        out.push_back({static_cast<std::uint32_t>(i),
-                       static_cast<std::uint32_t>(
-                           i + static_cast<std::uint64_t>(other - c) * stride)});
+        out.push_back({checked_u32(i, "hyperx switch"),
+                       checked_u32(
+                           i + static_cast<std::uint64_t>(other - c) * stride,
+                           "hyperx switch")});
       }
       stride *= dims_[d];
     }
@@ -396,7 +399,7 @@ void ChunkedHyperx::emit_terminals(std::uint64_t chunk,
   const auto [lo, hi] =
       chunk_range(chunk, static_cast<std::uint64_t>(tps_) * total_);
   for (std::uint64_t t = lo; t < hi; ++t) {
-    out.push_back(static_cast<std::uint32_t>(t / tps_));
+    out.push_back(checked_u32(t / tps_, "terminal switch"));
   }
 }
 
@@ -488,8 +491,8 @@ void ChunkedRandomRegular::emit_links(std::uint32_t phase, std::uint64_t chunk,
   const auto [lo, hi] = chunk_range(chunk, n_);
   if (phase == 0) {
     for (std::uint64_t i = lo; i < hi; ++i) {
-      out.push_back({static_cast<std::uint32_t>(i),
-                     static_cast<std::uint32_t>((i + 1) % n_)});
+      out.push_back({checked_u32(i, "rrg switch"),
+                     checked_u32((i + 1) % n_, "rrg switch")});
     }
     return;
   }
@@ -498,7 +501,7 @@ void ChunkedRandomRegular::emit_links(std::uint32_t phase, std::uint64_t chunk,
     const std::uint64_t j = perm(i);
     if (j != i) {
       out.push_back(
-          {static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)});
+          {checked_u32(i, "rrg switch"), checked_u32(j, "rrg switch")});
     }
   }
 }
@@ -509,7 +512,7 @@ void ChunkedRandomRegular::emit_terminals(std::uint64_t chunk,
   const auto [lo, hi] =
       chunk_range(chunk, static_cast<std::uint64_t>(tps_) * n_);
   for (std::uint64_t t = lo; t < hi; ++t) {
-    out.push_back(static_cast<std::uint32_t>(t / tps_));
+    out.push_back(checked_u32(t / tps_, "terminal switch"));
   }
 }
 

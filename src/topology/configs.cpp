@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/narrow.hpp"
+
 #include "topology/chunked.hpp"
 #include "topology/generators.hpp"
 
@@ -53,7 +55,7 @@ class SparseDragonfly : public ChunkedDragonfly {
     const std::uint64_t stride =
         std::max<std::uint64_t>(1, num_switches / dests_);
     for (std::uint32_t t = 0; t < dests_; ++t) {
-      out.push_back(static_cast<std::uint32_t>((t * stride) % num_switches));
+      out.push_back(checked_u32((t * stride) % num_switches, "hot dest"));
     }
   }
 
@@ -75,7 +77,7 @@ std::vector<TopoConfig> make_registry() {
     const std::string n = std::to_string(row.nominal_endpoints);
     add(cfgs, "xgft-" + n, "Table I XGFT, ~" + n + " endpoints",
         [row](const ExecContext&) {
-          return make_xgft(static_cast<std::uint32_t>(row.xgft_ms.size()),
+          return make_xgft(checked_u32(row.xgft_ms.size(), "xgft height"),
                            row.xgft_ms, row.xgft_ws, 0);
         });
     add(cfgs, "kautz-" + n, "Table I Kautz graph, " + n + " endpoints",

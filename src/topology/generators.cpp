@@ -6,6 +6,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "common/narrow.hpp"
 #include "topology/chunked.hpp"
 
 namespace dfsssp {
@@ -142,7 +143,7 @@ Topology make_torus(std::span<const std::uint32_t> dims,
   // Mixed-radix index <-> coordinates, dimension 0 fastest.
   auto coord_of = [&](std::uint64_t idx, std::size_t dim) {
     for (std::size_t d = 0; d < dim; ++d) idx /= dims[d];
-    return static_cast<std::uint32_t>(idx % dims[dim]);
+    return checked_u32(idx % dims[dim], "torus coord");
   };
   auto step = [&](std::uint64_t idx, std::size_t dim, std::uint32_t to) {
     std::uint64_t stride = 1;
@@ -212,7 +213,7 @@ Topology make_kary_ntree(std::uint32_t k, std::uint32_t n) {
   std::uint64_t stride = 1;
   for (std::uint32_t l = 0; l + 1 < n; ++l) {
     for (std::uint64_t w = 0; w < per_level; ++w) {
-      std::uint32_t digit = static_cast<std::uint32_t>((w / stride) % k);
+      std::uint32_t digit = checked_u32((w / stride) % k, "xgft digit");
       std::uint64_t base = w - static_cast<std::uint64_t>(digit) * stride;
       for (std::uint32_t v = 0; v < k; ++v) {
         net.add_link(sws[l][w], sws[l + 1][base + static_cast<std::uint64_t>(v) * stride]);
@@ -452,7 +453,7 @@ Topology make_random_regular(std::uint32_t num_switches, std::uint32_t degree,
                                 random_regular_round_seed(seed, round));
     for (std::uint32_t i = 0; i < num_switches; ++i) {
       const std::uint64_t j = perm(i);
-      if (j != i) net.add_link(sws[i], sws[static_cast<std::uint32_t>(j)]);
+      if (j != i) net.add_link(sws[i], sws[checked_u32(j, "rrg peer")]);
     }
   }
   for (NodeId sw : sws) {
@@ -564,7 +565,7 @@ Topology make_hyperx(std::span<const std::uint32_t> dims,
 
   auto coord_of = [&](std::uint64_t idx, std::size_t dim) {
     for (std::size_t d = 0; d < dim; ++d) idx /= dims[d];
-    return static_cast<std::uint32_t>(idx % dims[dim]);
+    return checked_u32(idx % dims[dim], "hyperx coord");
   };
   // Full connectivity along each axis line: link to every higher coordinate
   // in the same dimension (each unordered pair once).

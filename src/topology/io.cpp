@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/narrow.hpp"
+
 namespace dfsssp {
 
 void write_dot(const Network& net, std::ostream& out) {
@@ -119,8 +121,8 @@ void put_u32(unsigned char* out, std::uint32_t v) {
 }
 
 void put_u64(unsigned char* out, std::uint64_t v) {
-  put_u32(out, static_cast<std::uint32_t>(v));
-  put_u32(out + 4, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, lo_u32(v));
+  put_u32(out + 4, hi_u32(v));
 }
 
 std::uint32_t get_u32(const unsigned char* in) {
@@ -375,8 +377,9 @@ Topology read_ibnetdiscover(std::istream& in, const std::string& name) {
       if (current_guid.empty()) fail("port line outside a node block");
       auto close = line.find(']');
       if (close == std::string::npos) fail("malformed port number");
-      const std::uint32_t my_port = static_cast<std::uint32_t>(
-          std::strtoul(line.c_str() + 1, nullptr, 10));
+      const std::uint32_t my_port =
+          checked_u32(std::strtoul(line.c_str() + 1, nullptr, 10),
+                      "ibnetdiscover port");
       const std::string peer = quoted(line);
       if (peer.empty()) continue;  // unconnected port
       // Peer port: the [N] right after the closing quote of the peer GUID.
@@ -384,8 +387,9 @@ Topology read_ibnetdiscover(std::istream& in, const std::string& name) {
       auto bracket = line.find('[', q2);
       std::uint32_t peer_port = 1;
       if (bracket != std::string::npos) {
-        peer_port = static_cast<std::uint32_t>(
-            std::strtoul(line.c_str() + bracket + 1, nullptr, 10));
+        peer_port =
+            checked_u32(std::strtoul(line.c_str() + bracket + 1, nullptr, 10),
+                        "ibnetdiscover peer port");
       }
       links.push_back({{current_guid, my_port}, {peer, peer_port}});
       continue;

@@ -52,8 +52,8 @@ void Network::set_node_name(NodeId n, std::string name) {
 NodeId Network::add_switch(std::string name) {
   require_mutable();
   check_node_capacity(nodes_.size(), 1);
-  NodeId id = static_cast<NodeId>(nodes_.size());
-  std::uint32_t index = static_cast<std::uint32_t>(switches_.size());
+  NodeId id = checked_narrow<NodeId>(nodes_.size(), "add_switch");
+  std::uint32_t index = checked_u32(switches_.size(), "add_switch");
   nodes_.push_back({NodeType::kSwitch, index});
   switches_.push_back(id);
   terminals_on_switch_.push_back(0);
@@ -68,15 +68,15 @@ NodeId Network::add_terminal(NodeId sw, std::string name) {
   }
   check_node_capacity(nodes_.size(), 1);
   check_channel_capacity(channels_.size(), 2);
-  NodeId id = static_cast<NodeId>(nodes_.size());
-  std::uint32_t index = static_cast<std::uint32_t>(terminals_.size());
+  NodeId id = checked_narrow<NodeId>(nodes_.size(), "add_terminal");
+  std::uint32_t index = checked_u32(terminals_.size(), "add_terminal");
   nodes_.push_back({NodeType::kTerminal, index});
   terminals_.push_back(id);
   terminal_switch_.push_back(sw);
   if (!name.empty()) names_[id] = std::move(name);
   ++terminals_on_switch_[nodes_[sw].type_index];
 
-  ChannelId inj = static_cast<ChannelId>(channels_.size());
+  ChannelId inj = checked_narrow<ChannelId>(channels_.size(), "add_terminal");
   ChannelId ej = inj + 1;
   channels_.push_back({id, sw, ej});
   channels_.push_back({sw, id, inj});
@@ -92,7 +92,7 @@ ChannelId Network::add_link(NodeId a, NodeId b) {
   }
   if (a == b) throw std::invalid_argument("add_link: self-loop");
   check_channel_capacity(channels_.size(), 2);
-  ChannelId ab = static_cast<ChannelId>(channels_.size());
+  ChannelId ab = checked_narrow<ChannelId>(channels_.size(), "add_link");
   ChannelId ba = ab + 1;
   channels_.push_back({a, b, ba});
   channels_.push_back({b, a, ab});
@@ -117,7 +117,7 @@ void Network::freeze() {
   std::vector<std::uint32_t> cursor(out_offset_.begin(),
                                     out_offset_.end() - 1);
   for (std::size_t c = 0; c < channels_.size(); ++c) {
-    out_[cursor[channels_[c].src]++] = static_cast<ChannelId>(c);
+    out_[cursor[channels_[c].src]++] = checked_narrow<ChannelId>(c, "freeze");
   }
 
   sw_out_offset_.assign(switches_.size() + 1, 0);
@@ -135,7 +135,7 @@ void Network::freeze() {
     const Channel& ch = channels_[c];
     if (is_switch(ch.src) && is_switch(ch.dst)) {
       sw_out_[cursor[nodes_[ch.src].type_index]++] =
-          static_cast<ChannelId>(c);
+          checked_narrow<ChannelId>(c, "freeze");
     }
   }
   frozen_ = true;
@@ -155,7 +155,7 @@ std::uint64_t Network::memory_footprint() const {
   total += vec(link_up_) + vec(switch_up_) + vec(out_full_offset_) +
            vec(out_full_) + vec(sw_out_full_offset_) + vec(sw_out_full_);
   // Name side table: string payload plus a fixed per-entry estimate for the
-  // hash node (kept implementation-independent so the figure is stable
+  // tree node (kept implementation-independent so the figure is stable
   // across platforms).
   constexpr std::uint64_t kNameEntryOverhead = 48;
   for (const auto& [id, name] : names_) {
@@ -180,26 +180,29 @@ void Network::rebuild_alive_adjacency() {
   num_dead_channels_ = 0;
   out_.clear();
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
-    out_offset_[n] = static_cast<std::uint32_t>(out_.size());
+    out_offset_[n] = checked_u32(out_.size(), "rebuild adjacency");
     for (std::uint32_t i = out_full_offset_[n]; i < out_full_offset_[n + 1];
          ++i) {
       if (channel_alive(out_full_[i])) out_.push_back(out_full_[i]);
     }
   }
-  out_offset_[nodes_.size()] = static_cast<std::uint32_t>(out_.size());
+  out_offset_[nodes_.size()] = checked_u32(out_.size(), "rebuild adjacency");
 
   sw_out_.clear();
   for (std::size_t i = 0; i < switches_.size(); ++i) {
-    sw_out_offset_[i] = static_cast<std::uint32_t>(sw_out_.size());
+    sw_out_offset_[i] = checked_u32(sw_out_.size(), "rebuild adjacency");
     for (std::uint32_t j = sw_out_full_offset_[i];
          j < sw_out_full_offset_[i + 1]; ++j) {
       if (channel_alive(sw_out_full_[j])) sw_out_.push_back(sw_out_full_[j]);
     }
   }
-  sw_out_offset_[switches_.size()] = static_cast<std::uint32_t>(sw_out_.size());
+  sw_out_offset_[switches_.size()] =
+      checked_u32(sw_out_.size(), "rebuild adjacency");
 
   for (std::size_t c = 0; c < channels_.size(); ++c) {
-    if (!channel_alive(static_cast<ChannelId>(c))) ++num_dead_channels_;
+    if (!channel_alive(checked_narrow<ChannelId>(c, "rebuild adjacency"))) {
+      ++num_dead_channels_;
+    }
   }
 }
 
@@ -268,7 +271,8 @@ void Network::validate() const {
       throw std::runtime_error("validate: channel endpoint out of range");
     }
     if (ch.reverse >= channels_.size() ||
-        channels_[ch.reverse].reverse != static_cast<ChannelId>(c) ||
+        channels_[ch.reverse].reverse !=
+            checked_narrow<ChannelId>(c, "validate") ||
         channels_[ch.reverse].src != ch.dst ||
         channels_[ch.reverse].dst != ch.src) {
       throw std::runtime_error("validate: broken reverse pairing");

@@ -23,11 +23,12 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/narrow.hpp"
 #include "common/types.hpp"
 
 namespace dfsssp {
@@ -223,7 +224,7 @@ class Network {
 
   /// Degree of a switch counting only inter-switch links (out-direction).
   std::uint32_t switch_degree(NodeId sw) const {
-    return static_cast<std::uint32_t>(out_switch_channels(sw).size());
+    return checked_u32(out_switch_channels(sw).size(), "switch_degree");
   }
 
   /// Bytes held by this Network's arrays (elements, not allocator
@@ -260,7 +261,11 @@ class Network {
   std::vector<std::uint32_t> terminals_on_switch_;  // per switch index
 
   // Custom names only; nodes without an entry synthesize their default.
-  std::unordered_map<NodeId, std::string> names_;
+  // Ordered map: memory_footprint() and the binary writer (io.cpp) iterate
+  // it, and traversal order must not depend on a hash function
+  // (dfs-deterministic-iteration). Lookups are cold — node_name() is a
+  // reporting path — so the O(log n) access is irrelevant.
+  std::map<NodeId, std::string> names_;
 
   // Adjacency in CSR form, built by freeze().
   std::vector<std::uint32_t> out_offset_;

@@ -1,0 +1,111 @@
+#include "analysis/existence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "analysis/lints.hpp"
+#include "routing/dfsssp.hpp"
+#include "routing/minhop.hpp"
+#include "topology/generators.hpp"
+
+namespace dfsssp {
+namespace {
+
+TEST(Existence, OddRingNeedsTwoLayers) {
+  // The Figure 2 deadlock example: every distance-2 pair has a unique
+  // shortest path, and their forced dependencies close the ring.
+  Topology topo = make_ring(5, 1);
+  const ExistenceBound bound = existence_lower_bound(topo.net);
+  EXPECT_TRUE(bound.computed);
+  EXPECT_TRUE(bound.union_cyclic);
+  EXPECT_GE(bound.min_layers, 2);
+  EXPECT_GT(bound.forced_deps, 0u);
+}
+
+TEST(Existence, EvenRingNeedsTwoLayersToo) {
+  // Antipodal pairs have two shortest paths (no forced deps), but the
+  // distance-2 pairs alone still force the full cycle.
+  Topology topo = make_ring(6, 1);
+  const ExistenceBound bound = existence_lower_bound(topo.net);
+  EXPECT_TRUE(bound.computed);
+  EXPECT_TRUE(bound.union_cyclic);
+  EXPECT_GE(bound.min_layers, 2);
+}
+
+TEST(Existence, PathAndTreeAreSingleLayer) {
+  Topology line = make_path(6, 1);
+  const ExistenceBound line_bound = existence_lower_bound(line.net);
+  EXPECT_TRUE(line_bound.computed);
+  EXPECT_FALSE(line_bound.union_cyclic);
+  EXPECT_EQ(line_bound.min_layers, 1);
+
+  // Up*/down* dependencies cannot cycle in a tree-like fabric.
+  Topology tree = make_kary_ntree(2, 3);
+  const ExistenceBound tree_bound = existence_lower_bound(tree.net);
+  EXPECT_TRUE(tree_bound.computed);
+  EXPECT_FALSE(tree_bound.union_cyclic);
+  EXPECT_EQ(tree_bound.min_layers, 1);
+}
+
+TEST(Existence, WrapTorusNeedsTwoLayers) {
+  // Odd rings per dimension: +2 along an axis has a unique shortest path,
+  // so each axis ring is forced closed. (A 4x4 wrap torus proves nothing:
+  // its antipodal ring pairs have two equal shortest paths, and the
+  // conservative bound only counts unavoidable dependencies.)
+  const std::array<std::uint32_t, 2> dims{5, 5};
+  Topology topo = make_torus(dims, 1, /*wraparound=*/true);
+  const ExistenceBound bound = existence_lower_bound(topo.net);
+  EXPECT_TRUE(bound.computed);
+  EXPECT_TRUE(bound.union_cyclic);
+  EXPECT_GE(bound.min_layers, 2);
+}
+
+TEST(Existence, SwitchCapSkipsComputation) {
+  Topology topo = make_ring(8, 1);
+  const ExistenceBound bound = existence_lower_bound(topo.net, 4);
+  EXPECT_FALSE(bound.computed);
+  EXPECT_EQ(bound.min_layers, 1);
+}
+
+TEST(Existence, LintFiresOnUnderdeclaredMinimalRouting) {
+  // MinHop on a ring: minimal paths, a single layer, and (as the paper's
+  // Figure 2 shows) deadlock-prone. The declared layer count sits below
+  // the provable bound, so the lint must flag the inconsistency.
+  Topology topo = make_ring(6, 1);
+  RouteResponse out = MinHopRouter().route(RouteRequest(topo));
+  ASSERT_TRUE(out.ok);
+  ASSERT_EQ(out.table.num_layers(), 1);
+  LintReport report = lint_routing(topo.net, out.table);
+  EXPECT_EQ(report.count(LintKind::kNonMinimalPath), 0u);
+  EXPECT_EQ(report.count(LintKind::kLayersBelowExistenceBound), 1u);
+}
+
+TEST(Existence, ValidDfssspRoutingNeverTripsTheLint) {
+  // The bound is sound: any certificate-passing minimal routing declares
+  // at least as many layers as the bound proves necessary.
+  for (std::uint32_t n : {5u, 6u, 9u}) {
+    Topology topo = make_ring(n, 1);
+    RouteResponse out = DfssspRouter().route(RouteRequest(topo));
+    ASSERT_TRUE(out.ok);
+    LintReport report = lint_routing(topo.net, out.table);
+    EXPECT_EQ(report.count(LintKind::kLayersBelowExistenceBound), 0u)
+        << "ring size " << n;
+    EXPECT_GE(out.table.num_layers(),
+              existence_lower_bound(topo.net).min_layers)
+        << "ring size " << n;
+  }
+}
+
+TEST(Existence, LintSkipsWhenDisabled) {
+  Topology topo = make_ring(6, 1);
+  RouteResponse out = MinHopRouter().route(RouteRequest(topo));
+  ASSERT_TRUE(out.ok);
+  LintOptions options;
+  options.existence_bound = false;
+  LintReport report = lint_routing(topo.net, out.table, options);
+  EXPECT_EQ(report.count(LintKind::kLayersBelowExistenceBound), 0u);
+}
+
+}  // namespace
+}  // namespace dfsssp

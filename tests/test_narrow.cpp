@@ -1,0 +1,56 @@
+#include "common/narrow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace dfsssp {
+namespace {
+
+TEST(Narrow, InRangeValuesRoundTrip) {
+  EXPECT_EQ(checked_narrow<std::uint32_t>(std::uint64_t{0}, "t"), 0u);
+  EXPECT_EQ(checked_narrow<std::uint32_t>(std::uint64_t{41}, "t"), 41u);
+  EXPECT_EQ(
+      checked_narrow<std::uint32_t>(std::uint64_t{0xFFFFFFFFull}, "t"),
+      0xFFFFFFFFu);
+  EXPECT_EQ(checked_u32(std::size_t{123456}, "t"), 123456u);
+}
+
+TEST(Narrow, OverflowThrowsWithContext) {
+  const std::uint64_t too_big = std::uint64_t{1} << 32;
+  EXPECT_THROW(checked_u32(too_big, "csr offset"), std::overflow_error);
+  try {
+    checked_u32(too_big, "csr offset");
+    FAIL() << "expected overflow_error";
+  } catch (const std::overflow_error& e) {
+    EXPECT_NE(std::string(e.what()).find("csr offset"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("4294967296"), std::string::npos);
+  }
+}
+
+TEST(Narrow, SignednessIsValueCorrect) {
+  // std::in_range semantics: negative values never fit unsigned targets,
+  // and large unsigned values never fit a smaller signed target.
+  EXPECT_THROW(checked_u32(std::int64_t{-1}, "t"), std::overflow_error);
+  EXPECT_THROW(checked_narrow<std::int32_t>(std::uint64_t{0x80000000ull}, "t"),
+               std::overflow_error);
+  EXPECT_EQ(checked_narrow<std::int32_t>(std::int64_t{-5}, "t"), -5);
+}
+
+TEST(Narrow, WordSplitIsIntentionalTruncation) {
+  const std::uint64_t v = 0xDEADBEEF00C0FFEEull;
+  EXPECT_EQ(lo_u32(v), 0x00C0FFEEu);
+  EXPECT_EQ(hi_u32(v), 0xDEADBEEFu);
+  EXPECT_EQ((std::uint64_t{hi_u32(v)} << 32) | lo_u32(v), v);
+}
+
+TEST(Narrow, UsableInConstantExpressions) {
+  static_assert(checked_u32(std::uint64_t{7}, "cx") == 7u);
+  static_assert(lo_u32(0x100000002ull) == 2u);
+  static_assert(hi_u32(0x100000002ull) == 1u);
+}
+
+}  // namespace
+}  // namespace dfsssp

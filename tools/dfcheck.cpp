@@ -11,7 +11,8 @@
 //                   O(V+E) pass, with no cycle search;
 //   * --lints:      runs the static lint suite (unreachable destinations,
 //                   non-minimal paths, layer skew, VL budget, dangling or
-//                   duplicate LFT entries, out-of-range SL entries);
+//                   duplicate LFT entries, out-of-range SL entries, and the
+//                   conservative existence lower bound on the layer count);
 //   * --json:       machine-readable report of everything above;
 //   * --report:     versioned run report (the dfbench BENCH_*.json schema),
 //                   so dfcheck runs slot into the same baseline trajectory

@@ -1,0 +1,53 @@
+// dfs-tidy: the repo-specific clang-tidy module.
+//
+// Built as a loadable plugin (libdfs_tidy_module.so) and injected with
+//   clang-tidy -load=libdfs_tidy_module.so -checks=dfs-*
+// or through run-clang-tidy over build/compile_commands.json. The checks
+// encode invariants the repo previously enforced by convention or grep:
+//
+//   dfs-deterministic-iteration  no hash-ordered traversals
+//   dfs-no-ambient-entropy       no rand()/random_device/wall clocks
+//   dfs-engine-api               Router subclasses speak RouteRequest
+//   dfs-checked-narrowing        no raw 64->32 casts in src/topology/
+//   dfs-metric-name-literal      metric names are literal "family/name"
+//
+// tools/tidy/dfs_tidy_lite.cpp mirrors the same five checks (plus
+// dfs-nolint-rationale) as a token-level scanner for toolchains without
+// clang-tidy; fixtures under tools/tidy/fixtures/ pin both implementations
+// to the same expected diagnostics.
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "checks/CheckedNarrowingCheck.h"
+#include "checks/DeterministicIterationCheck.h"
+#include "checks/EngineApiCheck.h"
+#include "checks/MetricNameLiteralCheck.h"
+#include "checks/NoAmbientEntropyCheck.h"
+
+namespace clang::tidy {
+namespace dfs {
+
+class DfsTidyModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories &Factories) override {
+    Factories.registerCheck<DeterministicIterationCheck>(
+        "dfs-deterministic-iteration");
+    Factories.registerCheck<NoAmbientEntropyCheck>("dfs-no-ambient-entropy");
+    Factories.registerCheck<EngineApiCheck>("dfs-engine-api");
+    Factories.registerCheck<CheckedNarrowingCheck>("dfs-checked-narrowing");
+    Factories.registerCheck<MetricNameLiteralCheck>("dfs-metric-name-literal");
+  }
+};
+
+}  // namespace dfs
+
+static ClangTidyModuleRegistry::Add<dfs::DfsTidyModule> DfsTidyModuleAdd(
+    "dfs-module", "Determinism, engine-API, and narrowing checks for the "
+                  "dfsssp repo.");
+
+// Referenced so the registry entry above is not dead-stripped when the
+// module is linked statically into a custom tool.
+volatile int DfsTidyModuleAnchorSource = 0;
+
+}  // namespace clang::tidy

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Run the dfs-tidy clang-tidy plugin over a fixture and compare diagnostics.
+
+Fixtures annotate each expected diagnostic with a trailing comment:
+
+    auto it = table.begin();  // dfs-expect: dfs-deterministic-iteration
+
+The expectation is a (line, check) multiset: every annotated diagnostic must
+be emitted on exactly that line, and no unannotated dfs-* diagnostic may
+appear. `--ignore` drops a check from both sides (used for
+dfs-nolint-rationale, which only the lite scanner implements).
+
+Exit status: 0 on exact match, 1 on any mismatch, 2 on usage/tool errors.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+from collections import Counter
+
+EXPECT_RE = re.compile(r"//\s*dfs-expect:\s*([a-z0-9_,\-\s]+)")
+DIAG_RE = re.compile(r"^(.+?):(\d+):\d+:\s+warning:.*\[([a-z0-9\-]+)\]\s*$")
+
+
+def parse_expectations(path, ignore):
+    expected = Counter()
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            m = EXPECT_RE.search(line)
+            if not m:
+                continue
+            for check in m.group(1).split(","):
+                check = check.strip()
+                if check and check not in ignore:
+                    expected[(lineno, check)] += 1
+    return expected
+
+
+def run_clang_tidy(args, fixture):
+    cmd = [
+        args.clang_tidy,
+        f"-load={args.plugin}",
+        "-checks=-*,dfs-*",
+        "--quiet",
+        fixture,
+        "--",
+        "-std=c++20",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=False)
+    # clang-tidy exits non-zero when it emits warnings promoted to errors or
+    # on real failures; compile errors in the fixture are fatal for us.
+    if "error:" in proc.stdout or "error:" in proc.stderr:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        sys.stderr.write(f"check_fixture: clang-tidy failed on {fixture}\n")
+        sys.exit(2)
+    return proc.stdout
+
+
+def parse_diagnostics(output, fixture, ignore):
+    got = Counter()
+    for line in output.splitlines():
+        m = DIAG_RE.match(line)
+        if not m:
+            continue
+        file_, lineno, check = m.group(1), int(m.group(2)), m.group(3)
+        if not check.startswith("dfs-") or check in ignore:
+            continue
+        if not file_.endswith(fixture.rsplit("/", 1)[-1]):
+            continue
+        got[(lineno, check)] += 1
+    return got
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--clang-tidy", required=True)
+    ap.add_argument("--plugin", required=True)
+    ap.add_argument("--ignore", action="append", default=[])
+    ap.add_argument("fixture")
+    args = ap.parse_args()
+    ignore = set(args.ignore)
+
+    expected = parse_expectations(args.fixture, ignore)
+    got = parse_diagnostics(run_clang_tidy(args, args.fixture), args.fixture,
+                            ignore)
+
+    missing = expected - got
+    surplus = got - expected
+    for (lineno, check), n in sorted(missing.items()):
+        print(f"MISSING  {args.fixture}:{lineno} [{check}] x{n}")
+    for (lineno, check), n in sorted(surplus.items()):
+        print(f"SURPLUS  {args.fixture}:{lineno} [{check}] x{n}")
+    if missing or surplus:
+        print(f"check_fixture: {args.fixture}: "
+              f"{sum(missing.values())} missing, {sum(surplus.values())} surplus")
+        return 1
+    print(f"check_fixture: {args.fixture}: "
+          f"{sum(expected.values())} diagnostics matched")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+#include "CheckedNarrowingCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/Support/Regex.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::dfs {
+
+void CheckedNarrowingCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      cxxStaticCastExpr(unless(isExpansionInSystemHeader())).bind("cast"),
+      this);
+}
+
+void CheckedNarrowingCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Cast = Result.Nodes.getNodeAs<CXXStaticCastExpr>("cast");
+  if (!Cast) return;
+  SourceLocation Loc = Cast->getBeginLoc();
+  if (Loc.isInvalid() || Loc.isMacroID()) return;
+
+  const SourceManager &SM = *Result.SourceManager;
+  llvm::Regex Filter(PathFilter);
+  if (!PathFilter.empty() &&
+      !Filter.match(SM.getFilename(SM.getExpansionLoc(Loc)))) {
+    return;
+  }
+
+  ASTContext &Ctx = *Result.Context;
+  QualType Dest = Cast->getTypeAsWritten().getCanonicalType();
+  QualType Src =
+      Cast->getSubExprAsWritten()->getType().getCanonicalType();
+  if (!Dest->isIntegerType() || !Src->isIntegerType()) return;
+  if (Dest->isBooleanType() || Src->isBooleanType()) return;
+  if (Src->isEnumeralType()) return;  // enum scaling is not a count narrowing
+  const uint64_t DestBits = Ctx.getTypeSize(Dest);
+  const uint64_t SrcBits = Ctx.getTypeSize(Src);
+  if (SrcBits < 64 || DestBits > 32) return;
+
+  diag(Loc,
+       "raw static_cast narrows a %0-bit value to %1 bits in the topology "
+       "layer; use checked_narrow<T>() / checked_u32() "
+       "(src/common/narrow.hpp) so overflow throws instead of truncating")
+      << static_cast<unsigned>(SrcBits) << static_cast<unsigned>(DestBits);
+}
+
+}  // namespace clang::tidy::dfs

@@ -1,0 +1,38 @@
+// dfs-checked-narrowing — flags raw static_cast from a 64-bit integer to a
+// 32-bit-or-narrower integer inside the topology layer (`PathFilter`, an
+// ERE on the expansion file name). Warehouse-scale builders routinely hold
+// counts in size_t/uint64_t and store them in NodeId/ChannelId (uint32_t);
+// a silent truncation there corrupts the CSR arrays. Use
+// checked_narrow<T>() / checked_u32() / lo_u32() / hi_u32()
+// (src/common/narrow.hpp), which range-check before converting.
+#ifndef DFS_TIDY_CHECKED_NARROWING_CHECK_H
+#define DFS_TIDY_CHECKED_NARROWING_CHECK_H
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::dfs {
+
+class CheckedNarrowingCheck : public ClangTidyCheck {
+ public:
+  CheckedNarrowingCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context),
+        PathFilter(Options.get("PathFilter",
+                               "src/topology/|tools/tidy/fixtures/")) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override {
+    Options.store(Opts, "PathFilter", PathFilter);
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+
+ private:
+  const std::string PathFilter;
+};
+
+}  // namespace clang::tidy::dfs
+
+#endif  // DFS_TIDY_CHECKED_NARROWING_CHECK_H

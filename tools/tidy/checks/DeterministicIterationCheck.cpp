@@ -1,0 +1,53 @@
+#include "DeterministicIterationCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::dfs {
+
+namespace {
+
+AST_MATCHER_FUNCTION(ast_matchers::internal::Matcher<QualType>,
+                     unorderedContainerType) {
+  auto UnorderedDecl = cxxRecordDecl(hasAnyName(
+      "::std::unordered_map", "::std::unordered_set",
+      "::std::unordered_multimap", "::std::unordered_multiset"));
+  return qualType(hasUnqualifiedDesugaredType(
+      recordType(hasDeclaration(UnorderedDecl))));
+}
+
+}  // namespace
+
+void DeterministicIterationCheck::registerMatchers(MatchFinder *Finder) {
+  auto UnorderedExpr = expr(anyOf(
+      hasType(unorderedContainerType()),
+      hasType(references(unorderedContainerType()))));
+  Finder->addMatcher(
+      cxxForRangeStmt(hasRangeInit(UnorderedExpr)).bind("range-for"), this);
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(hasAnyName("begin", "cbegin"))),
+                        on(UnorderedExpr))
+          .bind("begin-call"),
+      this);
+}
+
+void DeterministicIterationCheck::check(
+    const MatchFinder::MatchResult &Result) {
+  SourceLocation Loc;
+  if (const auto *Loop =
+          Result.Nodes.getNodeAs<CXXForRangeStmt>("range-for")) {
+    Loc = Loop->getForLoc();
+  } else if (const auto *Call =
+                 Result.Nodes.getNodeAs<CXXMemberCallExpr>("begin-call")) {
+    Loc = Call->getBeginLoc();
+  }
+  if (Loc.isInvalid() || Loc.isMacroID()) return;
+  diag(Loc,
+       "iteration over an unordered container has a hash-dependent order; "
+       "use a deterministic container (std::map / sorted vector) or NOLINT "
+       "with a rationale why the order cannot reach results");
+}
+
+}  // namespace clang::tidy::dfs

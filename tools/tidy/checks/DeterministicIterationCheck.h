@@ -1,0 +1,27 @@
+// dfs-deterministic-iteration — flags traversal of std::unordered_map /
+// std::unordered_set (range-for or explicit begin()/cbegin() iteration):
+// hash-table order is implementation- and seed-dependent, so any traversal
+// feeding result values breaks the repo's bitwise-determinism contract.
+// Order-free traversals (commutative folds) are allowlisted via NOLINT
+// with a written rationale (docs/verification.md).
+#ifndef DFS_TIDY_DETERMINISTIC_ITERATION_CHECK_H
+#define DFS_TIDY_DETERMINISTIC_ITERATION_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::dfs {
+
+class DeterministicIterationCheck : public ClangTidyCheck {
+ public:
+  DeterministicIterationCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::dfs
+
+#endif  // DFS_TIDY_DETERMINISTIC_ITERATION_CHECK_H

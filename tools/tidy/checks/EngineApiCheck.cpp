@@ -1,0 +1,66 @@
+#include "EngineApiCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::dfs {
+
+namespace {
+
+bool paramIsConstRefTo(const ParmVarDecl *Param, StringRef TypeName) {
+  QualType T = Param->getType();
+  const auto *Ref = T->getAs<ReferenceType>();
+  if (!Ref) return false;
+  QualType Pointee = Ref->getPointeeType();
+  if (!Pointee.isConstQualified()) return false;
+  const auto *Record = Pointee->getAsCXXRecordDecl();
+  return Record && Record->getName() == TypeName;
+}
+
+}  // namespace
+
+void EngineApiCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      functionDecl(hasName("route"), parameterCountIs(1),
+                   unless(isExpansionInSystemHeader()))
+          .bind("route-fn"),
+      this);
+  Finder->addMatcher(
+      cxxRecordDecl(isDefinition(),
+                    isDerivedFrom(cxxRecordDecl(hasName("::dfsssp::Router"))),
+                    unless(isExpansionInSystemHeader()))
+          .bind("engine"),
+      this);
+}
+
+void EngineApiCheck::check(const MatchFinder::MatchResult &Result) {
+  if (const auto *Fn = Result.Nodes.getNodeAs<FunctionDecl>("route-fn")) {
+    if (Fn->getLocation().isMacroID() || !Fn->isFirstDecl()) return;
+    if (paramIsConstRefTo(Fn->getParamDecl(0), "Topology")) {
+      diag(Fn->getLocation(),
+           "legacy 'route(const Topology&)' overload; engines speak "
+           "RouteRequest/RouteResponse only (src/engine/route_request.hpp)");
+    }
+    return;
+  }
+  const auto *Engine = Result.Nodes.getNodeAs<CXXRecordDecl>("engine");
+  if (!Engine || Engine->getLocation().isMacroID()) return;
+  // Abstract intermediates defer the obligation to their concrete leaves.
+  if (Engine->isAbstract()) return;
+  for (const CXXMethodDecl *Method : Engine->methods()) {
+    if (Method->getDeclName().isIdentifier() &&
+        Method->getName() == "route" && Method->getNumParams() == 1 &&
+        paramIsConstRefTo(Method->getParamDecl(0), "RouteRequest")) {
+      return;
+    }
+  }
+  diag(Engine->getLocation(),
+       "Router subclass %0 does not override 'route(const RouteRequest&)'; "
+       "every concrete engine must implement the engine API entry point")
+      << Engine;
+}
+
+}  // namespace clang::tidy::dfs

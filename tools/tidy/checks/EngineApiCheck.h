@@ -1,0 +1,27 @@
+// dfs-engine-api — structural replacement for the old CI grep gate.
+// Every concrete subclass of dfsssp::Router must override
+// `route(const RouteRequest&)`, and nothing may declare the legacy
+// `route(const Topology&)` overload that predates the engine API
+// (PR 5, src/engine/). Abstract subclasses are exempt (a further
+// subclass must still satisfy the rule).
+#ifndef DFS_TIDY_ENGINE_API_CHECK_H
+#define DFS_TIDY_ENGINE_API_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::dfs {
+
+class EngineApiCheck : public ClangTidyCheck {
+ public:
+  EngineApiCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::dfs
+
+#endif  // DFS_TIDY_ENGINE_API_CHECK_H

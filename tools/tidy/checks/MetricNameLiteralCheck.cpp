@@ -1,0 +1,84 @@
+#include "MetricNameLiteralCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::dfs {
+
+namespace {
+
+// Digs the string literal out of `reg.counter("a/b")`: the char array decays
+// and then converts to std::string, so unwrap implicit conversions and the
+// std::string converting constructor.
+const StringLiteral *resolveStringLiteral(const Expr *E) {
+  E = E->IgnoreParenImpCasts();
+  if (const auto *Bind = dyn_cast<CXXBindTemporaryExpr>(E)) {
+    E = Bind->getSubExpr()->IgnoreParenImpCasts();
+  }
+  if (const auto *Construct = dyn_cast<CXXConstructExpr>(E)) {
+    if (Construct->getNumArgs() >= 1) {
+      return resolveStringLiteral(Construct->getArg(0));
+    }
+    return nullptr;
+  }
+  return dyn_cast<StringLiteral>(E);
+}
+
+bool validMetricName(StringRef Name) {
+  if (Name.empty()) return false;
+  bool SawSlash = false;
+  bool SegmentEmpty = true;
+  for (char C : Name) {
+    if (C == '/') {
+      if (SegmentEmpty) return false;
+      SawSlash = true;
+      SegmentEmpty = true;
+    } else if ((C >= 'a' && C <= 'z') || (C >= '0' && C <= '9') || C == '_') {
+      SegmentEmpty = false;
+    } else {
+      return false;
+    }
+  }
+  return SawSlash && !SegmentEmpty;
+}
+
+}  // namespace
+
+void MetricNameLiteralCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasAnyName("counter", "gauge", "histogram",
+                                          "timing_histogram"),
+                               ofClass(hasName(RegistryClass)))),
+          argumentCountIs(1))
+          .bind("register-call"),
+      this);
+}
+
+void MetricNameLiteralCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Call =
+      Result.Nodes.getNodeAs<CXXMemberCallExpr>("register-call");
+  if (!Call) return;
+  SourceLocation Loc = Call->getBeginLoc();
+  if (Loc.isInvalid() || Loc.isMacroID()) return;
+
+  const StringLiteral *Literal = resolveStringLiteral(Call->getArg(0));
+  if (!Literal) {
+    diag(Loc,
+         "metric name must be a string literal so the registry's ordering "
+         "audit stays static; bounded dynamic families need a NOLINT "
+         "rationale");
+    return;
+  }
+  if (!validMetricName(Literal->getString())) {
+    diag(Loc,
+         "metric name %0 does not match \"family/name\" "
+         "([a-z0-9_]+(/[a-z0-9_]+)+)")
+        << Literal->getString();
+  }
+}
+
+}  // namespace clang::tidy::dfs

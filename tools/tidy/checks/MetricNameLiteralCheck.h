@@ -1,0 +1,37 @@
+// dfs-metric-name-literal — metric registrations on an obs Registry
+// (`counter`, `gauge`, `histogram`, `timing_histogram`) must pass a string
+// literal of the form "family/name" in [a-z0-9_]+(/[a-z0-9_]+)+ . Dynamic
+// names defeat the registry's deterministic ordering audit and make the
+// schema-2 report diff across runs; genuinely bounded dynamic families are
+// allowlisted with a NOLINT rationale. `RegistryClass` is the unqualified
+// class name the methods must belong to (default "Registry").
+#ifndef DFS_TIDY_METRIC_NAME_LITERAL_CHECK_H
+#define DFS_TIDY_METRIC_NAME_LITERAL_CHECK_H
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::dfs {
+
+class MetricNameLiteralCheck : public ClangTidyCheck {
+ public:
+  MetricNameLiteralCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context),
+        RegistryClass(Options.get("RegistryClass", "Registry")) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override {
+    Options.store(Opts, "RegistryClass", RegistryClass);
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+
+ private:
+  const std::string RegistryClass;
+};
+
+}  // namespace clang::tidy::dfs
+
+#endif  // DFS_TIDY_METRIC_NAME_LITERAL_CHECK_H

@@ -1,0 +1,58 @@
+#include "NoAmbientEntropyCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/Support/Regex.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::dfs {
+
+void NoAmbientEntropyCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::rand", "::srand", "::drand48", "::lrand48", "::random",
+                   "::time", "::clock", "::gettimeofday", "::clock_gettime",
+                   "::std::time", "::std::clock"))))
+          .bind("entropy-call"),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(cxxMethodDecl(
+                   hasName("now"),
+                   ofClass(hasAnyName("::std::chrono::system_clock",
+                                      "::std::chrono::high_resolution_clock")))))
+          .bind("entropy-call"),
+      this);
+  Finder->addMatcher(
+      varDecl(hasType(qualType(hasUnqualifiedDesugaredType(recordType(
+                  hasDeclaration(cxxRecordDecl(
+                      hasName("::std::random_device"))))))))
+          .bind("entropy-var"),
+      this);
+}
+
+void NoAmbientEntropyCheck::check(const MatchFinder::MatchResult &Result) {
+  SourceLocation Loc;
+  StringRef What;
+  if (const auto *Call = Result.Nodes.getNodeAs<CallExpr>("entropy-call")) {
+    Loc = Call->getBeginLoc();
+    What = "ambient entropy/clock call";
+  } else if (const auto *Var = Result.Nodes.getNodeAs<VarDecl>(
+                 "entropy-var")) {
+    Loc = Var->getLocation();
+    What = "std::random_device";
+  }
+  if (Loc.isInvalid() || Loc.isMacroID()) return;
+  const SourceManager &SM = *Result.SourceManager;
+  llvm::Regex Allowed(AllowedFiles);
+  if (!AllowedFiles.empty() &&
+      Allowed.match(SM.getFilename(SM.getExpansionLoc(Loc)))) {
+    return;
+  }
+  diag(Loc,
+       "%0 draws irreproducible state; use seeded Rng streams "
+       "(common/rng.hpp) or Timer (common/timer.hpp)")
+      << What;
+}
+
+}  // namespace clang::tidy::dfs

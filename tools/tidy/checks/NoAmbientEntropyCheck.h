@@ -1,0 +1,38 @@
+// dfs-no-ambient-entropy — bans rand()/srand()/time()/clock(),
+// std::random_device, and the non-monotonic chrono clocks outside the
+// observability layer: all randomness must flow through seeded
+// dfsssp::Rng streams (common/rng.hpp) and all timing through
+// common/timer.hpp, or runs stop being reproducible. `AllowedFiles` is an
+// ERE matched against the expansion file name (default: the obs layer and
+// the timer itself).
+#ifndef DFS_TIDY_NO_AMBIENT_ENTROPY_CHECK_H
+#define DFS_TIDY_NO_AMBIENT_ENTROPY_CHECK_H
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::dfs {
+
+class NoAmbientEntropyCheck : public ClangTidyCheck {
+ public:
+  NoAmbientEntropyCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context),
+        AllowedFiles(
+            Options.get("AllowedFiles", "src/obs/|common/timer\\.hpp")) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override {
+    Options.store(Opts, "AllowedFiles", AllowedFiles);
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+
+ private:
+  const std::string AllowedFiles;
+};
+
+}  // namespace clang::tidy::dfs
+
+#endif  // DFS_TIDY_NO_AMBIENT_ENTROPY_CHECK_H

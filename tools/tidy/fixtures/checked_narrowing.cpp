@@ -1,0 +1,36 @@
+// Fixture for dfs-checked-narrowing: 64-bit values shrink into the
+// topology layer's 32-bit index space only through the throwing helpers in
+// common/narrow.hpp.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+using NodeId = std::uint32_t;
+
+std::uint32_t bad_size_cast(const std::vector<int>& v) {
+  return static_cast<std::uint32_t>(v.size());  // dfs-expect: dfs-checked-narrowing
+}
+
+NodeId bad_id_cast(const std::vector<int>& nodes) {
+  return static_cast<NodeId>(nodes.size());  // dfs-expect: dfs-checked-narrowing
+}
+
+std::uint32_t bad_u64_cast(std::uint64_t offset) {
+  return static_cast<std::uint32_t>(offset);  // dfs-expect: dfs-checked-narrowing
+}
+
+std::uint32_t bad_sizet_cast(std::size_t count) {
+  return static_cast<std::uint32_t>(count);  // dfs-expect: dfs-checked-narrowing
+}
+
+// Widening and same-width casts are not narrowing.
+std::uint64_t good_widening(std::uint32_t v) {
+  return static_cast<std::uint64_t>(v) << 32;
+}
+
+std::uint32_t good_u8_widen(std::uint8_t b) {
+  return static_cast<std::uint32_t>(b) << 8;
+}
+
+}  // namespace fixture

@@ -1,0 +1,46 @@
+// Negative control: idiomatic repo code that every dfs- check must leave
+// alone. Near-misses on purpose — ordered containers, seeded RNG, checked
+// narrowing, literal metric names, non-Router route() methods.
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+std::uint64_t ordered_iteration(const std::map<std::string, int>& m) {
+  std::uint64_t total = 0;
+  for (const auto& [k, v] : m) {
+    total += k.size() + static_cast<std::uint64_t>(v);
+  }
+  return total;
+}
+
+std::uint64_t seeded_stream(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return rng();
+}
+
+std::uint32_t checked_index(std::size_t n) {
+  if (n > 0xFFFF'FFFFull) return 0;
+  // The checked helper owns the one sanctioned cast; plain widening below.
+  std::uint8_t low = 3;
+  return static_cast<std::uint32_t>(low);
+}
+
+class Itinerary {
+ public:
+  // route() on a class that is no Router subclass.
+  std::string route(const std::string& via) const { return via; }
+};
+
+struct MetricSink {
+  void counter(const char*) {}
+};
+
+void literal_names(MetricSink& sink) {
+  sink.counter("traffic/messages_sent");
+}
+
+}  // namespace fixture

@@ -1,0 +1,59 @@
+// Fixture for dfs-deterministic-iteration: traversing an unordered
+// container produces hash-dependent order; result-producing code must use
+// deterministic containers or justify the traversal.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+using GuidIndex = std::unordered_map<std::uint64_t, std::uint32_t>;
+
+struct SideTables {
+  std::unordered_map<std::uint32_t, std::string> names_;
+  std::unordered_set<std::uint32_t> marked_;
+  std::map<std::uint32_t, std::string> ordered_;
+};
+
+std::uint64_t bad_range_for(const SideTables& t) {
+  std::uint64_t total = 0;
+  for (const auto& [id, name] : t.names_) {  // dfs-expect: dfs-deterministic-iteration
+    total += id + name.size();
+  }
+  return total;
+}
+
+std::uint64_t bad_alias_iteration(const GuidIndex& guids) {
+  std::uint64_t total = 0;
+  for (const auto& [guid, index] : guids) {  // dfs-expect: dfs-deterministic-iteration
+    total += guid + index;
+  }
+  return total;
+}
+
+std::size_t bad_iterator_loop(const SideTables& t) {
+  std::size_t n = 0;
+  for (auto it = t.marked_.begin(); it != t.marked_.end(); ++it) {  // dfs-expect: dfs-deterministic-iteration
+    ++n;
+  }
+  return n;
+}
+
+// Deterministic traversals must stay silent: std::map iterates in key
+// order, and point lookups into unordered containers are order-free.
+std::uint64_t good_ordered(const SideTables& t) {
+  std::uint64_t total = 0;
+  for (const auto& [id, name] : t.ordered_) {
+    total += id + name.size();
+  }
+  return total;
+}
+
+bool good_lookup(const SideTables& t, std::uint32_t id) {
+  return t.names_.count(id) > 0 && t.marked_.count(id) > 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,52 @@
+// Fixture for dfs-engine-api: every Router subclass overrides
+// route(const RouteRequest&), and the transitional route(const Topology&)
+// overload is gone for good. The stubs mirror routing/router.hpp.
+#include <string>
+
+namespace dfsssp {
+
+struct Topology {};
+struct RouteRequest {};
+struct RouteResponse {
+  bool ok = false;
+};
+
+class Router {
+ public:
+  virtual ~Router() = default;
+  virtual std::string name() const = 0;
+  virtual bool deadlock_free() const = 0;
+  virtual RouteResponse route(const RouteRequest& request) const = 0;
+};
+
+// A conforming engine: new API, override spelled out.
+class GoodRouter final : public Router {
+ public:
+  std::string name() const override { return "Good"; }
+  bool deadlock_free() const override { return true; }
+  RouteResponse route(const RouteRequest& request) const override;
+};
+
+// Subclass that never implements the RouteRequest entry point.
+class StaleRouter final : public Router {  // dfs-expect: dfs-engine-api
+ public:
+  std::string name() const override { return "Stale"; }
+  bool deadlock_free() const override { return false; }
+};
+
+// Subclass that resurrects the removed legacy overload.
+class LegacyRouter final : public Router {
+ public:
+  std::string name() const override { return "Legacy"; }
+  bool deadlock_free() const override { return false; }
+  RouteResponse route(const RouteRequest& request) const override;
+  RouteResponse route(const Topology& topo) const;  // dfs-expect: dfs-engine-api
+};
+
+// Non-Router classes may call their methods whatever they like.
+class Planner {
+ public:
+  int route(int hops) const { return hops; }
+};
+
+}  // namespace dfsssp

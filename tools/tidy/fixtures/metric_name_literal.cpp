@@ -1,0 +1,57 @@
+// Fixture for dfs-metric-name-literal: metric registrations take a string
+// literal matching the family/name pattern, so the metric namespace stays
+// bounded and greppable. The stub mirrors obs/metrics.hpp.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void inc() {}
+};
+class Gauge {
+ public:
+  void set(std::uint64_t) {}
+};
+class Histogram {
+ public:
+  void record(std::uint64_t) {}
+};
+
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<std::uint64_t> edges);
+  Histogram& timing_histogram(const std::string& name);
+};
+
+Registry& registry();
+
+void good_literals() {
+  registry().counter("cdg/cycles_found").inc();
+  registry().gauge("topology/bytes").set(0);
+  registry().histogram("sim/max_congestion", {1, 2, 4}).record(1);
+  registry().timing_histogram("dfcheck/route_ns").record(5);
+}
+
+void bad_dynamic_name(const std::string& engine) {
+  registry().counter("cdg/edges_broken/" + engine).inc();  // dfs-expect: dfs-metric-name-literal
+}
+
+void bad_variable_name(const std::string& name) {
+  registry().timing_histogram(name).record(1);  // dfs-expect: dfs-metric-name-literal
+}
+
+void bad_flat_name() {
+  registry().counter("cycles").inc();  // dfs-expect: dfs-metric-name-literal
+}
+
+void bad_uppercase_name() {
+  registry().gauge("Topology/Bytes").set(1);  // dfs-expect: dfs-metric-name-literal
+}
+
+}  // namespace fixture

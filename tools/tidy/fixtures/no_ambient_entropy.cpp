@@ -1,0 +1,46 @@
+// Fixture for dfs-no-ambient-entropy: randomness must flow through seeded
+// Rng streams and timing through the repo's Timer; ambient sources make
+// runs irreproducible.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+std::uint32_t bad_rand() {
+  return static_cast<std::uint32_t>(rand());  // dfs-expect: dfs-no-ambient-entropy
+}
+
+std::uint64_t bad_random_device() {
+  std::random_device rd;  // dfs-expect: dfs-no-ambient-entropy
+  return rd();
+}
+
+std::int64_t bad_wall_clock() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // dfs-expect: dfs-no-ambient-entropy
+}
+
+std::int64_t bad_time() {
+  return static_cast<std::int64_t>(std::time(nullptr));  // dfs-expect: dfs-no-ambient-entropy
+}
+
+// Seeded engines and monotonic clocks are the sanctioned tools.
+std::uint64_t good_seeded(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return rng();
+}
+
+std::int64_t good_steady() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// A member function that happens to be called `time` is not libc time().
+struct Config {
+  std::int64_t time() const { return 7; }
+};
+
+std::int64_t good_member_time(const Config& c) { return c.time(); }
+
+}  // namespace fixture

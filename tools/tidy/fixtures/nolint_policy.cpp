@@ -1,0 +1,41 @@
+// Fixture for the NOLINT policy: a dfs- suppression with a written
+// rationale silences the check; one without a rationale is itself a
+// dfs-nolint-rationale finding (which no NOLINT can silence).
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Tables {
+  std::unordered_map<std::uint32_t, std::string> names_;
+};
+
+std::uint64_t justified(const Tables& t) {
+  std::uint64_t total = 0;
+  // NOLINTNEXTLINE(dfs-deterministic-iteration): commutative sum, order-free
+  for (const auto& [id, name] : t.names_) {
+    total += id + name.size();
+  }
+  return total;
+}
+
+std::uint64_t unjustified(const Tables& t) {
+  std::uint64_t total = 0;
+  for (const auto& [id, name] : t.names_) {  // NOLINT(dfs-deterministic-iteration)  dfs-expect: dfs-nolint-rationale
+    total += id + name.size();
+  }
+  return total;
+}
+
+std::uint64_t unrelated_suppression(const Tables& t) {
+  // A NOLINT that names only upstream checks neither silences dfs- checks
+  // nor needs a dfs rationale.
+  std::uint64_t total = 0;
+  for (const auto& [id, name] : t.names_) {  // NOLINT(performance-unnecessary-copy)  dfs-expect: dfs-deterministic-iteration
+    total += id + name.size();
+  }
+  return total;
+}
+
+}  // namespace fixture
