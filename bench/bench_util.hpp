@@ -9,9 +9,13 @@
 //   --csv=FILE    additionally dump the table as CSV
 //   --json=FILE   structured run report in the versioned obs/report schema
 //                 (schema_version, git_rev, build_flags, config, tables,
-//                 metrics, timing_metrics, timing_stats); the `metrics`
-//                 section is bitwise identical at any --threads=N
+//                 metrics, timing_metrics, timing_stats, profile); the
+//                 `metrics` and `profile` sections are bitwise identical
+//                 at any --threads=N
 //   --trace=FILE  Chrome trace_event span log (load in ui.perfetto.dev)
+//   --profile=FILE collapsed-stack flamegraph export (dfprof.folded format,
+//                 feed to flamegraph.pl or speedscope); either --json or
+//                 --profile activates the span-tree profiler
 // Default sizes finish in seconds so `for b in build/bench/*; do $b; done`
 // stays practical; --full reproduces the paper's largest configurations.
 #pragma once
@@ -32,8 +36,10 @@
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile/profile.hpp"
 #include "obs/report/build_info.hpp"
 #include "obs/report/report.hpp"
+#include "obs/rusage.hpp"
 #include "obs/trace.hpp"
 #include "routing/router.hpp"
 #include "sim/congestion.hpp"
@@ -51,6 +57,7 @@ struct BenchConfig {
   std::string csv;
   std::string json;
   std::string trace;
+  std::string profile;
   std::string program;
   /// Whether this binary's table cells are derived purely from the work
   /// (eBB values, layer counts, modeled times) and therefore bitwise
@@ -72,12 +79,16 @@ struct BenchConfig {
     cfg.csv = cli.get("csv", "");
     cfg.json = cli.get("json", "");
     cfg.trace = cli.get("trace", "");
+    cfg.profile = cli.get("profile", "");
     cfg.program = cli.program();
     const std::size_t slash = cfg.program.find_last_of('/');
     if (slash != std::string::npos) cfg.program.erase(0, slash + 1);
     // Spans buffer from here on; the atexit hook writes the file, so a
     // bench that exits through any path still produces its trace.
     if (!cfg.trace.empty()) obs::start_tracing(cfg.trace);
+    // Every --json report carries the schema-3 profile section, so the
+    // profiler runs whenever a report or a folded export was requested.
+    if (!cfg.json.empty() || !cfg.profile.empty()) obs::start_profiling();
     return cfg;
   }
 
@@ -95,6 +106,10 @@ struct BenchConfig {
     if (!json.empty()) {
       write_json_report();
       std::printf("(json report written to %s)\n", json.c_str());
+    }
+    if (!profile.empty()) {
+      write_folded_profile();
+      std::printf("(folded profile written to %s)\n", profile.c_str());
     }
   }
 
@@ -135,15 +150,37 @@ struct BenchConfig {
       table.set("rows", std::move(rows));
       report.tables.push_back(std::move(table));
     }
+    // Peak RSS at report time, as a timing-kind gauge (machine-dependent,
+    // never exact-diffed) — recorded for every bench, not just warehouse.
+    obs::registry()
+        .gauge("process/peak_rss_bytes", obs::Kind::kTiming)
+        .set(obs::peak_rss_bytes());
     const obs::Snapshot snap = obs::registry().snapshot();
     report.metrics = obs::metrics_to_json(snap, obs::Kind::kDeterministic);
     report.timing_metrics = obs::metrics_to_json(snap, obs::Kind::kTiming);
     obs::derive_timing_stats(report);
+    if (obs::profiling_active()) {
+      const obs::Profile prof = obs::collect_profile();
+      report.profile = obs::profile_to_json(prof);
+      obs::profile_timing_stats(prof, report.timing_stats);
+    }
     try {
       obs::write_run_report(report, json);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "cannot write json report: %s\n", e.what());
     }
+  }
+
+  /// Collapsed-stack export behind --profile; rewritten on every emit()
+  /// like the json report, so the final write covers the whole run.
+  void write_folded_profile() const {
+    std::ofstream out(profile);
+    if (!out) {
+      std::fprintf(stderr, "cannot write folded profile: %s\n",
+                   profile.c_str());
+      return;
+    }
+    obs::write_folded(out, obs::collect_profile());
   }
 
  private:

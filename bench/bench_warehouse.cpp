@@ -7,9 +7,8 @@
 //
 //   --full       dragonfly(50,40,2001): 100050 switches, ~4.45M links
 //   --dests=N    sharded destination terminals (default 64)
-#include <sys/resource.h>
-
 #include "bench_util.hpp"
+#include "obs/rusage.hpp"
 #include "routing/collect.hpp"
 #include "routing/dfsssp.hpp"
 #include "routing/verify.hpp"
@@ -17,17 +16,6 @@
 
 using namespace dfsssp;
 using namespace dfsssp::bench;
-
-namespace {
-
-std::uint64_t peak_rss_bytes() {
-  struct rusage ru;
-  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
-  // Linux reports ru_maxrss in KiB.
-  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
@@ -53,7 +41,7 @@ int main(int argc, char** argv) {
   }
   obs::registry()
       .gauge("warehouse/peak_rss_after_generate_bytes", obs::Kind::kTiming)
-      .set(peak_rss_bytes());
+      .set(obs::peak_rss_bytes());
   std::uint64_t links = 0;
   for (ChannelId c = 0; c < topo.net.num_channels(); ++c) {
     const Channel& ch = topo.net.channel(c);
@@ -113,7 +101,7 @@ int main(int argc, char** argv) {
 
   obs::registry()
       .gauge("warehouse/peak_rss_bytes", obs::Kind::kTiming)
-      .set(peak_rss_bytes());
+      .set(obs::peak_rss_bytes());
 
   cfg.emit(table);
   const bool ok = verify.connected() && deadlock_free;

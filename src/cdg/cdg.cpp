@@ -146,6 +146,7 @@ bool CycleFinder::next_cycle(std::vector<std::uint32_t>& cycle_edges) {
         static_cast<std::uint32_t>(cdg_.out_edges(f.node).size());
     bool descended = false;
     while (f.cursor < end) {
+      ++steps_;
       const std::uint32_t eidx = f.cursor;
       const Cdg::Edge& e = cdg_.edge(eidx);
       if (e.alive_count == 0) {
@@ -274,8 +275,10 @@ LayerResult assign_layers_offline(const PathSet& paths,
     Cdg cdg(paths, members, num_channels);
     CycleFinder finder(cdg);
     std::vector<std::uint32_t> moved;
+    std::uint64_t layer_cycles = 0;
     while (finder.next_cycle(cycle)) {
       ++cycles_found;
+      ++layer_cycles;
       if (l + 1 >= options.max_layers) {
         result.error = "cycle remains in the last virtual layer (" +
                        std::to_string(options.max_layers) +
@@ -293,6 +296,19 @@ LayerResult assign_layers_offline(const PathSet& paths,
       finder.repair();
     }
     paths_migrated += moved.size();
+    // Deterministic search cost for this layer, counted in registry totals
+    // and attributed to the enclosing dfsssp/cycle_search span: DFS edge
+    // examinations plus the CDG edges materialised for this layer's build.
+    static obs::Counter& c_steps =
+        obs::registry().counter("cdg/cycle_search_steps");
+    static obs::Counter& c_inserts =
+        obs::registry().counter("cdg/edge_insertions");
+    c_steps.add(finder.steps());
+    c_inserts.add(cdg.num_edges());
+    PROF_COUNT("cdg/cycle_search_steps", finder.steps());
+    PROF_COUNT("cdg/edge_insertions", cdg.num_edges());
+    PROF_COUNT("cdg/cycles_found", layer_cycles);
+    PROF_COUNT("cdg/paths_migrated", moved.size());
     members = std::move(moved);
   }
 

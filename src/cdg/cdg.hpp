@@ -105,6 +105,10 @@ class CycleFinder {
   bool next_cycle(std::vector<std::uint32_t>& cycle_edges);
   void repair();
 
+  /// Edge examinations performed by next_cycle so far — the deterministic
+  /// cost of the search, independent of wall clock and thread count.
+  std::uint64_t steps() const { return steps_; }
+
  private:
   struct Frame {
     ChannelId node;
@@ -121,6 +125,7 @@ class CycleFinder {
   std::vector<std::uint32_t> stack_pos_;
   std::vector<Frame> stack_;
   ChannelId next_root_ = 0;
+  std::uint64_t steps_ = 0;
 };
 
 enum class CycleHeuristic : std::uint8_t {

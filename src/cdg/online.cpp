@@ -71,6 +71,7 @@ bool OnlineCdg::add_edge(ChannelId u, ChannelId v) {
   insert_adj(out_[u], v);
   insert_adj(in_[v], u);
   ++num_edges_;
+  ++num_insertions_;
   return true;
 }
 

@@ -38,6 +38,10 @@ class OnlineCdg {
 
   std::uint64_t num_paths() const { return num_paths_; }
   std::uint64_t num_edges() const { return num_edges_; }
+  /// Monotonic count of distinct edge materialisations (num_edges_ goes
+  /// down on removals; this never does) — the deterministic insertion work
+  /// the profiler attributes to the enclosing span.
+  std::uint64_t num_insertions() const { return num_insertions_; }
   /// Pearce-Kelly reorder passes run so far (the non-trivial acyclicity
   /// checks); exposed so callers can flush it into the obs registry.
   std::uint64_t num_reorders() const { return num_reorders_; }
@@ -68,6 +72,7 @@ class OnlineCdg {
   std::vector<std::uint8_t> mark_;    // scratch for the reorder DFS
   std::uint64_t num_paths_ = 0;
   std::uint64_t num_edges_ = 0;
+  std::uint64_t num_insertions_ = 0;
   std::uint64_t num_reorders_ = 0;
 };
 

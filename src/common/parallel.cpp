@@ -56,11 +56,13 @@ void ThreadPool::drain_job(std::unique_lock<Mutex>& lock) {
     ++job_.in_flight;
     const auto* body = job_.body;
     const std::uint64_t posted_ns = job_.posted_ns;
+    const obs::ProfileContext prof_ctx = job_.prof_ctx;
     lock.unlock();
     pool_queue_wait_histogram().record(Timer::now_ns() - posted_ns);
     pool_chunk_counter().inc();
     std::exception_ptr error;
     try {
+      obs::ProfileTaskScope prof_scope(prof_ctx);
       (*body)(begin, end);
     } catch (...) {
       error = std::current_exception();
@@ -100,6 +102,7 @@ void ThreadPool::run_chunked(
   job_.in_flight = 0;
   ++job_.generation;
   job_.posted_ns = Timer::now_ns();
+  job_.prof_ctx = obs::profile_current_context();
   job_.body = &body;
   job_.error = nullptr;
   work_cv_.notify_all();

@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/profile/profile.hpp"
+
 // Clang thread-safety annotations (-Wthread-safety): which mutex guards
 // which member, and which functions require it held. GCC and MSVC compile
 // them away. The standard library's lock guards are opaque to the static
@@ -104,6 +106,10 @@ class ThreadPool {
     std::size_t in_flight = 0;     // chunks currently executing
     std::uint64_t generation = 0;  // bumps once per run_chunked call
     std::uint64_t posted_ns = 0;   // when run_chunked published the job
+    // Submitter's profiler position: chunks executed on workers attribute
+    // their spans and PROF_COUNTs to the same tree node the submitting
+    // thread was in, keeping attribution thread-count invariant.
+    obs::ProfileContext prof_ctx;
     const std::function<void(std::size_t, std::size_t)>* body = nullptr;
     std::exception_ptr error;
   };

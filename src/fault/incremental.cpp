@@ -210,6 +210,9 @@ RouteResponse IncrementalDfsssp::finish(const RouteRequest& request,
   obs::Registry& sink = request.sink();
   if (acyclicity_checks_ > 0) {
     sink.counter("fault/acyclicity_checks").add(acyclicity_checks_);
+    // finish() runs inside the fault/route_full or fault/repair span, so
+    // the re-layer attempts attribute to whichever path ran.
+    PROF_COUNT("fault/acyclicity_checks", acyclicity_checks_);
   }
   sink.gauge("fault/active_paths").set(out.stats.paths);
   sink.gauge("fault/layers_used").set(layers_used);

@@ -1,0 +1,253 @@
+#include "obs/profile/profile.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <iomanip>
+#include <mutex>
+#include <ostream>
+#include <utility>
+
+#include "common/timer.hpp"
+
+namespace dfsssp::obs {
+
+namespace {
+
+/// Mutable tree node. Children are keyed by span name so the same name
+/// under the same parent always resolves to the same node, regardless of
+/// which thread opens it first.
+struct NodeImpl {
+  std::string name;
+  std::uint32_t parent = 0;
+  std::uint64_t invocations = 0;
+  std::uint64_t total_ns = 0;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::uint32_t> children;
+};
+
+struct ProfState {
+  std::atomic<bool> active{false};
+  std::mutex mu;
+  // Bumps on every start/stop; node ids and thread cursors from an older
+  // generation are silently discarded.
+  std::uint64_t generation = 0;
+  std::uint64_t session_start_ns = 0;
+  std::vector<NodeImpl> nodes;
+};
+
+ProfState& state() {
+  static ProfState* s = new ProfState();  // leaked: usable during atexit
+  return *s;
+}
+
+/// Per-thread tree position. gen pins it to a session: a cursor from a
+/// previous session (worker thread outliving a restart) resets to root on
+/// its next use.
+struct Cursor {
+  std::uint64_t gen = 0;
+  std::uint32_t node = 0;
+};
+
+Cursor& cursor() {
+  thread_local Cursor c;
+  return c;
+}
+
+/// Resyncs the cursor to the live generation (root on mismatch). Caller
+/// holds s.mu.
+void sync_cursor(ProfState& s, Cursor& c) {
+  if (c.gen != s.generation) {
+    c.gen = s.generation;
+    c.node = 0;
+  }
+}
+
+void collect_subtree(const std::vector<NodeImpl>& nodes, std::uint32_t id,
+                     const std::string& prefix, std::uint32_t depth,
+                     Profile& out) {
+  const NodeImpl& n = nodes[id];
+  const std::string path = prefix.empty() ? n.name : prefix + ";" + n.name;
+  ProfileNode pn;
+  pn.path = path;
+  pn.name = n.name;
+  pn.depth = depth;
+  pn.invocations = n.invocations;
+  pn.total_ns = n.total_ns;
+  pn.counters = n.counters;
+  std::uint64_t children_total = 0;
+  for (const auto& [name, child] : n.children) {
+    children_total += nodes[child].total_ns;
+  }
+  pn.self_ns = n.total_ns > children_total ? n.total_ns - children_total : 0;
+  out.nodes.push_back(std::move(pn));
+  for (const auto& [name, child] : n.children) {
+    collect_subtree(nodes, child, path, depth + 1, out);
+  }
+}
+
+/// Snapshot under s.mu. Stamps the root with the session wall clock so the
+/// attribution fraction has a denominator.
+Profile collect_locked(ProfState& s) {
+  Profile out;
+  if (s.nodes.empty()) return out;
+  s.nodes[0].total_ns = Timer::now_ns() - s.session_start_ns;
+  s.nodes[0].invocations = 1;
+  collect_subtree(s.nodes, 0, std::string(), 0, out);
+  return out;
+}
+
+}  // namespace
+
+bool profiling_active() {
+  return state().active.load(std::memory_order_relaxed);
+}
+
+void start_profiling() {
+  ProfState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  ++s.generation;
+  s.nodes.clear();
+  NodeImpl root;
+  root.name = "root";
+  s.nodes.push_back(std::move(root));
+  s.session_start_ns = Timer::now_ns();
+  s.active.store(true, std::memory_order_relaxed);
+}
+
+std::uint32_t profile_enter(const char* name) {
+  ProfState& s = state();
+  if (!s.active.load(std::memory_order_relaxed)) return kNoProfileNode;
+  Cursor& c = cursor();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.active.load(std::memory_order_relaxed)) return kNoProfileNode;
+  sync_cursor(s, c);
+  NodeImpl& parent = s.nodes[c.node];
+  auto it = parent.children.find(name);
+  std::uint32_t child;
+  if (it != parent.children.end()) {
+    child = it->second;
+  } else {
+    child = static_cast<std::uint32_t>(s.nodes.size());
+    parent.children.emplace(name, child);
+    NodeImpl n;
+    n.name = name;
+    n.parent = c.node;
+    s.nodes.push_back(std::move(n));  // may invalidate `parent`
+  }
+  ++s.nodes[child].invocations;
+  c.node = child;
+  return child;
+}
+
+void profile_exit(std::uint32_t node, std::uint64_t elapsed_ns) {
+  if (node == kNoProfileNode) return;
+  ProfState& s = state();
+  Cursor& c = cursor();
+  std::lock_guard<std::mutex> lock(s.mu);
+  // A restart between enter and exit invalidates the node id; the cursor
+  // generation proves whether this thread's position is still live.
+  if (c.gen != s.generation || !s.active.load(std::memory_order_relaxed)) {
+    return;
+  }
+  s.nodes[node].total_ns += elapsed_ns;
+  c.node = s.nodes[node].parent;
+}
+
+void profile_count(const char* counter, std::uint64_t delta) {
+  ProfState& s = state();
+  if (!s.active.load(std::memory_order_relaxed)) return;
+  Cursor& c = cursor();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.active.load(std::memory_order_relaxed)) return;
+  sync_cursor(s, c);
+  s.nodes[c.node].counters[counter] += delta;
+}
+
+ProfileContext profile_current_context() {
+  ProfState& s = state();
+  if (!s.active.load(std::memory_order_relaxed)) return ProfileContext{};
+  Cursor& c = cursor();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.active.load(std::memory_order_relaxed)) return ProfileContext{};
+  sync_cursor(s, c);
+  return ProfileContext{c.gen, c.node};
+}
+
+ProfileTaskScope::ProfileTaskScope(const ProfileContext& ctx) {
+  if (ctx.generation == 0) return;
+  Cursor& c = cursor();
+  saved_gen_ = c.gen;
+  saved_node_ = c.node;
+  c.gen = ctx.generation;
+  c.node = ctx.node;
+  applied_ = true;
+}
+
+ProfileTaskScope::~ProfileTaskScope() {
+  if (!applied_) return;
+  Cursor& c = cursor();
+  c.gen = saved_gen_;
+  c.node = saved_node_;
+}
+
+Profile collect_profile() {
+  ProfState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.active.load(std::memory_order_relaxed)) return Profile{};
+  return collect_locked(s);
+}
+
+Profile stop_profiling() {
+  ProfState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.active.load(std::memory_order_relaxed)) return Profile{};
+  Profile out = collect_locked(s);
+  s.active.store(false, std::memory_order_relaxed);
+  ++s.generation;  // invalidate in-flight node ids and thread cursors
+  s.nodes.clear();
+  return out;
+}
+
+double attributed_fraction(const Profile& profile) {
+  if (profile.nodes.empty() || profile.nodes[0].total_ns == 0) return 0.0;
+  const ProfileNode& root = profile.nodes[0];
+  return 1.0 - static_cast<double>(root.self_ns) /
+                   static_cast<double>(root.total_ns);
+}
+
+void write_profile_text(std::ostream& out, const Profile& profile,
+                        std::size_t top_n) {
+  std::vector<const ProfileNode*> by_self;
+  by_self.reserve(profile.nodes.size());
+  for (const ProfileNode& n : profile.nodes) by_self.push_back(&n);
+  std::sort(by_self.begin(), by_self.end(),
+            [](const ProfileNode* a, const ProfileNode* b) {
+              if (a->self_ns != b->self_ns) return a->self_ns > b->self_ns;
+              return a->path < b->path;
+            });
+  if (top_n < by_self.size()) by_self.resize(top_n);
+  out << std::setw(12) << "self_ms" << std::setw(12) << "total_ms"
+      << std::setw(12) << "calls"
+      << "  path\n";
+  const auto flags = out.flags();
+  out << std::fixed << std::setprecision(3);
+  for (const ProfileNode* n : by_self) {
+    out << std::setw(12) << static_cast<double>(n->self_ns) / 1e6
+        << std::setw(12) << static_cast<double>(n->total_ns) / 1e6
+        << std::setw(12) << n->invocations << "  " << n->path << "\n";
+    for (const auto& [name, value] : n->counters) {
+      out << std::setw(36) << " "
+          << "  " << name << " = " << value << "\n";
+    }
+  }
+  out.flags(flags);
+}
+
+void write_folded(std::ostream& out, const Profile& profile) {
+  for (const ProfileNode& n : profile.nodes) {
+    if (n.self_ns == 0) continue;
+    out << n.path << " " << n.self_ns << "\n";
+  }
+}
+
+}  // namespace dfsssp::obs

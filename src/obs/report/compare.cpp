@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <map>
 
 #include "obs/report/stats.hpp"
 
@@ -95,6 +96,59 @@ CompareResult compare_reports(const RunReport& baseline, const RunReport& run,
       ++out.quality_drift;
     }
     out.findings.push_back(std::move(f));
+  }
+
+  // ---- profile: deterministic attribution, exact per node path ----------
+  // Only the deterministic columns live in the profile section
+  // (invocations + cost counters); they obey the same contract as
+  // `metrics`, so any drift against a non-empty baseline profile gates.
+  // Baselines recorded before schema 3 carry an empty profile and skip
+  // the section entirely.
+  if (baseline.profile.is_array() && baseline.profile.size() > 0) {
+    std::map<std::string, const JsonValue*> run_nodes;
+    if (run.profile.is_array()) {
+      for (const JsonValue& node : run.profile.items()) {
+        const JsonValue* path = node.find("path");
+        if (path != nullptr && path->is_string()) {
+          run_nodes[path->as_string()] = &node;
+        }
+      }
+    }
+    for (const JsonValue& node : baseline.profile.items()) {
+      const JsonValue* path = node.find("path");
+      if (path == nullptr || !path->is_string()) continue;
+      Finding f;
+      f.metric = "profile:" + path->as_string();
+      f.baseline = render(node);
+      auto it = run_nodes.find(path->as_string());
+      if (it == run_nodes.end()) {
+        f.verdict = Verdict::kMissing;
+        f.run = "-";
+        f.note = "profile node disappeared from the run";
+        ++out.quality_drift;
+      } else if (node == *it->second) {
+        f.verdict = Verdict::kPass;
+        f.run = f.baseline;
+        run_nodes.erase(it);
+      } else {
+        f.verdict = Verdict::kRegressed;
+        f.run = render(*it->second);
+        f.note = "deterministic profile attribution must match exactly";
+        ++out.quality_drift;
+        run_nodes.erase(it);
+      }
+      out.findings.push_back(std::move(f));
+    }
+    for (const auto& [path, node] : run_nodes) {
+      Finding f;
+      f.metric = "profile:" + path;
+      f.verdict = Verdict::kNew;
+      f.baseline = "-";
+      f.run = render(*node);
+      f.note = "not in the baseline; refresh baselines to start tracking";
+      ++out.new_metrics;
+      out.findings.push_back(std::move(f));
+    }
   }
 
   // ---- timing stats: MAD-scaled noise model -----------------------------

@@ -69,10 +69,11 @@ RunReport parse_run_report(const std::string& text) {
       r.timing_stats.emplace(m.first, st);
     }
   }
-  if (r.schema_version == 1) {
-    derive_timing_stats(r);
-    r.schema_version = kReportSchemaVersion;  // reader upgrades in place
-  }
+  if (const JsonValue* v = doc.find("profile")) r.profile = *v;
+  if (r.schema_version == 1) derive_timing_stats(r);
+  // Reader upgrades in place: v1 gains derived timing_stats, v1/v2 keep the
+  // default empty profile section.
+  r.schema_version = kReportSchemaVersion;
   return r;
 }
 
@@ -108,6 +109,7 @@ void write_run_report(const RunReport& report, std::ostream& out) {
     stats.set(name, std::move(entry));
   }
   doc.set("timing_stats", std::move(stats));
+  doc.set("profile", report.profile);
   doc.write(out);
   out << "\n";
 }
@@ -167,6 +169,12 @@ RunReport aggregate_runs(const std::vector<RunReport>& reps) {
           "aggregate_runs: deterministic tables differ between identical "
           "invocations of " + out.bench);
     }
+    if (!(r.profile == out.profile)) {
+      throw std::runtime_error(
+          "aggregate_runs: deterministic profile sections differ between "
+          "identical invocations of " + out.bench +
+          " — span attribution violates the determinism contract");
+    }
   }
 
   // Per timing quantity: one sample per repetition (that repetition's
@@ -191,6 +199,35 @@ RunReport aggregate_runs(const std::vector<RunReport>& reps) {
   }
   out.wall_seconds = median(wall_ms) / 1e3;
   return out;
+}
+
+JsonValue profile_to_json(const Profile& profile) {
+  JsonValue out = JsonValue::array();
+  for (const ProfileNode& n : profile.nodes) {
+    JsonValue node = JsonValue::object();
+    node.set("path", JsonValue::string(n.path));
+    node.set("invocations",
+             JsonValue::integer(static_cast<std::int64_t>(n.invocations)));
+    JsonValue counters = JsonValue::object();
+    for (const auto& [name, value] : n.counters) {
+      counters.set(name, JsonValue::integer(static_cast<std::int64_t>(value)));
+    }
+    node.set("counters", std::move(counters));
+    out.push_back(std::move(node));
+  }
+  return out;
+}
+
+void profile_timing_stats(const Profile& profile,
+                          std::map<std::string, TimingStat>& out) {
+  for (const ProfileNode& n : profile.nodes) {
+    TimingStat total;
+    total.median_ms = static_cast<double>(n.total_ns) / 1e6;
+    out["prof/" + n.path + "/total_ms"] = total;
+    TimingStat self;
+    self.median_ms = static_cast<double>(n.self_ns) / 1e6;
+    out["prof/" + n.path + "/self_ms"] = self;
+  }
 }
 
 JsonValue metrics_to_json(const Snapshot& snap, Kind kind) {

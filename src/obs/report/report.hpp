@@ -1,9 +1,9 @@
 // Versioned bench run reports — the continuous-benchmarking schema behind
 // the committed BENCH_*.json trajectory and the dfbench regression gate.
 //
-// Schema (version 2):
+// Schema (version 3):
 //   {
-//     "schema_version": 2,
+//     "schema_version": 3,
 //     "bench": "bench_fig9_vl_random",
 //     "git_rev": "2a7720f1c9e4",          // configure-time, see build_info
 //     "build_flags": "Release ",
@@ -16,19 +16,30 @@
 //     "timing_metrics": {...},             // rep-0 raw timing histograms
 //     "timing_stats": {                    // median/MAD over repetitions
 //       "bench/wall_ms": {"median_ms": 6120.0, "mad_ms": 31.2, "reps": 3},
-//       "sssp/fill_planes_ns": {...}
-//     }
+//       "sssp/fill_planes_ns": {...},
+//       "prof/root;dfsssp/layering/total_ms": {...}  // profile wall times
+//     },
+//     "profile": [                         // schema 3: span-tree profile,
+//       {"path": "root", "invocations": 1, "counters": {}},
+//       {"path": "root;dfsssp/layering",   // deterministic columns only
+//        "invocations": 6,
+//        "counters": {"dfsssp/acyclicity_checks": 1234}},
+//       ...
+//     ]
 //   }
 //
-// The `metrics` section (plus `tables` when tables_deterministic) is the
-// quality gate: derived from the work itself, bitwise identical at any
-// --threads=N, so ANY diff against a baseline is a real behavior change.
-// Everything under timing_* is wall clock and only ever compared through
-// the MAD-scaled noise model in compare.hpp.
+// The `metrics` section (plus `tables` when tables_deterministic, plus the
+// `profile` node list) is the quality gate: derived from the work itself,
+// bitwise identical at any --threads=N, so ANY diff against a baseline is
+// a real behavior change. Everything under timing_* is wall clock and only
+// ever compared through the MAD-scaled noise model in compare.hpp; profile
+// wall times live in timing_stats as "prof/<path>/{total,self}_ms", never
+// in the profile section itself.
 //
 // The reader also accepts the schema-1 documents PR 3's benches emitted
-// (no schema_version field); their timing_stats are derived from the
-// timing histogram sums so old trajectory points stay comparable.
+// (no schema_version field) — their timing_stats are derived from the
+// timing histogram sums — and schema-2 documents (no profile section);
+// both upgrade in place so old trajectory points stay comparable.
 #pragma once
 
 #include <cstdint>
@@ -38,11 +49,12 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/profile/profile.hpp"
 #include "obs/report/json_value.hpp"
 
 namespace dfsssp::obs {
 
-inline constexpr int kReportSchemaVersion = 2;
+inline constexpr int kReportSchemaVersion = 3;
 
 /// Median/MAD of one wall-clock quantity over a run's repetitions, in
 /// milliseconds. reps == 1 pins mad_ms to 0 (the zero-MAD path: compare
@@ -66,9 +78,13 @@ struct RunReport {
   JsonValue metrics = JsonValue::object();
   JsonValue timing_metrics = JsonValue::object();
   std::map<std::string, TimingStat> timing_stats;
+  /// Schema 3: deterministic span-tree profile (array of {path,
+  /// invocations, counters} in canonical preorder). Empty array when the
+  /// bench ran without profiling or the document predates schema 3.
+  JsonValue profile = JsonValue::array();
 };
 
-/// Parses a schema-1 or schema-2 document. Throws std::runtime_error on
+/// Parses a schema-1, -2, or -3 document. Throws std::runtime_error on
 /// malformed input or an unknown (newer) schema_version.
 RunReport parse_run_report(const std::string& text);
 RunReport read_run_report(const std::string& path);
@@ -94,5 +110,16 @@ RunReport aggregate_runs(const std::vector<RunReport>& reps);
 /// shape write_metrics_json() emits ({"name": count, "hist": {edges,
 /// counts, count, sum, max}}).
 JsonValue metrics_to_json(const Snapshot& snap, Kind kind);
+
+/// The deterministic columns of a collected profile as the schema-3
+/// `profile` section: [{path, invocations, counters}, ...] in canonical
+/// preorder. Wall times are deliberately absent.
+JsonValue profile_to_json(const Profile& profile);
+
+/// Adds the profile's wall times to a timing_stats map as
+/// "prof/<path>/total_ms" and "prof/<path>/self_ms" single-rep entries,
+/// where they aggregate and compare exactly like any other timing.
+void profile_timing_stats(const Profile& profile,
+                          std::map<std::string, TimingStat>& out);
 
 }  // namespace dfsssp::obs

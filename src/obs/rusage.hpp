@@ -1,0 +1,32 @@
+// Process resource readings for run reports. Hoisted out of the warehouse
+// bench so every bench's --json report can carry a peak-RSS gauge.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace dfsssp::obs {
+
+/// Peak resident set size of the calling process in bytes, 0 when the
+/// platform offers no reading. Monotonic over the process lifetime (the
+/// kernel high-water mark), so "after phase X" samples are upper bounds.
+inline std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  // macOS reports ru_maxrss in bytes.
+  return static_cast<std::uint64_t>(ru.ru_maxrss);
+#else
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace dfsssp::obs

@@ -128,14 +128,21 @@ std::size_t stop_tracing() {
 }
 
 TraceSpan::TraceSpan(const char* name) {
-  if (!tracing_active()) return;
-  name_ = name;
+  const bool tracing = tracing_active();
+  const bool profiling = profiling_active();
+  if (!tracing && !profiling) return;
+  if (tracing) name_ = name;
   start_ns_ = Timer::now_ns();
+  if (profiling) prof_node_ = profile_enter(name);
 }
 
 TraceSpan::~TraceSpan() {
-  if (name_ == nullptr || !tracing_active()) return;
+  if (name_ == nullptr && prof_node_ == kNoProfileNode) return;
   const std::uint64_t end_ns = Timer::now_ns();
+  if (prof_node_ != kNoProfileNode) {
+    profile_exit(prof_node_, end_ns - start_ns_);
+  }
+  if (name_ == nullptr || !tracing_active()) return;
   ThreadBuf& buf = local_buf();
   std::lock_guard<std::mutex> lock(buf.mu);
   buf.events.push_back({name_, start_ns_, end_ns, buf.tid});

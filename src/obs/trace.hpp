@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/profile/profile.hpp"
+
 namespace dfsssp::obs {
 
 /// True while a trace session is collecting spans.
@@ -30,6 +32,9 @@ void start_tracing(std::string path);
 std::size_t stop_tracing();
 
 /// RAII span. `name` must outlive the span (string literals in practice).
+/// Feeds two consumers: the Chrome-trace event buffer (when a trace
+/// session is active) and the hierarchical profiler (when a profiling
+/// session is active) — either, both, or neither.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name);
@@ -41,6 +46,7 @@ class TraceSpan {
  private:
   const char* name_ = nullptr;
   std::uint64_t start_ns_ = 0;
+  std::uint32_t prof_node_ = kNoProfileNode;
 };
 
 }  // namespace dfsssp::obs

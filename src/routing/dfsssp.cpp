@@ -58,6 +58,9 @@ RouteResponse DfssspRouter::route(const RouteRequest& request) const {
       layers_used = std::max(layers_used, static_cast<Layer>(assigned + 1));
     }
     for (const auto& l : layers) pk_reorders += l->num_reorders();
+    std::uint64_t cdg_insertions = 0;
+    for (const auto& l : layers) cdg_insertions += l->num_insertions();
+    PROF_COUNT("cdg/edge_insertions", cdg_insertions);
     if (options_.balance) {
       layers_used =
           balance_layers(paths, layer, layers_used, max_layers);
@@ -119,9 +122,12 @@ RouteResponse DfssspRouter::route(const RouteRequest& request) const {
   obs::Registry& sink = request.sink();
   if (acyclicity_checks > 0) {
     sink.counter("dfsssp/acyclicity_checks").add(acyclicity_checks);
+    // Re-layer attempts, attributed to the dfsssp/layering span.
+    PROF_COUNT("dfsssp/acyclicity_checks", acyclicity_checks);
   }
   if (pk_reorders > 0) {
     sink.counter("dfsssp/pk_reorders").add(pk_reorders);
+    PROF_COUNT("dfsssp/pk_reorders", pk_reorders);
   }
   sink.gauge("dfsssp/layers_used").set(layers_used);
   return out;

@@ -5,6 +5,7 @@
 #include "cdg/online.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 #include "routing/spath.hpp"
 
 namespace dfsssp {
@@ -13,6 +14,7 @@ RouteResponse LashRouter::route(const RouteRequest& request) const {
   const Topology& topo = request.topo();
   const Network& net = topo.net;
   const Layer max_layers = request.layer_budget(options_.max_layers);
+  TRACE_SPAN("lash/route");
   Timer timer;
   RouteResponse out;
   out.table = RoutingTable(net);
@@ -70,6 +72,7 @@ RouteResponse LashRouter::route(const RouteRequest& request) const {
   std::vector<std::unique_ptr<OnlineCdg>> layers;
   const std::uint32_t num_channels =
       static_cast<std::uint32_t>(net.num_channels());
+  std::uint64_t layer_attempts = 0;
   std::vector<ChannelId> fwd_seq, rev_seq;
   Layer used = 1;
   for (NodeId a : net.switches()) {
@@ -92,6 +95,7 @@ RouteResponse LashRouter::route(const RouteRequest& request) const {
         if (l == layers.size()) {
           layers.push_back(std::make_unique<OnlineCdg>(num_channels));
         }
+        ++layer_attempts;
         if (!layers[l]->try_add_path(fwd_seq)) continue;
         if (!layers[l]->try_add_path(rev_seq)) {
           layers[l]->remove_path(fwd_seq);
@@ -114,6 +118,11 @@ RouteResponse LashRouter::route(const RouteRequest& request) const {
   out.table.set_num_layers(used);
   out.stats.layers_used = used;
   out.stats.layering_seconds = timer.seconds();
+  // Deterministic layering cost, attributed to the lash/route span.
+  std::uint64_t cdg_insertions = 0;
+  for (const auto& l : layers) cdg_insertions += l->num_insertions();
+  PROF_COUNT("lash/layer_attempts", layer_attempts);
+  PROF_COUNT("cdg/edge_insertions", cdg_insertions);
   out.ok = true;
   return out;
 }

@@ -26,6 +26,7 @@ bool sssp_fill_planes(const Network& net, const SsspOptions& options,
   // Heap traffic is aggregated in locals and flushed once per call, so the
   // Dijkstra inner loop sees plain register increments, not atomics.
   std::uint64_t num_passes = 0, num_pops = 0, num_relaxations = 0;
+  std::uint64_t num_pushes = 0;
   const std::size_t num_sw = net.num_switches();
   const std::uint64_t n = net.num_nodes();
   // Initial weight |V|^2 forces minimal paths (§II): the extra weight a
@@ -56,6 +57,7 @@ bool sssp_fill_planes(const Network& net, const SsspOptions& options,
       dist[dst_index] = 0;
       heap.push(0, dst_index);
       ++num_passes;
+      ++num_pushes;
       std::size_t settled = 0;
       while (!heap.empty()) {
         auto [du, u_index] = heap.pop();
@@ -68,6 +70,9 @@ bool sssp_fill_planes(const Network& net, const SsspOptions& options,
           const ChannelId fwd = net.channel(c).reverse;  // v -> u
           const std::uint64_t cand = du + weight[fwd];
           if (cand < dist[v_index]) {
+            // A relaxation from infinity is a fresh heap insert; any other
+            // is a decrease-key on an already-queued switch.
+            num_pushes += dist[v_index] == kInf ? 1 : 0;
             dist[v_index] = cand;
             parent[v_index] = fwd;
             heap.push_or_decrease(cand, v_index);
@@ -109,11 +114,19 @@ bool sssp_fill_planes(const Network& net, const SsspOptions& options,
   static obs::Counter& c_passes =
       obs::registry().counter("sssp/dijkstra_passes");
   static obs::Counter& c_pops = obs::registry().counter("sssp/heap_pops");
+  static obs::Counter& c_pushes = obs::registry().counter("sssp/heap_pushes");
   static obs::Counter& c_relaxations =
       obs::registry().counter("sssp/relaxations");
   c_passes.add(num_passes);
   c_pops.add(num_pops);
+  c_pushes.add(num_pushes);
   c_relaxations.add(num_relaxations);
+  // Profile attribution: the same deterministic tallies land on the
+  // innermost enclosing span (the sssp/fill_planes span opened above).
+  PROF_COUNT("sssp/dijkstra_passes", num_passes);
+  PROF_COUNT("sssp/heap_pops", num_pops);
+  PROF_COUNT("sssp/heap_pushes", num_pushes);
+  PROF_COUNT("sssp/relaxations", num_relaxations);
   stats.route_seconds += timer.seconds();
   return true;
 }

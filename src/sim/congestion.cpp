@@ -33,6 +33,9 @@ PatternResult simulate_pattern(const Network& net, const RoutingTable& table,
                                const CongestionOptions& options) {
   PatternResult result;
   if (flows.empty()) return result;
+  // One span per pattern (work item), never per pool chunk: the profile's
+  // invocation count equals the pattern count at any --threads=N.
+  TRACE_SPAN("sim/pattern");
   std::uint64_t freeze_rounds = 0;
 
   // Per-channel flow counts.
@@ -135,6 +138,8 @@ PatternResult simulate_pattern(const Network& net, const RoutingTable& table,
   c_patterns.inc();
   if (freeze_rounds > 0) c_rounds.add(freeze_rounds);
   h_maxcong.record(result.max_congestion);
+  PROF_COUNT("sim/patterns_simulated", 1);
+  if (freeze_rounds > 0) PROF_COUNT("sim/freeze_rounds", freeze_rounds);
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include "common/narrow.hpp"
+#include "obs/trace.hpp"
 
 namespace dfsssp {
 
@@ -29,6 +30,10 @@ std::pair<std::uint64_t, std::uint64_t> chunk_range(std::uint64_t chunk,
 
 Topology generate_chunked(const ChunkedGenerator& gen, const ExecContext& exec,
                           const ChunkedOptions& opts) {
+  // Profiler/trace spans sit at work-item granularity (one per id-span
+  // chunk): the chunk grid is size-derived, so invocation counts and the
+  // emitted-link tallies are identical at any --threads=N.
+  TRACE_SPAN("topology/generate_chunked");
   const GenLayout lay = gen.layout();
   NetworkBuilder builder(lay.num_switches);
   builder.reserve_links(lay.num_links);
@@ -38,11 +43,13 @@ Topology generate_chunked(const ChunkedGenerator& gen, const ExecContext& exec,
   for (std::uint32_t phase = 0; phase < lay.link_phases; ++phase) {
     auto chunks = parallel_map(
         exec, static_cast<std::size_t>(lay.link_chunks), [&](std::size_t i) {
+          TRACE_SPAN("topology/emit_links");
           std::vector<SwitchLink> out;
           Rng rng(stream_seed(base_seed,
                               (static_cast<std::uint64_t>(phase) << 40) |
                                   static_cast<std::uint64_t>(i)));
           gen.emit_links(phase, i, rng, out);
+          PROF_COUNT("topology/links_emitted", out.size());
           return out;
         });
     for (const auto& c : chunks) builder.add_links(c);
@@ -50,8 +57,10 @@ Topology generate_chunked(const ChunkedGenerator& gen, const ExecContext& exec,
 
   auto terminal_chunks = parallel_map(
       exec, static_cast<std::size_t>(lay.terminal_chunks), [&](std::size_t i) {
+        TRACE_SPAN("topology/emit_terminals");
         std::vector<std::uint32_t> out;
         gen.emit_terminals(i, out);
+        PROF_COUNT("topology/terminals_emitted", out.size());
         return out;
       });
   for (const auto& c : terminal_chunks) builder.add_terminals(c);
@@ -67,7 +76,10 @@ Topology generate_chunked(const ChunkedGenerator& gen, const ExecContext& exec,
   }
 
   Topology topo;
-  topo.net = builder.build(opts.validate);
+  {
+    TRACE_SPAN("topology/build");
+    topo.net = builder.build(opts.validate);
+  }
   topo.name = gen.topo_name();
   topo.meta.family = gen.family();
   gen.fill_meta(topo.meta);

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/narrow.hpp"
+#include "obs/trace.hpp"
 #include "topology/chunked.hpp"
 
 namespace dfsssp {
@@ -353,6 +354,7 @@ Topology make_random(std::uint32_t num_switches,
                      std::uint32_t terminals_per_switch,
                      std::uint32_t num_links,
                      std::uint32_t max_inter_switch_ports, Rng& rng) {
+  TRACE_SPAN("topology/generate");
   if (num_switches < 2) throw std::invalid_argument("random: >= 2 switches");
   if (num_links + 1 < num_switches) {
     throw std::invalid_argument("random: too few links for connectivity");

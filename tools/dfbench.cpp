@@ -6,6 +6,9 @@
 //   dfbench compare  <baseline-dir> <run-dir>
 //                    [--mad-k=K] [--rel-eps=F] [--abs-eps-ms=MS]
 //                    [--fail-on-timing] [--verbose]
+//   dfbench profile  <bench> [--tier=quick|full] [--out=DIR]
+//                    [--bench-dir=DIR] [--threads=N] [--top=N]
+//                    [--min-attribution=PCT] [--timeout=SECONDS]
 //   dfbench list     [--tier=quick|full]
 //
 // `run` executes every roster bench (quick tier: small configurations that
@@ -15,6 +18,14 @@
 // MAD timing statistics; deterministic sections asserted identical across
 // repetitions). Benches run as subprocesses with a per-bench timeout; a
 // hung bench is killed, recorded as a failure, and the roster continues.
+//
+// `profile` runs one roster bench under the span-tree profiler and renders
+// its hierarchical wall-time/work attribution: a top-N self-time table
+// with the deterministic cost counters (heap operations, cycle-search
+// steps, CDG insertions) per node, plus a collapsed-stack .folded export
+// for flamegraph.pl / speedscope. --min-attribution=PCT fails the run when
+// less than PCT% of the root wall time lands below the root — the CI guard
+// that keeps the hot paths instrumented.
 //
 // `compare` pairs BENCH_*.json files by name across two directories and
 // applies the obs/report gate: deterministic quality metrics (layer
@@ -34,9 +45,11 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
@@ -44,6 +57,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "obs/profile/profile.hpp"
 #include "obs/report/build_info.hpp"
 #include "obs/report/compare.hpp"
 #include "obs/report/report.hpp"
@@ -73,6 +87,15 @@ int usage() {
       "    --rel-eps=F          relative timing floor (default 0.10)\n"
       "    --abs-eps-ms=MS      absolute timing floor (default 0.5)\n"
       "    --fail-on-timing     timing regressions fail the gate too\n"
+      "  profile BENCH          run one bench under the span-tree profiler\n"
+      "    --tier=quick|full    argument tier (default quick)\n"
+      "    --out=DIR            output directory (default out)\n"
+      "    --bench-dir=DIR      bench binaries (default build/bench)\n"
+      "    --threads=N          forwarded to the bench (default 0 = auto)\n"
+      "    --top=N              rows in the self-time table (default 20)\n"
+      "    --min-attribution=P  fail when < P%% of wall time is attributed\n"
+      "                         below the root (default 0 = report only)\n"
+      "    --timeout=SECONDS    override the per-bench timeout\n"
       "  list                   print the roster\n"
       "  --verbose              also print PASS findings / bench stdout\n");
   return 2;
@@ -484,6 +507,138 @@ int cmd_compare(const Cli& cli) {
   return failed == 0 ? 0 : 1;
 }
 
+// ---- profile ----------------------------------------------------------------
+
+/// Rebuilds an obs::Profile from a schema-3 run report: the deterministic
+/// columns come from the `profile` array (already in canonical DFS
+/// preorder), the wall times from the "prof/<path>/{total,self}_ms" timing
+/// stats the same report carries.
+obs::Profile profile_from_report(const obs::RunReport& report) {
+  obs::Profile prof;
+  if (!report.profile.is_array()) return prof;
+  for (const obs::JsonValue& node : report.profile.items()) {
+    const obs::JsonValue* path = node.find("path");
+    if (path == nullptr || !path->is_string()) continue;
+    obs::ProfileNode n;
+    n.path = path->as_string();
+    const std::size_t semi = n.path.find_last_of(';');
+    n.name = semi == std::string::npos ? n.path : n.path.substr(semi + 1);
+    n.depth = static_cast<std::uint32_t>(
+        std::count(n.path.begin(), n.path.end(), ';'));
+    if (const obs::JsonValue* v = node.find("invocations")) {
+      n.invocations = v->as_uint();
+    }
+    if (const obs::JsonValue* v = node.find("counters")) {
+      for (const obs::JsonValue::Member& m : v->members()) {
+        n.counters.emplace(m.first, m.second.as_uint());
+      }
+    }
+    const auto ns_of = [&report, &n](const char* suffix) -> std::uint64_t {
+      const auto it = report.timing_stats.find("prof/" + n.path + suffix);
+      if (it == report.timing_stats.end() || it->second.median_ms < 0) {
+        return 0;
+      }
+      return static_cast<std::uint64_t>(
+          std::llround(it->second.median_ms * 1e6));
+    };
+    n.total_ns = ns_of("/total_ms");
+    n.self_ns = ns_of("/self_ms");
+    prof.nodes.push_back(std::move(n));
+  }
+  return prof;
+}
+
+int cmd_profile(const Cli& cli) {
+  const auto& pos = cli.positional();
+  if (pos.size() != 2) return usage();  // "profile" BENCH
+  const std::string& bench_name = pos[1];
+  const std::string tier_name = cli.get("tier", "quick");
+  if (tier_name != "quick" && tier_name != "full") return usage();
+  const Tier tier = tier_name == "full" ? Tier::kFull : Tier::kQuick;
+  const std::string out_dir = cli.get("out", "out");
+  const std::string bench_dir = cli.get("bench-dir", "build/bench");
+  const std::int64_t threads =
+      std::max<std::int64_t>(0, cli.get_int("threads", 0));
+  const auto top_n = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, cli.get_int("top", 20)));
+  const double min_attribution = cli.get_double("min-attribution", 0.0);
+  const std::int64_t timeout_override = cli.get_int("timeout", 0);
+
+  const RosterEntry* entry = nullptr;
+  static const std::vector<RosterEntry> all = roster();
+  for (const RosterEntry& e : all) {
+    if (e.name == bench_name) { entry = &e; break; }
+  }
+  if (entry == nullptr) {
+    std::fprintf(stderr, "dfbench profile: unknown bench '%s' (see "
+                         "`dfbench list --tier=full`)\n", bench_name.c_str());
+    return 2;
+  }
+  if (entry->micro) {
+    std::fprintf(stderr, "dfbench profile: '%s' is a google-benchmark "
+                         "binary without span instrumentation\n",
+                 bench_name.c_str());
+    return 2;
+  }
+  const std::string binary = bench_dir + "/" + entry->binary;
+  if (!fs::exists(binary)) {
+    std::fprintf(stderr, "dfbench profile: missing binary %s (build it "
+                         "first)\n", binary.c_str());
+    return 2;
+  }
+
+  fs::create_directories(out_dir);
+  const std::string report_path =
+      out_dir + "/BENCH_" + entry->name + ".profile.json";
+  const std::string folded_path = out_dir + "/" + entry->name + ".folded";
+  const std::string log_path = out_dir + "/" + entry->name + ".profile.log";
+
+  std::vector<std::string> argv{binary};
+  const std::vector<std::string>& extra =
+      tier == Tier::kFull ? entry->full_args : entry->quick_args;
+  argv.insert(argv.end(), extra.begin(), extra.end());
+  argv.push_back("--threads=" + std::to_string(threads));
+  argv.push_back("--json=" + report_path);
+  argv.push_back("--profile=" + folded_path);
+  const int timeout_s = timeout_override > 0 ? static_cast<int>(timeout_override)
+                                             : entry->timeout_s;
+  std::fprintf(stderr, "dfbench: profiling %s (%s tier) ...\n",
+               entry->name.c_str(), tier_name.c_str());
+  const RunResult run = run_subprocess(argv, log_path, timeout_s);
+  if (run.timed_out) {
+    std::fprintf(stderr, "dfbench profile: %s TIMEOUT after %ds\n",
+                 entry->name.c_str(), timeout_s);
+    return 1;
+  }
+  if (run.exit_code != 0) {
+    std::fprintf(stderr, "dfbench profile: %s exited %d (see %s)\n",
+                 entry->name.c_str(), run.exit_code, log_path.c_str());
+    return 1;
+  }
+
+  const obs::RunReport report = obs::read_run_report(report_path);
+  const obs::Profile prof = profile_from_report(report);
+  if (prof.nodes.empty()) {
+    std::fprintf(stderr, "dfbench profile: %s produced no profile section "
+                         "— was the binary built with DFS_OBS_TRACING=OFF?\n",
+                 entry->name.c_str());
+    return 1;
+  }
+  obs::write_profile_text(std::cout, prof, top_n);
+  const double attributed = obs::attributed_fraction(prof) * 100.0;
+  std::printf("\nattribution: %.1f%% of %.0f ms wall time attributed below "
+              "the root\nfolded stacks: %s\nreport: %s\n",
+              attributed, static_cast<double>(prof.nodes.front().total_ns) / 1e6,
+              folded_path.c_str(), report_path.c_str());
+  if (attributed < min_attribution) {
+    std::printf("dfbench profile: FAIL — attribution %.1f%% is below the "
+                "--min-attribution=%.1f%% floor; instrument the uncovered "
+                "hot paths\n", attributed, min_attribution);
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_list(const Cli& cli) {
   const std::string tier_name = cli.get("tier", "quick");
   const Tier tier = tier_name == "full" ? Tier::kFull : Tier::kQuick;
@@ -509,6 +664,7 @@ int run(int argc, char** argv) {
   const std::string& command = pos[0];
   if (command == "run") return cmd_run(cli);
   if (command == "compare") return cmd_compare(cli);
+  if (command == "profile") return cmd_profile(cli);
   if (command == "list") return cmd_list(cli);
   return usage();
 }

@@ -11,6 +11,10 @@
 //   dftopo validate <file> [--format=edgelist|netfile|ibnetdiscover]
 //   dftopo stats <config-or-file> [--threads=N]
 //
+// Every command also accepts --trace=FILE: a Chrome trace_event span log
+// of the generation/validation phases (load in ui.perfetto.dev), the same
+// instrumentation stream the bench binaries expose.
+//
 // Formats are sniffed from the file content when --format is absent (the
 // DFEL magic, else netfile).
 #include <cstdio>
@@ -21,6 +25,7 @@
 #include "common/cli.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 #include "topology/configs.hpp"
 #include "topology/io.hpp"
 #include "topology/metrics.hpp"
@@ -36,7 +41,9 @@ int usage(const char* prog) {
       "  generate <config> --out=FILE [--format=edgelist|netfile|dot]\n"
       "                               [--threads=N] [--no-validate]\n"
       "  validate <file>              [--format=edgelist|netfile|ibnetdiscover]\n"
-      "  stats <config-or-file>       [--threads=N]\n",
+      "  stats <config-or-file>       [--threads=N]\n"
+      "  --trace=FILE                 Chrome trace_event span log (any "
+      "command)\n",
       prog);
   return 2;
 }
@@ -191,6 +198,10 @@ int cmd_stats(const Cli& cli) {
 int run(int argc, char** argv) {
   Cli cli(argc, argv);
   if (cli.positional().empty()) return usage(argv[0]);
+  // Spans buffer from here; the atexit hook writes the file, so every exit
+  // path (including thrown errors) still produces the trace.
+  const std::string trace = cli.get("trace", "");
+  if (!trace.empty()) obs::start_tracing(trace);
   const std::string& cmd = cli.positional()[0];
   if (cmd == "list") return cmd_list();
   if (cmd == "generate") return cmd_generate(cli);
