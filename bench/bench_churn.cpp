@@ -17,10 +17,14 @@
 //   --k=K --n=N       fabric (default 32-ary 2-tree: 1024 terminals)
 //   --events=E        churn events to generate (default 40)
 //   --event-seed=S    schedule seed
+//   --batch=B         coalesce B consecutive events into one repair via
+//                     ChurnEngine::apply_all (default 1 = repair per event,
+//                     the daemon's behavior between fault notifications)
 //   --full-every=F    sample a from-scratch recompute every F applied
-//                     events (0 = never; default 10)
+//                     batches (0 = never; default 10)
 //   --cert-dir=DIR    also write the certificate at every sample point
 #include <algorithm>
+#include <span>
 
 #include "bench_util.hpp"
 #include "fault/churn.hpp"
@@ -41,6 +45,9 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(cli.get_int("events", 40));
   const std::uint64_t event_seed =
       static_cast<std::uint64_t>(cli.get_int("event-seed", 0xC4A17));
+  const std::size_t batch =
+      static_cast<std::size_t>(std::max<std::int64_t>(cli.get_int("batch", 1),
+                                                      1));
   const std::uint32_t full_every =
       static_cast<std::uint32_t>(cli.get_int("full-every", 10));
   const std::string cert_dir = cli.get("cert-dir", "");
@@ -107,11 +114,16 @@ int main(int argc, char** argv) {
   const FaultSchedule schedule =
       FaultSchedule::random(topo.net, sched_opts, event_seed + 1);
 
+  // batch == 1 takes the exact path a daemon takes per fault notification
+  // (apply_all delegates to apply()); larger batches coalesce consecutive
+  // events into one delta and one repair, the daemon's burst behavior.
   std::uint32_t applied = 0, vetoed = 0, fallbacks = 0, cert_failures = 0;
   std::uint64_t dests_rerouted = 0;
   std::vector<double> repair_ms, full_ms;
-  for (std::size_t i = 0; i < schedule.size(); ++i) {
-    const ChurnDelta delta = churn.apply(schedule[i]);
+  for (std::size_t i = 0; i < schedule.size(); i += batch) {
+    const std::size_t count = std::min(batch, schedule.size() - i);
+    const ChurnDelta delta = churn.apply_all(
+        std::span<const FaultEvent>(schedule.events().data() + i, count));
     if (!delta.applied) {
       ++vetoed;
       continue;

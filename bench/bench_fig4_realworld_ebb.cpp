@@ -14,7 +14,8 @@ int main(int argc, char** argv) {
   BenchConfig cfg = BenchConfig::parse(argc, argv);
   Table table = run_roster(
       "Figure 4: eBB on real-world systems (relative, 1.0 = none congested)",
-      {"system", "terminals"}, "", make_all_real_systems(), make_all_routers(),
+      {"system", "terminals"}, "", make_all_real_systems(),
+      roster_routers(cfg),
       [](Table& t, const Topology& topo, std::size_t) {
         t.cell(topo.name).cell(topo.net.num_terminals());
       },

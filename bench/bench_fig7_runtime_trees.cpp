@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
 
   Table table = run_roster(
       "Figure 7: routing runtime on k-ary n-trees", {"tree", "endpoints"},
-      " [ms]", topos, make_all_routers(),
+      " [ms]", topos, roster_routers(cfg),
       [&](Table& t, const Topology& topo, std::size_t i) {
         t.cell(std::to_string(rows[i].tree_k) + "-ary " +
                std::to_string(rows[i].tree_n) + "-tree")

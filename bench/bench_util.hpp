@@ -25,7 +25,10 @@
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <memory>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -41,6 +44,7 @@
 #include "obs/report/report.hpp"
 #include "obs/rusage.hpp"
 #include "obs/trace.hpp"
+#include "routing/registry.hpp"
 #include "routing/router.hpp"
 #include "sim/congestion.hpp"
 #include "topology/configs.hpp"
@@ -59,6 +63,9 @@ struct BenchConfig {
   std::string trace;
   std::string profile;
   std::string program;
+  /// --engines=key1,key2 — restrict roster_routers() to these registry
+  /// keys (empty = the full default roster).
+  std::string engines;
   /// Whether this binary's table cells are derived purely from the work
   /// (eBB values, layer counts, modeled times) and therefore bitwise
   /// identical across runs and thread counts. Binaries whose cells embed
@@ -80,6 +87,7 @@ struct BenchConfig {
     cfg.json = cli.get("json", "");
     cfg.trace = cli.get("trace", "");
     cfg.profile = cli.get("profile", "");
+    cfg.engines = cli.get("engines", "");
     cfg.program = cli.program();
     const std::size_t slash = cfg.program.find_last_of('/');
     if (slash != std::string::npos) cfg.program.erase(0, slash + 1);
@@ -112,6 +120,12 @@ struct BenchConfig {
       std::printf("(folded profile written to %s)\n", profile.c_str());
     }
   }
+
+  /// Extra wall-clock statistics merged into the --json report's
+  /// timing_stats (benches that compute their own percentiles — e.g.
+  /// bench_soak's p50/p99 lookup latency — publish them here; existing
+  /// derived entries win on name collision).
+  std::map<std::string, obs::TimingStat> extra_timing_stats;
 
   /// The structured run report behind --json, in the versioned schema of
   /// obs/report (schema_version, git rev, build flags, deterministic
@@ -159,6 +173,8 @@ struct BenchConfig {
     report.metrics = obs::metrics_to_json(snap, obs::Kind::kDeterministic);
     report.timing_metrics = obs::metrics_to_json(snap, obs::Kind::kTiming);
     obs::derive_timing_stats(report);
+    report.timing_stats.insert(extra_timing_stats.begin(),
+                               extra_timing_stats.end());
     if (obs::profiling_active()) {
       const obs::Profile prof = obs::collect_profile();
       report.profile = obs::profile_to_json(prof);
@@ -187,6 +203,36 @@ struct BenchConfig {
   Timer wall_;
   std::vector<Table> emitted_;
 };
+
+/// The bench's engine roster, resolved through the routing registry: the
+/// full default roster (make_all_routers order) or, with --engines=a,b,
+/// just the named registry keys in roster order. Throws on unknown keys so
+/// a typo fails loudly instead of silently benchmarking nothing.
+inline std::vector<std::unique_ptr<Router>> roster_routers(
+    const BenchConfig& cfg, Layer max_layers = 8) {
+  if (cfg.engines.empty()) return make_all_routers(max_layers);
+  std::vector<std::string> keys;
+  std::string key;
+  std::istringstream in(cfg.engines);
+  while (std::getline(in, key, ',')) {
+    if (routing::find_engine(key) == nullptr) {
+      throw std::invalid_argument("--engines: unknown engine '" + key +
+                                  "' (have: " + routing::engine_names() +
+                                  ")");
+    }
+    keys.push_back(key);
+  }
+  std::vector<std::unique_ptr<Router>> routers;
+  for (const routing::EngineInfo& e : routing::engine_roster()) {
+    for (const std::string& k : keys) {
+      if (routing::find_engine(k) == &e) {
+        routers.push_back(routing::make_router(e.name, max_layers));
+        break;
+      }
+    }
+  }
+  return routers;
+}
 
 /// eBB over all terminals with a fixed pattern stream (so engines see
 /// identical patterns). Returns -1 when the engine refused the topology.

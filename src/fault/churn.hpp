@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -61,11 +62,27 @@ class ChurnEngine {
   /// mutates in place; a vetoed event leaves it untouched.
   ChurnDelta apply(const FaultEvent& event);
 
+  /// Applies a batch of events and returns ONE coalesced delta: channel and
+  /// switch flips are measured batch-start vs batch-end (a link downed and
+  /// restored within the batch appears in neither list, duplicates collapse),
+  /// and connectivity is vetoed with a single partition pass at the end
+  /// instead of per event. This is what lets a daemon fold a burst of fault
+  /// notifications into one repair. When the batch as a whole would
+  /// disconnect the alive switches, it is rolled back and replayed per event
+  /// so exactly the disconnecting events are vetoed — the net topology state
+  /// is then identical to calling apply() in a loop. `delta.event` is the
+  /// first event of the batch; an empty batch returns a no-effect delta.
+  ChurnDelta apply_all(std::span<const FaultEvent> events);
+
   const Topology& topo() const { return *topo_; }
   std::uint64_t events_applied() const { return events_applied_; }
   std::uint64_t events_vetoed() const { return events_vetoed_; }
 
  private:
+  /// Drops generator metadata once the fabric diverges from its generated
+  /// structure (see ChurnOptions::degrade_meta).
+  void maybe_degrade_meta();
+
   Topology* topo_;
   ChurnOptions options_;
   std::uint64_t events_applied_ = 0;

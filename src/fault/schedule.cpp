@@ -176,11 +176,22 @@ FaultSchedule FaultSchedule::random(const Network& net,
         break;
       }
       case FaultKind::kSwitchUp: {
-        const std::uint32_t si = down_switches[static_cast<std::size_t>(
-            rng.next_below(down_switches.size()))];
-        model.sw_up[si] = 1;
-        ev.sw = net.switch_by_index(si);
-        emitted = true;
+        // Revival needs the same connectivity guard as the down events: a
+        // switch whose links were independently downed while it was dead
+        // would rejoin the alive set isolated — a partition the subnet
+        // manager cannot route across.
+        for (std::uint32_t attempt = 0;
+             attempt < options.max_attempts && !emitted; ++attempt) {
+          const std::uint32_t si = down_switches[static_cast<std::size_t>(
+              rng.next_below(down_switches.size()))];
+          model.sw_up[si] = 1;
+          if (!options.keep_connected || model.connected()) {
+            ev.sw = net.switch_by_index(si);
+            emitted = true;
+          } else {
+            model.sw_up[si] = 0;
+          }
+        }
         break;
       }
       case FaultKind::kLinkDown: {

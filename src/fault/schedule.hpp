@@ -48,10 +48,12 @@ struct FaultScheduleOptions {
   std::uint32_t link_up_weight = 3;
   std::uint32_t switch_down_weight = 2;
   std::uint32_t switch_up_weight = 1;
-  /// Never emit a down event that would disconnect the alive switches (or
-  /// take the last alive switch down). Candidates are re-drawn up to
-  /// `max_attempts` times; when none survives, the event degenerates to an
-  /// up event (or is skipped when nothing is down).
+  /// Never emit an event that would disconnect the alive switches: no down
+  /// event may partition them (or take the last alive switch down), and no
+  /// switch revival may rejoin the alive set isolated (its links downed
+  /// while it was dead). Candidates are re-drawn up to `max_attempts`
+  /// times; when none survives, the event degenerates to an up event (or
+  /// is skipped when nothing is down).
   bool keep_connected = true;
   std::uint32_t max_attempts = 32;
 };

@@ -1,0 +1,118 @@
+#include "routing/registry.hpp"
+
+#include <cctype>
+
+#include "routing/dfsssp.hpp"
+#include "routing/dor.hpp"
+#include "routing/dor_dateline.hpp"
+#include "routing/fattree.hpp"
+#include "routing/lash.hpp"
+#include "routing/minhop.hpp"
+#include "routing/sssp.hpp"
+#include "routing/updown.hpp"
+
+namespace dfsssp::routing {
+namespace {
+
+/// Lowercase alphanumerics only, so "Up*/Down*", "UPDOWN" and "updown" all
+/// collapse to the same key (the matching dfcheck --route always used).
+std::string normalized(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      out.push_back(static_cast<char>(std::tolower(c)));
+    }
+  }
+  return out;
+}
+
+std::vector<EngineInfo> build_roster() {
+  std::vector<EngineInfo> r;
+  auto add = [&r](const char* name, const char* display, const char* desc,
+                  bool df, bool layered, bool incremental, bool roster) {
+    EngineInfo e;
+    e.name = name;
+    e.display_name = display;
+    e.description = desc;
+    e.deadlock_free = df;
+    e.layered = layered;
+    e.incremental = incremental;
+    e.in_default_roster = roster;
+    r.push_back(std::move(e));
+  };
+  // The paper's Figure-4 roster, in plot order (make_all_routers order).
+  add("minhop", "MinHop",
+      "shortest paths, no deadlock avoidance (OpenSM default)",
+      false, false, false, true);
+  add("updown", "Up*/Down*",
+      "BFS-rooted up/down turn restriction, single layer",
+      true, false, false, true);
+  add("fattree", "FatTree",
+      "structure-aware fat-tree routing (refuses non-trees)",
+      true, false, false, true);
+  add("dor", "DOR",
+      "dimension-order routing for meshes/tori (coordinates required)",
+      true, false, false, true);
+  add("lash", "LASH",
+      "layered shortest paths, cycle-free layer assignment per path",
+      true, true, false, true);
+  add("sssp", "SSSP",
+      "weighted single-source shortest paths, balanced, no layering",
+      false, false, false, true);
+  add("dfsssp", "DFSSSP",
+      "the paper's engine: SSSP + cycle-breaking virtual-layer assignment; "
+      "repairable in place under churn (IncrementalDfsssp)",
+      true, true, true, true);
+  // Extras beyond the Figure-4 roster.
+  add("dordateline", "DOR-dateline",
+      "torus DOR made deadlock-free via dateline-crossing layers (2^d VLs)",
+      true, true, false, false);
+  return r;
+}
+
+}  // namespace
+
+const std::vector<EngineInfo>& engine_roster() {
+  static const std::vector<EngineInfo> roster = build_roster();
+  return roster;
+}
+
+const EngineInfo* find_engine(const std::string& name) {
+  const std::string want = normalized(name);
+  for (const EngineInfo& e : engine_roster()) {
+    if (e.name == want || normalized(e.display_name) == want) return &e;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Router> make_router(const std::string& name,
+                                    Layer max_layers) {
+  const EngineInfo* info = find_engine(name);
+  if (info == nullptr) return nullptr;
+  if (info->name == "minhop") return std::make_unique<MinHopRouter>();
+  if (info->name == "updown") return std::make_unique<UpDownRouter>();
+  if (info->name == "fattree") return std::make_unique<FatTreeRouter>();
+  if (info->name == "dor") return std::make_unique<DorRouter>();
+  if (info->name == "lash") {
+    return std::make_unique<LashRouter>(LashOptions{max_layers});
+  }
+  if (info->name == "sssp") return std::make_unique<SsspRouter>();
+  if (info->name == "dfsssp") {
+    return std::make_unique<DfssspRouter>(
+        DfssspOptions{.max_layers = max_layers});
+  }
+  if (info->name == "dordateline") {
+    return std::make_unique<DorDatelineRouter>(max_layers);
+  }
+  return nullptr;  // registry row without a factory branch: a bug
+}
+
+std::string engine_names() {
+  std::string out;
+  for (const EngineInfo& e : engine_roster()) {
+    out += (out.empty() ? "" : ", ") + e.name;
+  }
+  return out;
+}
+
+}  // namespace dfsssp::routing

@@ -1,0 +1,58 @@
+// Engine registry: the single place a routing engine is constructed by name.
+//
+// Every consumer that used to hard-code the roster — the per-figure benches
+// (make_all_routers), dfcheck's --route=ENGINE matching, dfbench's roster
+// listing, and the dfrouted daemon's --engine flag — resolves engines here,
+// so adding an engine is one registry row instead of four call-site edits.
+//
+// An entry carries the canonical lookup key (lowercase, no punctuation),
+// the display name the paper's tables print, a one-line description, and
+// the capability flags tooling branches on (deadlock freedom, virtual-layer
+// consumption, incremental repairability, default-roster membership).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "routing/router.hpp"
+
+namespace dfsssp::routing {
+
+struct EngineInfo {
+  /// Canonical registry key ("minhop", "updown", "dfsssp", ...). Lookup is
+  /// forgiving — make_router() normalizes case and punctuation, so
+  /// "Up*/Down*" and "UPDOWN" both resolve to "updown".
+  std::string name;
+  /// Display name used in result tables ("Up*/Down*", "DFSSSP").
+  std::string display_name;
+  std::string description;
+  /// Produces routings guaranteed free of channel-dependency cycles.
+  bool deadlock_free = false;
+  /// Consumes the virtual-layer budget (max_layers is meaningful).
+  bool layered = false;
+  /// Can be repaired in place by IncrementalDfsssp under churn.
+  bool incremental = false;
+  /// Member of the paper's Figure-4 comparison roster, in plot order —
+  /// what make_all_routers() returns.
+  bool in_default_roster = true;
+};
+
+/// Every registered engine, in roster order (the paper's plot order first,
+/// then the extras).
+const std::vector<EngineInfo>& engine_roster();
+
+/// Registry metadata for one engine; nullptr when `name` (normalized)
+/// is not registered.
+const EngineInfo* find_engine(const std::string& name);
+
+/// Constructs an engine by (normalized) name or display name. `max_layers`
+/// bounds the layered engines (LASH, DFSSSP); non-layered engines ignore
+/// it. Returns nullptr for unknown names.
+std::unique_ptr<Router> make_router(const std::string& name,
+                                    Layer max_layers = 8);
+
+/// Comma-separated canonical keys, for error messages and usage text.
+std::string engine_names();
+
+}  // namespace dfsssp::routing

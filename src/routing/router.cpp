@@ -3,13 +3,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
-#include "routing/dfsssp.hpp"
-#include "routing/dor.hpp"
-#include "routing/fattree.hpp"
-#include "routing/lash.hpp"
-#include "routing/minhop.hpp"
-#include "routing/sssp.hpp"
-#include "routing/updown.hpp"
+#include "routing/registry.hpp"
 
 namespace dfsssp {
 
@@ -25,15 +19,13 @@ obs::Registry& RouteRequest::sink() const {
 }
 
 std::vector<std::unique_ptr<Router>> make_all_routers(Layer max_layers) {
+  // The registry is the source of truth; this keeps the historical
+  // "Figure 4 plot order" contract by construction (roster order).
   std::vector<std::unique_ptr<Router>> routers;
-  routers.push_back(std::make_unique<MinHopRouter>());
-  routers.push_back(std::make_unique<UpDownRouter>());
-  routers.push_back(std::make_unique<FatTreeRouter>());
-  routers.push_back(std::make_unique<DorRouter>());
-  routers.push_back(std::make_unique<LashRouter>(LashOptions{max_layers}));
-  routers.push_back(std::make_unique<SsspRouter>());
-  routers.push_back(
-      std::make_unique<DfssspRouter>(DfssspOptions{.max_layers = max_layers}));
+  for (const routing::EngineInfo& e : routing::engine_roster()) {
+    if (!e.in_default_roster) continue;
+    routers.push_back(routing::make_router(e.name, max_layers));
+  }
   return routers;
 }
 

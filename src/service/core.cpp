@@ -1,0 +1,275 @@
+#include "service/core.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/timer.hpp"
+#include "routing/registry.hpp"
+
+namespace dfsssp::service {
+
+ServiceCore::ServiceCore(Topology topo, ServiceCoreOptions options)
+    : metrics_(options.metrics != nullptr ? *options.metrics
+                                          : obs::registry()),
+      topo_(std::move(topo)),
+      churn_(topo_),
+      engine_key_(options.engine),
+      max_layers_(options.max_layers),
+      requests_(metrics_.counter("service/requests")),
+      lookups_(metrics_.counter("service/lookups")),
+      repairs_(metrics_.counter("service/repairs")),
+      routes_(metrics_.counter("service/routes")),
+      fault_events_(metrics_.counter("service/fault_events")),
+      snapshot_swaps_(metrics_.counter("service/snapshot_swaps")),
+      errors_(metrics_.counter("service/errors")),
+      draining_rejects_(metrics_.counter("service/draining_rejects")),
+      pending_events_gauge_(metrics_.gauge("service/pending_events")),
+      snapshot_version_gauge_(metrics_.gauge("service/snapshot_version")),
+      lookup_ns_(metrics_.timing_histogram("service/lookup_ns")),
+      repair_ns_(metrics_.timing_histogram("service/repair_ns")),
+      route_ns_(metrics_.timing_histogram("service/route_ns")) {
+  if (engine_key_ == "dfsssp") {
+    incremental_ = std::make_unique<IncrementalDfsssp>(
+        IncrementalOptions{.max_layers = max_layers_});
+  } else {
+    router_ = routing::make_router(engine_key_, max_layers_);
+    if (!router_) {
+      throw std::invalid_argument("unknown routing engine '" + engine_key_ +
+                                  "' (have: " + routing::engine_names() +
+                                  ")");
+    }
+  }
+}
+
+ServiceResponse ServiceCore::handle(const ServiceRequest& request) {
+  requests_.inc();
+  ServiceResponse resp;
+  if (draining() && request.kind != MsgKind::kShutdown) {
+    draining_rejects_.inc();
+    resp = error_response(request, Status::kErrDraining,
+                          "daemon is draining");
+  } else {
+    switch (request.kind) {
+      case MsgKind::kRoute:
+        resp = do_route(request);
+        break;
+      case MsgKind::kRepair:
+        resp = do_repair(request);
+        break;
+      case MsgKind::kFaultEvent:
+        resp = do_fault_event(request);
+        break;
+      case MsgKind::kLookup:
+        resp = do_lookup(request);
+        break;
+      case MsgKind::kStats:
+        resp = do_stats(request);
+        break;
+      case MsgKind::kSnapshotInfo:
+        resp = do_snapshot_info(request);
+        break;
+      case MsgKind::kShutdown:
+        begin_drain();
+        resp.kind = MsgKind::kShutdown;
+        resp.request_id = request.request_id;
+        break;
+    }
+  }
+  if (resp.status != Status::kOk) errors_.inc();
+  return resp;
+}
+
+ServiceResponse ServiceCore::publish(const ServiceRequest& r,
+                                     RouteResponse route,
+                                     std::uint64_t elapsed_ns) {
+  if (!route.ok) {
+    return error_response(r, Status::kErrRouteFailed, route.error);
+  }
+  auto snap = std::make_shared<ForwardingSnapshot>();
+  snap->table = std::move(route.table);
+  snap->layers_used = route.stats.layers_used;
+  snap->paths = route.stats.paths;
+  const std::uint64_t version = slot_.publish(std::move(snap));
+  snapshot_swaps_.inc();
+  snapshot_version_gauge_.set(version);
+
+  ServiceResponse resp;
+  resp.kind = r.kind;
+  resp.request_id = r.request_id;
+  resp.snapshot_version = version;
+  resp.layers = route.stats.layers_used;
+  resp.paths = route.stats.paths;
+  resp.elapsed_ns = elapsed_ns;
+  resp.incremental = route.repair.incremental;
+  resp.destinations_rerouted = route.repair.destinations_rerouted;
+  resp.paths_migrated = route.repair.paths_migrated;
+  return resp;
+}
+
+ServiceResponse ServiceCore::do_route(const ServiceRequest& r) {
+  routes_.inc();
+  ScopedTimer timer(route_ns_);
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  RouteRequest req(topo_, r.max_layers != 0 ? r.max_layers : max_layers_);
+  req.metrics = &metrics_;
+  RouteResponse route =
+      incremental_ ? incremental_->route(req) : router_->route(req);
+  return publish(r, std::move(route), timer.elapsed_ns());
+}
+
+ServiceResponse ServiceCore::do_repair(const ServiceRequest& r) {
+  repairs_.inc();
+  ScopedTimer timer(repair_ns_);
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  if (slot_.version() == 0) {
+    return error_response(r, Status::kErrNotRouted,
+                          "repair before the first route");
+  }
+
+  std::vector<FaultEvent> batch;
+  batch.swap(pending_);
+  pending_count_.store(0, std::memory_order_relaxed);
+  pending_events_gauge_.set(0);
+
+  if (batch.empty()) {
+    // Nothing to coalesce; report the current generation untouched.
+    ServiceResponse resp;
+    resp.kind = r.kind;
+    resp.request_id = r.request_id;
+    const auto snap = slot_.load();
+    resp.snapshot_version = snap->version;
+    resp.layers = snap->layers_used;
+    resp.paths = snap->paths;
+    resp.incremental = true;
+    resp.elapsed_ns = timer.elapsed_ns();
+    return resp;
+  }
+
+  const ChurnDelta delta = churn_.apply_all(batch);
+  RouteRequest req(topo_, max_layers_);
+  req.metrics = &metrics_;
+  RouteResponse route;
+  if (incremental_) {
+    route = incremental_->repair(req, delta);
+  } else {
+    // Non-incremental engines repair a degraded fabric the only way they
+    // can: from scratch.
+    route = router_->route(req);
+    route.repair.fallback_reason = "engine has no incremental repair";
+  }
+  ServiceResponse resp = publish(r, std::move(route), timer.elapsed_ns());
+  resp.events_coalesced = static_cast<std::uint32_t>(batch.size());
+  return resp;
+}
+
+ServiceResponse ServiceCore::do_fault_event(const ServiceRequest& r) {
+  fault_events_.inc();
+  if (r.fault_kind > static_cast<std::uint8_t>(FaultKind::kSwitchUp)) {
+    return error_response(r, Status::kErrBadArgument,
+                          "unknown fault kind " +
+                              std::to_string(int{r.fault_kind}));
+  }
+  FaultEvent event;
+  event.kind = static_cast<FaultKind>(r.fault_kind);
+  event.channel = r.channel;
+  event.sw = r.sw;
+  const Network& net = topo_.net;
+  const bool is_link = event.kind == FaultKind::kLinkDown ||
+                       event.kind == FaultKind::kLinkUp;
+  if (is_link && event.channel >= net.num_channels()) {
+    return error_response(r, Status::kErrBadArgument,
+                          "channel id out of range");
+  }
+  if (is_link) {
+    // Terminal injection/ejection channels have no independent link state
+    // (Network::set_link_up rejects them); catching this here keeps a bad
+    // client from poisoning the next repair's batch.
+    const Channel& ch = net.channel(event.channel);
+    if (net.is_terminal(ch.src) || net.is_terminal(ch.dst)) {
+      return error_response(r, Status::kErrBadArgument,
+                            "terminal links have no independent state");
+    }
+  }
+  if (!is_link &&
+      (event.sw >= net.num_nodes() || !net.is_switch(event.sw))) {
+    return error_response(r, Status::kErrBadArgument, "not a switch id");
+  }
+
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  pending_.push_back(event);
+  const auto count = static_cast<std::uint32_t>(pending_.size());
+  pending_count_.store(count, std::memory_order_relaxed);
+  pending_events_gauge_.set(count);
+
+  ServiceResponse resp;
+  resp.kind = r.kind;
+  resp.request_id = r.request_id;
+  resp.pending_events = count;
+  return resp;
+}
+
+ServiceResponse ServiceCore::do_lookup(const ServiceRequest& r) {
+  lookups_.inc();
+  ScopedTimer timer(lookup_ns_);
+  const std::shared_ptr<const ForwardingSnapshot> snap = slot_.load();
+  if (!snap) {
+    return error_response(r, Status::kErrNotRouted,
+                          "lookup before the first route");
+  }
+  // Node structure is immutable after construction (churn only flips
+  // up/down flags), so these reads are safe without the engine mutex.
+  const Network& net = topo_.net;
+  if (r.src_switch >= net.num_nodes() || !net.is_switch(r.src_switch)) {
+    return error_response(r, Status::kErrBadArgument, "not a switch id");
+  }
+  if (r.dst_terminal >= net.num_nodes() || !net.is_terminal(r.dst_terminal)) {
+    return error_response(r, Status::kErrBadArgument, "not a terminal id");
+  }
+
+  ServiceResponse resp;
+  resp.kind = r.kind;
+  resp.request_id = r.request_id;
+  resp.snapshot_version = snap->version;
+  resp.next_channel = snap->table.next(r.src_switch, r.dst_terminal);
+  resp.layer = snap->table.layer(r.src_switch, r.dst_terminal);
+  resp.ejected = resp.next_channel == kInvalidChannel;
+  return resp;
+}
+
+ServiceResponse ServiceCore::do_stats(const ServiceRequest& r) {
+  const obs::Snapshot snap = metrics_.snapshot();
+  std::ostringstream out;
+  out << "{\n  \"metrics\": ";
+  obs::write_metrics_json(out, snap, obs::Kind::kDeterministic, 2);
+  out << ",\n  \"timing_metrics\": ";
+  obs::write_metrics_json(out, snap, obs::Kind::kTiming, 2);
+  out << "\n}";
+
+  ServiceResponse resp;
+  resp.kind = r.kind;
+  resp.request_id = r.request_id;
+  resp.stats_json = out.str();
+  return resp;
+}
+
+ServiceResponse ServiceCore::do_snapshot_info(const ServiceRequest& r) {
+  ServiceResponse resp;
+  resp.kind = r.kind;
+  resp.request_id = r.request_id;
+  const std::shared_ptr<const ForwardingSnapshot> snap = slot_.load();
+  if (snap) {
+    resp.snapshot_version = snap->version;
+    resp.layers = snap->layers_used;
+    resp.paths = snap->paths;
+  }
+  resp.snapshot_swaps = slot_.swaps();
+  resp.pending_events = pending_count_.load(std::memory_order_relaxed);
+  resp.switches = static_cast<std::uint32_t>(topo_.net.num_switches());
+  resp.terminals = static_cast<std::uint32_t>(topo_.net.num_terminals());
+  resp.engine = engine_key_;
+  resp.topology = topo_.name;
+  return resp;
+}
+
+}  // namespace dfsssp::service

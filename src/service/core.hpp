@@ -1,0 +1,121 @@
+// The daemon's brain: one ServiceCore owns the persistent Topology, the
+// ChurnEngine that mutates it, and the routing engine that (re)programs
+// forwarding state — the same ownership triangle a subnet manager holds
+// over a fabric. Transports (unix socket, stdin/stdout pipe, in-process
+// benches) are thin loops around handle().
+//
+// Concurrency contract:
+//   * route / repair / fault_event / shutdown serialize on one engine
+//     mutex — there is a single fabric, so mutations are inherently
+//     ordered. Fault events only enqueue under the mutex (cheap); the
+//     expensive repair work happens on whichever connection thread sends
+//     the repair request, still under the mutex but OUTSIDE the snapshot
+//     lock.
+//   * lookup / stats / snapshot_info never take the engine mutex. Lookups
+//     read the RCU-published ForwardingSnapshot (snapshot.hpp): during a
+//     repair they answer from the previous generation; after the publish
+//     they answer from the new one; never a torn mix.
+//
+// Fault events batch in a pending queue and are coalesced by
+// ChurnEngine::apply_all into ONE delta on the next repair request — a
+// burst of link flaps costs one repair, not one per event.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fault/churn.hpp"
+#include "fault/incremental.hpp"
+#include "obs/metrics.hpp"
+#include "routing/router.hpp"
+#include "service/envelope.hpp"
+#include "service/snapshot.hpp"
+#include "topology/topology.hpp"
+
+namespace dfsssp::service {
+
+struct ServiceCoreOptions {
+  /// Engine registry key (routing::make_router). "dfsssp" gets the
+  /// incremental repair path; every other engine repairs by full
+  /// recompute.
+  std::string engine = "dfsssp";
+  /// Virtual-layer budget; a route request's max_layers overrides.
+  Layer max_layers = 8;
+  /// Metrics sink; nullptr = the process-global obs::registry().
+  obs::Registry* metrics = nullptr;
+};
+
+class ServiceCore {
+ public:
+  /// Takes ownership of the topology. Throws std::invalid_argument for an
+  /// unknown engine key.
+  ServiceCore(Topology topo, ServiceCoreOptions options = {});
+
+  /// Executes one request. Thread-safe; see the header comment for which
+  /// kinds serialize and which run lock-free.
+  ServiceResponse handle(const ServiceRequest& request);
+
+  /// After this, every request except an in-flight one is answered with
+  /// Status::kErrDraining. Idempotent; also triggered by a shutdown
+  /// request.
+  void begin_drain() { draining_.store(true, std::memory_order_relaxed); }
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  /// Current published snapshot (nullptr before the first route).
+  std::shared_ptr<const ForwardingSnapshot> snapshot() const {
+    return slot_.load();
+  }
+
+  const std::string& engine_name() const { return engine_key_; }
+  const Topology& topo() const { return topo_; }
+
+ private:
+  ServiceResponse do_route(const ServiceRequest& r);
+  ServiceResponse do_repair(const ServiceRequest& r);
+  ServiceResponse do_fault_event(const ServiceRequest& r);
+  ServiceResponse do_lookup(const ServiceRequest& r);
+  ServiceResponse do_stats(const ServiceRequest& r);
+  ServiceResponse do_snapshot_info(const ServiceRequest& r);
+  /// Publishes `resp`'s table as the next snapshot generation and fills
+  /// the route/repair response fields shared by both kinds.
+  ServiceResponse publish(const ServiceRequest& r, RouteResponse resp,
+                          std::uint64_t elapsed_ns);
+
+  obs::Registry& metrics_;
+  Topology topo_;
+  ChurnEngine churn_;
+  std::string engine_key_;
+  Layer max_layers_;
+  std::unique_ptr<IncrementalDfsssp> incremental_;  // engine == "dfsssp"
+  std::unique_ptr<Router> router_;                  // every other engine
+
+  std::mutex engine_mu_;             // serializes all topology mutation
+  std::vector<FaultEvent> pending_;  // guarded by engine_mu_
+  std::atomic<std::uint32_t> pending_count_{0};  // lock-free mirror
+  SnapshotSlot slot_;
+  std::atomic<bool> draining_{false};
+
+  // Metric handles, registered once with literal names (see
+  // docs/observability.md, "service/*").
+  obs::Counter& requests_;
+  obs::Counter& lookups_;
+  obs::Counter& repairs_;
+  obs::Counter& routes_;
+  obs::Counter& fault_events_;
+  obs::Counter& snapshot_swaps_;
+  obs::Counter& errors_;
+  obs::Counter& draining_rejects_;
+  obs::Gauge& pending_events_gauge_;
+  obs::Gauge& snapshot_version_gauge_;
+  obs::Histogram& lookup_ns_;
+  obs::Histogram& repair_ns_;
+  obs::Histogram& route_ns_;
+};
+
+}  // namespace dfsssp::service

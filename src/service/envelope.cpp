@@ -1,0 +1,335 @@
+#include "service/envelope.hpp"
+
+#include <cstring>
+
+namespace dfsssp::service {
+namespace {
+
+// Little-endian byte-level codec. Explicit shifts instead of memcpy of the
+// host representation so the wire format is identical on any endianness.
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  put_u8(out, static_cast<std::uint8_t>(v & 0xFF));
+  put_u8(out, static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    put_u8(out, static_cast<std::uint8_t>((v >> shift) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    put_u8(out, static_cast<std::uint8_t>((v >> shift) & 0xFF));
+  }
+}
+
+/// Strings travel as u32 length + raw bytes.
+void put_str(std::string& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+/// Bounds-checked cursor over a frame payload. Every get_* returns false
+/// once the payload is exhausted; decoders translate that into
+/// Status::kErrMalformed.
+struct Reader {
+  std::string_view data;
+  std::size_t pos = 0;
+
+  bool get_u8(std::uint8_t& v) {
+    if (pos + 1 > data.size()) return false;
+    v = static_cast<std::uint8_t>(data[pos++]);
+    return true;
+  }
+
+  bool get_u16(std::uint16_t& v) {
+    std::uint8_t lo = 0;
+    std::uint8_t hi = 0;
+    if (!get_u8(lo) || !get_u8(hi)) return false;
+    v = static_cast<std::uint16_t>(lo | (static_cast<std::uint16_t>(hi) << 8));
+    return true;
+  }
+
+  bool get_u32(std::uint32_t& v) {
+    v = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      std::uint8_t b = 0;
+      if (!get_u8(b)) return false;
+      v |= static_cast<std::uint32_t>(b) << shift;
+    }
+    return true;
+  }
+
+  bool get_u64(std::uint64_t& v) {
+    v = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      std::uint8_t b = 0;
+      if (!get_u8(b)) return false;
+      v |= static_cast<std::uint64_t>(b) << shift;
+    }
+    return true;
+  }
+
+  bool get_str(std::string& v) {
+    std::uint32_t len = 0;
+    if (!get_u32(len)) return false;
+    if (pos + len > data.size()) return false;
+    v.assign(data.data() + pos, len);
+    pos += len;
+    return true;
+  }
+};
+
+bool known_kind(std::uint16_t raw) {
+  return raw >= static_cast<std::uint16_t>(MsgKind::kRoute) &&
+         raw <= static_cast<std::uint16_t>(MsgKind::kShutdown);
+}
+
+}  // namespace
+
+const char* to_string(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kRoute: return "route";
+    case MsgKind::kRepair: return "repair";
+    case MsgKind::kFaultEvent: return "fault_event";
+    case MsgKind::kLookup: return "lookup";
+    case MsgKind::kStats: return "stats";
+    case MsgKind::kSnapshotInfo: return "snapshot_info";
+    case MsgKind::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kErrMalformed: return "malformed";
+    case Status::kErrOversized: return "oversized";
+    case Status::kErrUnsupportedVersion: return "unsupported_version";
+    case Status::kErrUnknownKind: return "unknown_kind";
+    case Status::kErrDraining: return "draining";
+    case Status::kErrRouteFailed: return "route_failed";
+    case Status::kErrBadArgument: return "bad_argument";
+    case Status::kErrNotRouted: return "not_routed";
+  }
+  return "unknown";
+}
+
+std::string encode_request(const ServiceRequest& r) {
+  std::string out;
+  put_u16(out, r.version);
+  put_u16(out, static_cast<std::uint16_t>(r.kind));
+  put_u64(out, r.request_id);
+  switch (r.kind) {
+    case MsgKind::kRoute:
+      put_u16(out, r.max_layers);
+      break;
+    case MsgKind::kFaultEvent:
+      put_u8(out, r.fault_kind);
+      put_u32(out, r.channel);
+      put_u32(out, r.sw);
+      break;
+    case MsgKind::kLookup:
+      put_u32(out, r.src_switch);
+      put_u32(out, r.dst_terminal);
+      break;
+    case MsgKind::kRepair:
+    case MsgKind::kStats:
+    case MsgKind::kSnapshotInfo:
+    case MsgKind::kShutdown:
+      break;
+  }
+  return out;
+}
+
+std::string encode_response(const ServiceResponse& r) {
+  std::string out;
+  put_u16(out, r.version);
+  put_u16(out, static_cast<std::uint16_t>(r.kind));
+  put_u64(out, r.request_id);
+  put_u16(out, static_cast<std::uint16_t>(r.status));
+  if (r.status != Status::kOk) {
+    put_str(out, r.error);
+    return out;
+  }
+  switch (r.kind) {
+    case MsgKind::kRoute:
+      put_u64(out, r.snapshot_version);
+      put_u16(out, r.layers);
+      put_u64(out, r.paths);
+      put_u64(out, r.elapsed_ns);
+      break;
+    case MsgKind::kRepair:
+      put_u64(out, r.snapshot_version);
+      put_u16(out, r.layers);
+      put_u64(out, r.paths);
+      put_u32(out, r.events_coalesced);
+      put_u8(out, r.incremental ? 1 : 0);
+      put_u32(out, r.destinations_rerouted);
+      put_u64(out, r.paths_migrated);
+      put_u64(out, r.elapsed_ns);
+      break;
+    case MsgKind::kFaultEvent:
+      put_u32(out, r.pending_events);
+      break;
+    case MsgKind::kLookup:
+      put_u64(out, r.snapshot_version);
+      put_u32(out, r.next_channel);
+      put_u8(out, r.layer);
+      put_u8(out, r.ejected ? 1 : 0);
+      break;
+    case MsgKind::kStats:
+      put_str(out, r.stats_json);
+      break;
+    case MsgKind::kSnapshotInfo:
+      put_u64(out, r.snapshot_version);
+      put_u64(out, r.snapshot_swaps);
+      put_u16(out, r.layers);
+      put_u64(out, r.paths);
+      put_u32(out, r.switches);
+      put_u32(out, r.terminals);
+      put_u32(out, r.pending_events);
+      put_str(out, r.engine);
+      put_str(out, r.topology);
+      break;
+    case MsgKind::kShutdown:
+      break;
+  }
+  return out;
+}
+
+Status decode_request(std::string_view payload, ServiceRequest& out) {
+  out = ServiceRequest{};
+  Reader r{payload};
+  std::uint16_t raw_kind = 0;
+  if (!r.get_u16(out.version) || !r.get_u16(raw_kind) ||
+      !r.get_u64(out.request_id)) {
+    return Status::kErrMalformed;
+  }
+  if (out.version != kWireVersion) return Status::kErrUnsupportedVersion;
+  if (!known_kind(raw_kind)) return Status::kErrUnknownKind;
+  out.kind = static_cast<MsgKind>(raw_kind);
+  switch (out.kind) {
+    case MsgKind::kRoute: {
+      std::uint16_t layers = 0;
+      if (!r.get_u16(layers)) return Status::kErrMalformed;
+      if (layers > kMaxLayers) return Status::kErrBadArgument;
+      out.max_layers = static_cast<Layer>(layers);
+      break;
+    }
+    case MsgKind::kFaultEvent:
+      if (!r.get_u8(out.fault_kind) || !r.get_u32(out.channel) ||
+          !r.get_u32(out.sw)) {
+        return Status::kErrMalformed;
+      }
+      break;
+    case MsgKind::kLookup:
+      if (!r.get_u32(out.src_switch) || !r.get_u32(out.dst_terminal)) {
+        return Status::kErrMalformed;
+      }
+      break;
+    case MsgKind::kRepair:
+    case MsgKind::kStats:
+    case MsgKind::kSnapshotInfo:
+    case MsgKind::kShutdown:
+      break;
+  }
+  // Trailing bytes are tolerated (see header comment on forward
+  // compatibility).
+  return Status::kOk;
+}
+
+Status decode_response(std::string_view payload, ServiceResponse& out) {
+  out = ServiceResponse{};
+  Reader r{payload};
+  std::uint16_t raw_kind = 0;
+  std::uint16_t raw_status = 0;
+  if (!r.get_u16(out.version) || !r.get_u16(raw_kind) ||
+      !r.get_u64(out.request_id) || !r.get_u16(raw_status)) {
+    return Status::kErrMalformed;
+  }
+  if (out.version != kWireVersion) return Status::kErrUnsupportedVersion;
+  if (!known_kind(raw_kind)) return Status::kErrUnknownKind;
+  if (raw_status > static_cast<std::uint16_t>(Status::kErrNotRouted)) {
+    return Status::kErrMalformed;
+  }
+  out.kind = static_cast<MsgKind>(raw_kind);
+  out.status = static_cast<Status>(raw_status);
+  if (out.status != Status::kOk) {
+    if (!r.get_str(out.error)) return Status::kErrMalformed;
+    return Status::kOk;
+  }
+  switch (out.kind) {
+    case MsgKind::kRoute: {
+      std::uint16_t layers = 0;
+      if (!r.get_u64(out.snapshot_version) || !r.get_u16(layers) ||
+          !r.get_u64(out.paths) || !r.get_u64(out.elapsed_ns)) {
+        return Status::kErrMalformed;
+      }
+      out.layers = static_cast<Layer>(layers);
+      break;
+    }
+    case MsgKind::kRepair: {
+      std::uint16_t layers = 0;
+      std::uint8_t incr = 0;
+      if (!r.get_u64(out.snapshot_version) || !r.get_u16(layers) ||
+          !r.get_u64(out.paths) || !r.get_u32(out.events_coalesced) ||
+          !r.get_u8(incr) || !r.get_u32(out.destinations_rerouted) ||
+          !r.get_u64(out.paths_migrated) || !r.get_u64(out.elapsed_ns)) {
+        return Status::kErrMalformed;
+      }
+      out.layers = static_cast<Layer>(layers);
+      out.incremental = incr != 0;
+      break;
+    }
+    case MsgKind::kFaultEvent:
+      if (!r.get_u32(out.pending_events)) return Status::kErrMalformed;
+      break;
+    case MsgKind::kLookup: {
+      std::uint8_t layer = 0;
+      std::uint8_t ejected = 0;
+      if (!r.get_u64(out.snapshot_version) || !r.get_u32(out.next_channel) ||
+          !r.get_u8(layer) || !r.get_u8(ejected)) {
+        return Status::kErrMalformed;
+      }
+      out.layer = static_cast<Layer>(layer);
+      out.ejected = ejected != 0;
+      break;
+    }
+    case MsgKind::kStats:
+      if (!r.get_str(out.stats_json)) return Status::kErrMalformed;
+      break;
+    case MsgKind::kSnapshotInfo: {
+      std::uint16_t layers = 0;
+      if (!r.get_u64(out.snapshot_version) || !r.get_u64(out.snapshot_swaps) ||
+          !r.get_u16(layers) || !r.get_u64(out.paths) ||
+          !r.get_u32(out.switches) || !r.get_u32(out.terminals) ||
+          !r.get_u32(out.pending_events) || !r.get_str(out.engine) ||
+          !r.get_str(out.topology)) {
+        return Status::kErrMalformed;
+      }
+      out.layers = static_cast<Layer>(layers);
+      break;
+    }
+    case MsgKind::kShutdown:
+      break;
+  }
+  return Status::kOk;
+}
+
+ServiceResponse error_response(const ServiceRequest& req, Status status,
+                               std::string message) {
+  ServiceResponse resp;
+  resp.kind = req.kind;
+  resp.request_id = req.request_id;
+  resp.status = status;
+  resp.error = std::move(message);
+  return resp;
+}
+
+}  // namespace dfsssp::service

@@ -1,0 +1,156 @@
+// The versioned wire envelope of the routing service (dfrouted).
+//
+// PR 4's RouteRequest/RouteResponse are in-process types — they borrow a
+// Topology pointer and carry an ExecContext, neither of which crosses a
+// process boundary. The service envelope is their wire-level promotion:
+// a self-contained, versioned, length-prefixed message a fabric-manager
+// client can send over a unix socket (or a stdin/stdout pipe in tests/CI).
+//
+// Framing (everything little-endian):
+//
+//   frame    := u32 payload_len | payload
+//   request  := u16 schema_version | u16 kind | u64 request_id | body
+//   response := u16 schema_version | u16 kind | u64 request_id |
+//               u16 status | body
+//
+// A frame whose payload_len exceeds kMaxFramePayload is answered with
+// Status::kErrOversized (and the payload is drained so the stream stays
+// framed); a payload that does not decode is answered with
+// Status::kErrMalformed / kErrUnsupportedVersion / kErrUnknownKind. The
+// connection survives all of these — only EOF or a transport error closes
+// it. Unknown-field tolerance is deliberate: bodies may grow new TRAILING
+// fields within a schema version, so decoders accept longer-than-expected
+// bodies (a v1 server ignores trailing bytes a v1.x client appended) but
+// reject short ones.
+//
+// Request bodies:
+//   route         u16 max_layers (0 = server default)
+//   repair        (empty)       drain + coalesce the pending fault batch
+//   fault_event   u8 fault_kind | u32 channel | u32 switch
+//   lookup        u32 src_switch | u32 dst_terminal
+//   stats         (empty)
+//   snapshot_info (empty)
+//   shutdown      (empty)       begin drain; daemon exits 0
+//
+// Response bodies (status == kOk; error responses carry a u32-length
+// message string instead):
+//   route         u64 snapshot_version | u16 layers | u64 paths | u64 ns
+//   repair        u64 snapshot_version | u16 layers | u64 paths |
+//                 u32 events_coalesced | u8 incremental |
+//                 u32 destinations_rerouted | u64 paths_migrated | u64 ns
+//   fault_event   u32 pending_events
+//   lookup        u64 snapshot_version | u32 next_channel | u8 layer |
+//                 u8 ejected
+//   stats         str metrics_json
+//   snapshot_info u64 snapshot_version | u64 snapshot_swaps | u16 layers |
+//                 u64 paths | u32 switches | u32 terminals |
+//                 u32 pending_events | str engine | str topology
+//   shutdown      (empty)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace dfsssp::service {
+
+/// Wire schema version this build speaks. Decoders reject other versions
+/// with Status::kErrUnsupportedVersion (the structured signal a mixed
+/// fleet upgrades on).
+inline constexpr std::uint16_t kWireVersion = 1;
+
+/// Hard ceiling on a frame payload. Large enough for any stats body,
+/// small enough that a garbage length prefix cannot make the server
+/// buffer gigabytes.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+
+enum class MsgKind : std::uint16_t {
+  kRoute = 1,         // from-scratch recompute, swaps a fresh snapshot
+  kRepair = 2,        // coalesce pending faults, repair, swap snapshot
+  kFaultEvent = 3,    // enqueue one fault event into the pending batch
+  kLookup = 4,        // forwarding-table lookup from the current snapshot
+  kStats = 5,         // obs metrics snapshot as JSON text
+  kSnapshotInfo = 6,  // snapshot version/layers/paths + daemon identity
+  kShutdown = 7,      // begin drain; daemon exits 0
+};
+
+enum class Status : std::uint16_t {
+  kOk = 0,
+  kErrMalformed = 1,           // payload did not decode
+  kErrOversized = 2,           // frame payload above kMaxFramePayload
+  kErrUnsupportedVersion = 3,  // schema_version != kWireVersion
+  kErrUnknownKind = 4,         // kind not in MsgKind
+  kErrDraining = 5,            // daemon is draining; retry elsewhere
+  kErrRouteFailed = 6,         // engine refused the topology
+  kErrBadArgument = 7,         // ids out of range / wrong node type
+  kErrNotRouted = 8,           // lookup before any successful route
+};
+
+const char* to_string(MsgKind kind);
+const char* to_string(Status status);
+
+/// One decoded request. Fields beyond (version, kind, request_id) are
+/// meaningful only for the kinds that carry them (see the body table
+/// above); encode_request writes exactly the fields of `kind`.
+struct ServiceRequest {
+  std::uint16_t version = kWireVersion;
+  MsgKind kind = MsgKind::kLookup;
+  std::uint64_t request_id = 0;
+
+  Layer max_layers = 0;           // route
+  std::uint8_t fault_kind = 0;    // fault_event (FaultKind as u8)
+  ChannelId channel = kInvalidChannel;  // fault_event
+  NodeId sw = kInvalidNode;       // fault_event
+  NodeId src_switch = kInvalidNode;     // lookup
+  NodeId dst_terminal = kInvalidNode;   // lookup
+};
+
+/// One decoded response; `status != kOk` carries `error` and no body
+/// fields.
+struct ServiceResponse {
+  std::uint16_t version = kWireVersion;
+  MsgKind kind = MsgKind::kLookup;
+  std::uint64_t request_id = 0;
+  Status status = Status::kOk;
+  std::string error;
+
+  std::uint64_t snapshot_version = 0;  // route/repair/lookup/snapshot_info
+  std::uint64_t snapshot_swaps = 0;    // snapshot_info
+  Layer layers = 1;                    // route/repair/snapshot_info
+  std::uint64_t paths = 0;             // route/repair/snapshot_info
+  std::uint64_t elapsed_ns = 0;        // route/repair
+  std::uint32_t events_coalesced = 0;  // repair
+  bool incremental = false;            // repair
+  std::uint32_t destinations_rerouted = 0;  // repair
+  std::uint64_t paths_migrated = 0;    // repair
+  std::uint32_t pending_events = 0;    // fault_event/snapshot_info
+  ChannelId next_channel = kInvalidChannel;  // lookup
+  Layer layer = 0;                     // lookup
+  bool ejected = false;                // lookup (dst attached to src_switch)
+  std::string stats_json;              // stats
+  std::uint32_t switches = 0;          // snapshot_info
+  std::uint32_t terminals = 0;         // snapshot_info
+  std::string engine;                  // snapshot_info
+  std::string topology;                // snapshot_info
+};
+
+/// Serializes the fields of `r.kind` into a frame payload (no length
+/// prefix — framing is the transport's job, frame.hpp).
+std::string encode_request(const ServiceRequest& r);
+std::string encode_response(const ServiceResponse& r);
+
+/// Decodes a frame payload. On any non-kOk return `out` still carries
+/// whatever header fields decoded (request_id when at least the 12-byte
+/// header was present), so the server can echo the id in its error
+/// response.
+Status decode_request(std::string_view payload, ServiceRequest& out);
+Status decode_response(std::string_view payload, ServiceResponse& out);
+
+/// The error response for a request that failed to decode or execute:
+/// echoes kind/request_id, sets `status` and the human-readable message.
+ServiceResponse error_response(const ServiceRequest& req, Status status,
+                               std::string message);
+
+}  // namespace dfsssp::service

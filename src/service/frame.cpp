@@ -1,0 +1,122 @@
+#include "service/frame.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+
+#include "service/envelope.hpp"
+
+namespace dfsssp::service {
+namespace {
+
+constexpr int kPollTickMs = 100;
+/// Poll ticks a reader keeps serving after the stop predicate turns true,
+/// so frames already in flight still get their kErrDraining response.
+constexpr int kStopGraceTicks = 5;
+
+/// Blocking full read of exactly `len` bytes. False on EOF or error.
+bool read_exact(int fd, char* buf, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, buf + got, len - got);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF mid-frame or hard error
+  }
+  return true;
+}
+
+/// Reads and discards `len` bytes (the body of an oversized frame).
+bool drain_exact(int fd, std::uint32_t len) {
+  char scratch[4096];
+  while (len > 0) {
+    const std::size_t chunk =
+        len < sizeof scratch ? static_cast<std::size_t>(len) : sizeof scratch;
+    if (!read_exact(fd, scratch, chunk)) return false;
+    len -= static_cast<std::uint32_t>(chunk);
+  }
+  return true;
+}
+
+/// Waits until `fd` is readable, ticking so `stop` is noticed. Returns
+/// kFrame when readable, kStopped/kError otherwise.
+FrameResult wait_readable(int fd, const std::function<bool()>& stop) {
+  int grace = kStopGraceTicks;
+  for (;;) {
+    if (stop && stop() && grace-- <= 0) {
+      return FrameResult::kStopped;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, kPollTickMs);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return FrameResult::kError;
+    }
+    if (rc > 0) return FrameResult::kFrame;  // readable (or EOF — read tells)
+  }
+}
+
+}  // namespace
+
+FrameResult read_frame(int fd, std::string& payload,
+                       const std::function<bool()>& stop) {
+  payload.clear();
+  const FrameResult ready = wait_readable(fd, stop);
+  if (ready != FrameResult::kFrame) return ready;
+
+  unsigned char len_bytes[4];
+  ssize_t first = ::read(fd, len_bytes, sizeof len_bytes);
+  while (first < 0 && errno == EINTR) {
+    first = ::read(fd, len_bytes, sizeof len_bytes);
+  }
+  if (first == 0) return FrameResult::kEof;  // clean close between frames
+  if (first < 0) return FrameResult::kError;
+  if (static_cast<std::size_t>(first) < sizeof len_bytes &&
+      !read_exact(fd, reinterpret_cast<char*>(len_bytes) + first,
+                  sizeof len_bytes - static_cast<std::size_t>(first))) {
+    return FrameResult::kError;
+  }
+
+  const std::uint32_t len = static_cast<std::uint32_t>(len_bytes[0]) |
+                            (static_cast<std::uint32_t>(len_bytes[1]) << 8) |
+                            (static_cast<std::uint32_t>(len_bytes[2]) << 16) |
+                            (static_cast<std::uint32_t>(len_bytes[3]) << 24);
+  if (len > kMaxFramePayload) {
+    if (!drain_exact(fd, len)) return FrameResult::kError;
+    return FrameResult::kOversized;
+  }
+  payload.resize(len);
+  if (len > 0 && !read_exact(fd, payload.data(), len)) {
+    return FrameResult::kError;
+  }
+  return FrameResult::kFrame;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const char len_bytes[4] = {
+      static_cast<char>(len & 0xFF), static_cast<char>((len >> 8) & 0xFF),
+      static_cast<char>((len >> 16) & 0xFF),
+      static_cast<char>((len >> 24) & 0xFF)};
+  std::string frame(len_bytes, sizeof len_bytes);
+  frame.append(payload);
+
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::write(fd, frame.data() + sent, frame.size() - sent);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dfsssp::service

@@ -1,0 +1,75 @@
+// RCU-style forwarding-state publication.
+//
+// The daemon's repair path mutates routing state; its lookup path must
+// answer from a consistent table without ever blocking behind a repair
+// (a subnet manager keeps forwarding queries alive while it reprograms
+// LFTs). The classic answer is read-copy-update: writers build a complete
+// new ForwardingSnapshot off to the side and publish it with one pointer
+// swap; readers grab a shared_ptr and keep reading their (immutable)
+// snapshot even if a newer one lands mid-read. A lookup therefore sees
+// either the pre-repair or the post-repair table — never a torn mix.
+//
+// SnapshotSlot is the publication point. It uses a mutex around the
+// shared_ptr load/store rather than std::atomic<shared_ptr> — the critical
+// section is two refcount operations, so readers only ever contend for
+// nanoseconds, and it is portable to libstdc++ versions whose atomic
+// shared_ptr is incomplete. The repair itself (milliseconds) runs entirely
+// outside the lock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "routing/table.hpp"
+
+namespace dfsssp::service {
+
+/// One immutable published generation of forwarding state. Never modified
+/// after publication; concurrent readers share it by shared_ptr.
+struct ForwardingSnapshot {
+  /// Monotonic generation counter, 1 = first successful route.
+  std::uint64_t version = 0;
+  RoutingTable table;
+  Layer layers_used = 1;
+  std::uint64_t paths = 0;
+};
+
+class SnapshotSlot {
+ public:
+  /// Current snapshot, or nullptr before the first publish. The returned
+  /// shared_ptr keeps the generation alive for as long as the caller holds
+  /// it, however many publishes happen meanwhile.
+  std::shared_ptr<const ForwardingSnapshot> load() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+
+  /// Atomically replaces the published snapshot and returns its version.
+  /// Assigns the next generation number; the caller passes ownership.
+  std::uint64_t publish(std::shared_ptr<ForwardingSnapshot> next) {
+    std::lock_guard<std::mutex> lock(mu_);
+    next->version = ++version_;
+    ++swaps_;
+    current_ = std::move(next);
+    return current_->version;
+  }
+
+  std::uint64_t swaps() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return swaps_;
+  }
+
+  std::uint64_t version() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return version_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ForwardingSnapshot> current_;
+  std::uint64_t version_ = 0;
+  std::uint64_t swaps_ = 0;
+};
+
+}  // namespace dfsssp::service

@@ -8,6 +8,7 @@
 // RoutingStats.paths and the fault/* metrics never go stale.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <sstream>
 
 #include "analysis/certificate.hpp"
@@ -286,6 +287,115 @@ TEST(IncrementalDfsssp, StatsAndMetricsStayConsistentUnderMutation) {
 // Satellite: the randomized churn soak. Every repair state must be
 // reachable for alive pairs, certified deadlock-free by the independent
 // checker, and bitwise identical across --threads=1/2/8.
+TEST(ChurnEngine, ApplyAllCoalescesDownUpToNoEffect) {
+  Topology topo = make_kary_ntree(4, 2);
+  Network& net = topo.net;
+  ChurnEngine churn(topo);
+
+  const ChannelId link = FaultSchedule::link_kills(net, 1, 3)[0].channel;
+  const NodeId sw = net.switch_by_index(1);
+  const FaultEvent batch[] = {
+      {FaultKind::kLinkDown, link, kInvalidNode},
+      {FaultKind::kSwitchDown, kInvalidChannel, sw},
+      {FaultKind::kLinkUp, link, kInvalidNode},
+      {FaultKind::kSwitchUp, kInvalidChannel, sw},
+  };
+  const ChurnDelta delta =
+      churn.apply_all(std::span<const FaultEvent>(batch, 4));
+
+  // Down-then-up within one batch nets out to nothing: the coalesced delta
+  // is empty, the fabric is untouched, yet each event had its individual
+  // effect counted (exactly like a serial apply() loop would).
+  EXPECT_TRUE(delta.no_effect());
+  EXPECT_FALSE(delta.applied);
+  EXPECT_TRUE(delta.veto_reason.empty());
+  EXPECT_EQ(net.num_dead_channels(), 0u);
+  EXPECT_TRUE(net.channel_alive(link));
+  EXPECT_TRUE(net.switch_up(sw));
+  EXPECT_EQ(churn.events_applied(), 4u);
+  EXPECT_EQ(churn.events_vetoed(), 0u);
+}
+
+TEST(ChurnEngine, ApplyAllMatchesSerialApply) {
+  Topology serial_topo = make_kary_ntree(4, 2);
+  Topology batched_topo = serial_topo;
+
+  FaultScheduleOptions opts;
+  opts.num_events = 30;
+  const FaultSchedule schedule =
+      FaultSchedule::random(serial_topo.net, opts, 0xAB5E);
+  ASSERT_GT(schedule.size(), 0u);
+
+  ChurnEngine serial(serial_topo);
+  ChurnEngine batched(batched_topo);
+  const std::size_t batch = 5;
+  for (std::size_t i = 0; i < schedule.size(); i += batch) {
+    const std::size_t count = std::min(batch, schedule.size() - i);
+    for (std::size_t j = 0; j < count; ++j) serial.apply(schedule[i + j]);
+    batched.apply_all(std::span<const FaultEvent>(
+        schedule.events().data() + i, count));
+    // Note: connectivity itself is NOT asserted here — a switch_up can
+    // revive an isolated switch, which neither apply() nor apply_all
+    // vetoes (only down events are). The contract is equivalence.
+    EXPECT_EQ(batched_topo.net.alive_connected(),
+              serial_topo.net.alive_connected());
+  }
+
+  // Identical fault history, identical fabric — batching only coalesces
+  // the reporting, never the physics.
+  EXPECT_EQ(batched.events_applied(), serial.events_applied());
+  EXPECT_EQ(batched.events_vetoed(), serial.events_vetoed());
+  const Network& a = serial_topo.net;
+  const Network& b = batched_topo.net;
+  ASSERT_EQ(a.num_channels(), b.num_channels());
+  for (ChannelId c = 0; c < a.num_channels(); ++c) {
+    ASSERT_EQ(a.channel_alive(c), b.channel_alive(c)) << "channel " << c;
+  }
+  for (NodeId sw : a.switches()) {
+    ASSERT_EQ(a.switch_up(sw), b.switch_up(sw)) << "switch " << sw;
+  }
+}
+
+TEST(ChurnEngine, ApplyAllVetoRollsBackAndReplaysPerEvent) {
+  // A 4-switch cycle a-b-c-d-a: any single link kill keeps the ring
+  // connected, but killing two opposite links partitions it.
+  Topology topo;
+  Network& net = topo.net;
+  NodeId a = net.add_switch(), b = net.add_switch(), c = net.add_switch(),
+         d = net.add_switch();
+  const ChannelId ab = net.add_link(a, b);
+  net.add_link(b, c);
+  const ChannelId cd = net.add_link(c, d);
+  net.add_link(d, a);
+  net.add_terminal(a);
+  net.add_terminal(c);
+  net.freeze();
+
+  ChurnEngine churn(topo);
+  const FaultEvent batch[] = {
+      {FaultKind::kLinkDown, ab, kInvalidNode},
+      {FaultKind::kLinkDown, cd, kInvalidNode},
+  };
+  const ChurnDelta delta =
+      churn.apply_all(std::span<const FaultEvent>(batch, 2));
+
+  // The batch as a whole partitions the ring, so it is replayed per event:
+  // the first kill survives alone, the second (now a bridge kill) is
+  // vetoed — exactly what a serial apply() loop would do.
+  EXPECT_TRUE(delta.applied);
+  EXPECT_FALSE(delta.veto_reason.empty());
+  EXPECT_FALSE(net.channel_alive(ab));
+  EXPECT_TRUE(net.channel_alive(cd));
+  EXPECT_TRUE(net.alive_connected());
+  EXPECT_EQ(churn.events_applied(), 1u);
+  EXPECT_EQ(churn.events_vetoed(), 1u);
+
+  // The coalesced delta lists exactly the one downed link, both directions.
+  ASSERT_EQ(delta.downed.size(), 2u);
+  EXPECT_TRUE(delta.restored.empty());
+  EXPECT_TRUE(delta.switches_down.empty());
+}
+
 TEST(ChurnSoak, RepairStatesReachableCertifiedAndThreadInvariant) {
   FaultScheduleOptions opts;
   opts.num_events = 40;

@@ -1,0 +1,547 @@
+// Routing service: wire envelope, RCU snapshots, ServiceCore semantics,
+// and the pipe-mode end-to-end daemon conversation.
+//
+// The contracts under test (ISSUE: routing-as-a-service):
+//   * every envelope kind round-trips the wire encoding bit-exactly, and
+//     truncated/garbage/oversized/unversioned frames come back as
+//     structured errors, never closed connections;
+//   * the daemon's tables are bitwise identical to the in-process engine's
+//     — serving through the envelope adds no routing drift;
+//   * a lookup racing a repair sees the pre-repair or post-repair
+//     snapshot, never a torn mix;
+//   * drain: after shutdown, later requests get kErrDraining and the
+//     serving loop exits cleanly.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "fault/churn.hpp"
+#include "fault/incremental.hpp"
+#include "fault/schedule.hpp"
+#include "obs/metrics.hpp"
+#include "service/core.hpp"
+#include "service/envelope.hpp"
+#include "service/frame.hpp"
+#include "service/server.hpp"
+#include "topology/generators.hpp"
+
+namespace dfsssp::service {
+namespace {
+
+// ---------------------------------------------------------------- envelope
+
+TEST(ServiceEnvelope, RequestRoundTripsEveryKind) {
+  ServiceRequest route;
+  route.kind = MsgKind::kRoute;
+  route.request_id = 42;
+  route.max_layers = 4;
+
+  ServiceRequest fault;
+  fault.kind = MsgKind::kFaultEvent;
+  fault.request_id = 7;
+  fault.fault_kind = static_cast<std::uint8_t>(FaultKind::kSwitchDown);
+  fault.channel = 123;
+  fault.sw = 9;
+
+  ServiceRequest lookup;
+  lookup.kind = MsgKind::kLookup;
+  lookup.request_id = 0xFFFF'FFFF'FFFF'FFFFull;
+  lookup.src_switch = 3;
+  lookup.dst_terminal = 200;
+
+  for (const ServiceRequest& req : {route, fault, lookup}) {
+    ServiceRequest out;
+    ASSERT_EQ(decode_request(encode_request(req), out), Status::kOk);
+    EXPECT_EQ(out.kind, req.kind);
+    EXPECT_EQ(out.request_id, req.request_id);
+    EXPECT_EQ(out.max_layers, req.kind == MsgKind::kRoute ? req.max_layers
+                                                          : Layer{0});
+  }
+  ServiceRequest out;
+  ASSERT_EQ(decode_request(encode_request(fault), out), Status::kOk);
+  EXPECT_EQ(out.fault_kind, fault.fault_kind);
+  EXPECT_EQ(out.channel, fault.channel);
+  EXPECT_EQ(out.sw, fault.sw);
+  ASSERT_EQ(decode_request(encode_request(lookup), out), Status::kOk);
+  EXPECT_EQ(out.src_switch, lookup.src_switch);
+  EXPECT_EQ(out.dst_terminal, lookup.dst_terminal);
+
+  for (MsgKind kind : {MsgKind::kRepair, MsgKind::kStats,
+                       MsgKind::kSnapshotInfo, MsgKind::kShutdown}) {
+    ServiceRequest req;
+    req.kind = kind;
+    req.request_id = 5;
+    ASSERT_EQ(decode_request(encode_request(req), out), Status::kOk);
+    EXPECT_EQ(out.kind, kind);
+    EXPECT_EQ(out.request_id, 5u);
+  }
+}
+
+TEST(ServiceEnvelope, ResponseRoundTripsBodyFields) {
+  ServiceResponse repair;
+  repair.kind = MsgKind::kRepair;
+  repair.request_id = 11;
+  repair.snapshot_version = 3;
+  repair.layers = 2;
+  repair.paths = 64436;
+  repair.events_coalesced = 5;
+  repair.incremental = true;
+  repair.destinations_rerouted = 96;
+  repair.paths_migrated = 6816;
+  repair.elapsed_ns = 4'700'000;
+
+  ServiceResponse out;
+  ASSERT_EQ(decode_response(encode_response(repair), out), Status::kOk);
+  EXPECT_EQ(out.snapshot_version, 3u);
+  EXPECT_EQ(out.layers, 2);
+  EXPECT_EQ(out.paths, 64436u);
+  EXPECT_EQ(out.events_coalesced, 5u);
+  EXPECT_TRUE(out.incremental);
+  EXPECT_EQ(out.destinations_rerouted, 96u);
+  EXPECT_EQ(out.paths_migrated, 6816u);
+  EXPECT_EQ(out.elapsed_ns, 4'700'000u);
+
+  ServiceResponse info;
+  info.kind = MsgKind::kSnapshotInfo;
+  info.snapshot_version = 9;
+  info.snapshot_swaps = 12;
+  info.layers = 3;
+  info.paths = 99;
+  info.switches = 90;
+  info.terminals = 724;
+  info.pending_events = 2;
+  info.engine = "dfsssp";
+  info.topology = "deimos";
+  ASSERT_EQ(decode_response(encode_response(info), out), Status::kOk);
+  EXPECT_EQ(out.snapshot_swaps, 12u);
+  EXPECT_EQ(out.switches, 90u);
+  EXPECT_EQ(out.terminals, 724u);
+  EXPECT_EQ(out.engine, "dfsssp");
+  EXPECT_EQ(out.topology, "deimos");
+
+  ServiceResponse err = error_response(ServiceRequest{}, Status::kErrDraining,
+                                       "daemon is draining");
+  ASSERT_EQ(decode_response(encode_response(err), out), Status::kOk);
+  EXPECT_EQ(out.status, Status::kErrDraining);
+  EXPECT_EQ(out.error, "daemon is draining");
+}
+
+TEST(ServiceEnvelope, RejectsTruncatedAndGarbageFrames) {
+  ServiceRequest req;
+  req.kind = MsgKind::kLookup;
+  req.request_id = 77;
+  req.src_switch = 1;
+  req.dst_terminal = 2;
+  const std::string good = encode_request(req);
+
+  ServiceRequest out;
+  // Every proper prefix of a valid frame is malformed, never a crash.
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_EQ(decode_request(std::string_view(good).substr(0, cut), out),
+              Status::kErrMalformed)
+        << "prefix length " << cut;
+  }
+  // Trailing garbage is tolerated (forward compatibility within a version).
+  EXPECT_EQ(decode_request(good + "extra-bytes", out), Status::kOk);
+  EXPECT_EQ(out.request_id, 77u);
+
+  // Pure garbage decodes as malformed / unknown kind / bad version —
+  // structured errors all.
+  const std::string garbage = "\xDE\xAD\xBE\xEF\xDE\xAD\xBE\xEF nonsense";
+  EXPECT_NE(decode_request(garbage, out), Status::kOk);
+
+  std::string bad_version = good;
+  bad_version[0] = 99;  // version word
+  EXPECT_EQ(decode_request(bad_version, out), Status::kErrUnsupportedVersion);
+
+  std::string bad_kind = good;
+  bad_kind[2] = 0x7F;  // kind word
+  EXPECT_EQ(decode_request(bad_kind, out), Status::kErrUnknownKind);
+  // The header still decoded: the server can echo the request id.
+  EXPECT_EQ(out.request_id, 77u);
+}
+
+// ---------------------------------------------------------------- snapshot
+
+TEST(SnapshotSlot, RcuReadersKeepTheirGeneration) {
+  SnapshotSlot slot;
+  EXPECT_EQ(slot.load(), nullptr);
+  EXPECT_EQ(slot.version(), 0u);
+
+  auto first = std::make_shared<ForwardingSnapshot>();
+  first->paths = 1;
+  EXPECT_EQ(slot.publish(std::move(first)), 1u);
+  const std::shared_ptr<const ForwardingSnapshot> held = slot.load();
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->version, 1u);
+
+  auto second = std::make_shared<ForwardingSnapshot>();
+  second->paths = 2;
+  EXPECT_EQ(slot.publish(std::move(second)), 2u);
+
+  // The old generation stays fully readable for as long as it is held.
+  EXPECT_EQ(held->version, 1u);
+  EXPECT_EQ(held->paths, 1u);
+  EXPECT_EQ(slot.load()->version, 2u);
+  EXPECT_EQ(slot.swaps(), 2u);
+}
+
+// ------------------------------------------------------------ service core
+
+ServiceRequest make_lookup(NodeId src, NodeId dst) {
+  ServiceRequest req;
+  req.kind = MsgKind::kLookup;
+  req.src_switch = src;
+  req.dst_terminal = dst;
+  return req;
+}
+
+ServiceRequest make_fault(const FaultEvent& e) {
+  ServiceRequest req;
+  req.kind = MsgKind::kFaultEvent;
+  req.fault_kind = static_cast<std::uint8_t>(e.kind);
+  req.channel = e.channel;
+  req.sw = e.sw;
+  return req;
+}
+
+void expect_tables_identical(const Network& net, const RoutingTable& a,
+                             const RoutingTable& b) {
+  ASSERT_EQ(a.num_layers(), b.num_layers());
+  for (NodeId sw : net.switches()) {
+    for (NodeId dst : net.terminals()) {
+      ASSERT_EQ(a.next(sw, dst), b.next(sw, dst))
+          << "next mismatch at sw " << sw << " dst " << dst;
+      ASSERT_EQ(a.layer(sw, dst), b.layer(sw, dst))
+          << "layer mismatch at sw " << sw << " dst " << dst;
+    }
+  }
+}
+
+TEST(ServiceCore, TablesBitwiseIdenticalToInProcessEngine) {
+  obs::Registry reg;
+  Topology served = make_kary_ntree(4, 2);
+  const Topology reference_topo = served;  // identical twin for the engine
+
+  ServiceCoreOptions options;
+  options.metrics = &reg;
+  ServiceCore core(std::move(served), options);
+
+  ServiceRequest route;
+  route.kind = MsgKind::kRoute;
+  const ServiceResponse routed = core.handle(route);
+  ASSERT_EQ(routed.status, Status::kOk);
+  EXPECT_EQ(routed.snapshot_version, 1u);
+
+  IncrementalDfsssp engine;
+  const RouteResponse direct = engine.route(RouteRequest(reference_topo));
+  ASSERT_TRUE(direct.ok);
+
+  const auto snap = core.snapshot();
+  ASSERT_NE(snap, nullptr);
+  expect_tables_identical(reference_topo.net, snap->table, direct.table);
+  EXPECT_EQ(snap->paths, direct.stats.paths);
+  EXPECT_EQ(snap->layers_used, direct.stats.layers_used);
+}
+
+TEST(ServiceCore, BatchedRepairMatchesInProcessChurn) {
+  obs::Registry reg;
+  Topology served = make_kary_ntree(4, 2);
+  Topology mirror = served;
+
+  ServiceCoreOptions options;
+  options.metrics = &reg;
+  ServiceCore core(std::move(served), options);
+  ASSERT_EQ(core.handle([] {
+                  ServiceRequest r;
+                  r.kind = MsgKind::kRoute;
+                  return r;
+                }())
+                .status,
+            Status::kOk);
+
+  IncrementalDfsssp engine;
+  ASSERT_TRUE(engine.route(RouteRequest(mirror)).ok);
+  ChurnEngine churn(mirror);
+
+  const FaultSchedule schedule =
+      FaultSchedule::random(mirror.net, {.num_events = 12}, 0xFEED);
+  ASSERT_FALSE(schedule.empty());
+
+  // Feed all events to the daemon, then one repair coalesces them; mirror
+  // the exact same batch in-process.
+  for (const FaultEvent& e : schedule) {
+    ASSERT_EQ(core.handle(make_fault(e)).status, Status::kOk);
+  }
+  ServiceRequest repair;
+  repair.kind = MsgKind::kRepair;
+  const ServiceResponse repaired = core.handle(repair);
+  ASSERT_EQ(repaired.status, Status::kOk);
+  EXPECT_EQ(repaired.events_coalesced, schedule.size());
+
+  const ChurnDelta delta = churn.apply_all(
+      std::span<const FaultEvent>(schedule.events().data(), schedule.size()));
+  const RouteResponse direct = engine.repair(RouteRequest(mirror), delta);
+  ASSERT_TRUE(direct.ok);
+
+  const auto snap = core.snapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->version, repaired.snapshot_version);
+  expect_tables_identical(mirror.net, snap->table, direct.table);
+}
+
+TEST(ServiceCore, LookupBeforeRouteAndBadIdsAreStructuredErrors) {
+  obs::Registry reg;
+  ServiceCoreOptions options;
+  options.metrics = &reg;
+  ServiceCore core(make_kary_ntree(4, 2), options);
+
+  EXPECT_EQ(core.handle(make_lookup(0, 1)).status, Status::kErrNotRouted);
+  ServiceRequest repair;
+  repair.kind = MsgKind::kRepair;
+  EXPECT_EQ(core.handle(repair).status, Status::kErrNotRouted);
+
+  ServiceRequest route;
+  route.kind = MsgKind::kRoute;
+  ASSERT_EQ(core.handle(route).status, Status::kOk);
+
+  const Network& net = core.topo().net;
+  const NodeId a_switch = net.switches().front();
+  const NodeId a_terminal = net.terminals().front();
+  EXPECT_EQ(core.handle(make_lookup(a_terminal, a_terminal)).status,
+            Status::kErrBadArgument);
+  EXPECT_EQ(core.handle(make_lookup(a_switch, a_switch)).status,
+            Status::kErrBadArgument);
+  EXPECT_EQ(core.handle(make_lookup(1u << 30, a_terminal)).status,
+            Status::kErrBadArgument);
+  EXPECT_EQ(core.handle(make_lookup(a_switch, a_terminal)).status,
+            Status::kOk);
+
+  // A fault event on a terminal injection/ejection channel is rejected at
+  // enqueue time — it would otherwise throw inside the next repair's
+  // ChurnEngine batch and take the daemon down.
+  FaultEvent bad;
+  bad.kind = FaultKind::kLinkDown;
+  bad.channel = net.injection_channel(a_terminal);
+  EXPECT_EQ(core.handle(make_fault(bad)).status, Status::kErrBadArgument);
+  bad.channel = 1u << 30;
+  EXPECT_EQ(core.handle(make_fault(bad)).status, Status::kErrBadArgument);
+}
+
+TEST(ServiceCore, LookupDuringRepairSeesOldOrNewSnapshotNeverTorn) {
+  obs::Registry reg;
+  Topology served = make_kary_ntree(4, 2);
+  Topology mirror = served;
+
+  ServiceCoreOptions options;
+  options.metrics = &reg;
+  ServiceCore core(std::move(served), options);
+  ServiceRequest route;
+  route.kind = MsgKind::kRoute;
+  ASSERT_EQ(core.handle(route).status, Status::kOk);
+
+  // Reference tables for generation 1 (pre-repair) and generation 2
+  // (post-repair), computed in-process on the identical twin.
+  IncrementalDfsssp engine;
+  const RouteResponse before = engine.route(RouteRequest(mirror));
+  ASSERT_TRUE(before.ok);
+  ChurnEngine churn(mirror);
+  const FaultSchedule kills =
+      FaultSchedule::link_kills(mirror.net, 3, 0xBEEF);
+  ASSERT_FALSE(kills.empty());
+  const ChurnDelta delta = churn.apply_all(std::span<const FaultEvent>(
+      kills.events().data(), kills.size()));
+  const RouteResponse after = engine.repair(RouteRequest(mirror), delta);
+  ASSERT_TRUE(after.ok);
+
+  const std::vector<NodeId> switches(mirror.net.switches().begin(),
+                                     mirror.net.switches().end());
+  const std::vector<NodeId> terminals(mirror.net.terminals().begin(),
+                                      mirror.net.terminals().end());
+
+  // Hammer lookups from several threads while the repair runs. Every
+  // response must match generation 1's or generation 2's reference table
+  // at exactly the version it reports — a torn read would mismatch.
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::atomic<std::uint64_t> checked{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      std::size_t si = static_cast<std::size_t>(r);
+      std::size_t ti = static_cast<std::size_t>(r) * 3;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const NodeId sw = switches[si % switches.size()];
+        const NodeId dst = terminals[ti % terminals.size()];
+        const ServiceResponse resp = core.handle(make_lookup(sw, dst));
+        if (resp.status == Status::kOk) {
+          const RoutingTable& expect =
+              resp.snapshot_version == 1 ? before.table : after.table;
+          if (resp.snapshot_version > 2 ||
+              resp.next_channel != expect.next(sw, dst) ||
+              resp.layer != expect.layer(sw, dst)) {
+            torn.fetch_add(1);
+          }
+          checked.fetch_add(1);
+        }
+        ++si;
+        ++ti;
+      }
+    });
+  }
+
+  // Let the readers chew on generation 1 first, then drive the same fault
+  // batch + repair through the core mid-hammering.
+  while (checked.load() < 200) std::this_thread::yield();
+  for (const FaultEvent& e : kills) {
+    ASSERT_EQ(core.handle(make_fault(e)).status, Status::kOk);
+  }
+  ServiceRequest repair;
+  repair.kind = MsgKind::kRepair;
+  const ServiceResponse repaired = core.handle(repair);
+  ASSERT_EQ(repaired.status, Status::kOk);
+  EXPECT_EQ(repaired.snapshot_version, 2u);
+
+  // And let them observe generation 2 too before stopping.
+  const std::uint64_t seen_before_swap = checked.load();
+  while (checked.load() < seen_before_swap + 200) std::this_thread::yield();
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_GT(checked.load(), 0u);
+}
+
+// ------------------------------------------------------------- pipe server
+
+/// Client half of a socketpair conversation with a Server::run_pipe loop.
+struct PipeHarness {
+  obs::Registry reg;
+  std::unique_ptr<ServiceCore> core;
+  std::thread server_thread;
+  int client_fd = -1;
+  int exit_code = -1;
+
+  explicit PipeHarness(Topology topo) {
+    ServiceCoreOptions options;
+    options.metrics = &reg;
+    core = std::make_unique<ServiceCore>(std::move(topo), options);
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    client_fd = fds[1];
+    const int server_fd = fds[0];
+    server_thread = std::thread([this, server_fd] {
+      ServerOptions so;
+      so.in_fd = server_fd;
+      so.out_fd = server_fd;
+      so.metrics = &reg;
+      Server server(*core, so);
+      exit_code = server.run_pipe();
+      ::close(server_fd);
+    });
+  }
+
+  ~PipeHarness() {
+    if (client_fd >= 0) ::close(client_fd);
+    if (server_thread.joinable()) server_thread.join();
+  }
+
+  ServiceResponse call(const ServiceRequest& req) {
+    EXPECT_TRUE(write_frame(client_fd, encode_request(req)));
+    return read_response();
+  }
+
+  ServiceResponse read_response() {
+    std::string payload;
+    EXPECT_EQ(read_frame(client_fd, payload), FrameResult::kFrame);
+    ServiceResponse resp;
+    EXPECT_EQ(decode_response(payload, resp), Status::kOk);
+    return resp;
+  }
+};
+
+TEST(ServicePipe, EndToEndDeterministicTablesAndErrors) {
+  Topology served = make_kary_ntree(4, 2);
+  const Topology reference_topo = served;
+  PipeHarness pipe(std::move(served));
+
+  // Route, then spot-check the daemon's forwarding answers against the
+  // in-process engine — bitwise, for the full table.
+  ServiceRequest route;
+  route.kind = MsgKind::kRoute;
+  route.request_id = 1;
+  const ServiceResponse routed = pipe.call(route);
+  ASSERT_EQ(routed.status, Status::kOk);
+  EXPECT_EQ(routed.request_id, 1u);
+
+  IncrementalDfsssp engine;
+  const RouteResponse direct = engine.route(RouteRequest(reference_topo));
+  ASSERT_TRUE(direct.ok);
+  for (NodeId sw : reference_topo.net.switches()) {
+    for (NodeId dst : reference_topo.net.terminals()) {
+      const ServiceResponse resp = pipe.call(make_lookup(sw, dst));
+      ASSERT_EQ(resp.status, Status::kOk);
+      ASSERT_EQ(resp.next_channel, direct.table.next(sw, dst));
+      ASSERT_EQ(resp.layer, direct.table.layer(sw, dst));
+    }
+  }
+
+  // A garbage frame gets a structured error, and the connection survives.
+  ASSERT_TRUE(write_frame(pipe.client_fd, "garbage"));
+  EXPECT_EQ(pipe.read_response().status, Status::kErrMalformed);
+
+  // An oversized frame too (without actually shipping a gigabyte: length
+  // prefix of kMaxFramePayload + 1, then that many zero bytes).
+  const std::string oversized(kMaxFramePayload + 1, '\0');
+  ASSERT_TRUE(write_frame(pipe.client_fd, oversized));
+  EXPECT_EQ(pipe.read_response().status, Status::kErrOversized);
+
+  // Still serving after both errors.
+  ServiceRequest info;
+  info.kind = MsgKind::kSnapshotInfo;
+  EXPECT_EQ(pipe.call(info).status, Status::kOk);
+
+  // Shutdown: ok, then draining for the next request, then clean exit 0.
+  ServiceRequest shutdown;
+  shutdown.kind = MsgKind::kShutdown;
+  EXPECT_EQ(pipe.call(shutdown).status, Status::kOk);
+  EXPECT_EQ(pipe.call(info).status, Status::kErrDraining);
+
+  ::close(pipe.client_fd);
+  pipe.client_fd = -1;
+  pipe.server_thread.join();
+  EXPECT_EQ(pipe.exit_code, 0);
+}
+
+TEST(ServicePipe, StatsAndInfoCarryServiceMetrics) {
+  PipeHarness pipe(make_kary_ntree(4, 2));
+
+  ServiceRequest route;
+  route.kind = MsgKind::kRoute;
+  ASSERT_EQ(pipe.call(route).status, Status::kOk);
+
+  ServiceRequest stats;
+  stats.kind = MsgKind::kStats;
+  const ServiceResponse got = pipe.call(stats);
+  ASSERT_EQ(got.status, Status::kOk);
+  EXPECT_NE(got.stats_json.find("service/requests"), std::string::npos);
+  EXPECT_NE(got.stats_json.find("service/snapshot_swaps"), std::string::npos);
+  EXPECT_NE(got.stats_json.find("service/route_ns"), std::string::npos);
+
+  ServiceRequest info;
+  info.kind = MsgKind::kSnapshotInfo;
+  const ServiceResponse i = pipe.call(info);
+  ASSERT_EQ(i.status, Status::kOk);
+  EXPECT_EQ(i.engine, "dfsssp");
+  EXPECT_EQ(i.snapshot_version, 1u);
+  EXPECT_EQ(i.switches, pipe.core->topo().net.num_switches());
+  EXPECT_EQ(i.terminals, pipe.core->topo().net.num_terminals());
+}
+
+}  // namespace
+}  // namespace dfsssp::service

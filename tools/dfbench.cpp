@@ -62,6 +62,7 @@
 #include "obs/report/compare.hpp"
 #include "obs/report/report.hpp"
 #include "obs/report/stats.hpp"
+#include "routing/registry.hpp"
 
 namespace dfsssp {
 namespace {
@@ -97,6 +98,7 @@ int usage() {
       "                         below the root (default 0 = report only)\n"
       "    --timeout=SECONDS    override the per-bench timeout\n"
       "  list                   print the roster\n"
+      "  engines                print the routing-engine registry\n"
       "  --verbose              also print PASS findings / bench stdout\n");
   return 2;
 }
@@ -156,6 +158,11 @@ std::vector<RosterEntry> roster() {
   // Defaults are the README's headline configuration (32-ary 2-tree,
   // 40 events) and already run in quick-tier time.
   add("churn", "bench_churn", true, {}, {"--events=200"}, 900);
+  // Routing-as-a-service soak: concurrent lookup clients through the
+  // service envelope while churn batches repair (RCU snapshot swaps).
+  add("soak", "bench_soak", true, {"--events=200", "--clients=4",
+                                   "--lookups=2000"},
+      {"--events=2000", "--clients=8", "--lookups=20000"}, 900);
   // Chunked generation at 16k switches; the structure hashes in the table
   // pin the emitted streams bitwise against the committed baseline.
   add("gen_scale", "bench_gen_scale", true, {}, {"--full"}, 600);
@@ -657,6 +664,24 @@ int cmd_list(const Cli& cli) {
   return 0;
 }
 
+int cmd_engines() {
+  Table table("routing-engine registry (dfcheck --route / dfrouted --engine)",
+              {"key", "display", "deadlock-free", "layered", "incremental",
+               "roster", "description"});
+  for (const routing::EngineInfo& e : routing::engine_roster()) {
+    table.row()
+        .cell(e.name)
+        .cell(e.display_name)
+        .cell(e.deadlock_free ? "yes" : "no")
+        .cell(e.layered ? "yes" : "no")
+        .cell(e.incremental ? "yes" : "no")
+        .cell(e.in_default_roster ? "yes" : "-")
+        .cell(e.description);
+  }
+  table.print();
+  return 0;
+}
+
 int run(int argc, char** argv) {
   Cli cli(argc, argv);
   const auto& pos = cli.positional();
@@ -666,6 +691,7 @@ int run(int argc, char** argv) {
   if (command == "compare") return cmd_compare(cli);
   if (command == "profile") return cmd_profile(cli);
   if (command == "list") return cmd_list(cli);
+  if (command == "engines") return cmd_engines();
   return usage();
 }
 

@@ -44,6 +44,7 @@
 #include "obs/report/report.hpp"
 #include "obs/trace.hpp"
 #include "routing/dump.hpp"
+#include "routing/registry.hpp"
 #include "routing/router.hpp"
 #include "topology/generators.hpp"
 #include "topology/io.hpp"
@@ -66,7 +67,8 @@ int usage(const char* program) {
                "                        real:<odin|chic|deimos|tsubame|juropa|ranger>\n"
                "routing (one of):\n"
                "  --dump=FILE         read a forwarding dump\n"
-               "  --route=ENGINE      minhop|updown|fattree|dor|lash|sssp|dfsssp\n"
+               "  --route=ENGINE      engine registry key (minhop|updown|fattree|\n"
+               "                      dor|dordateline|lash|sssp|dfsssp)\n"
                "  --max-layers=N      layer budget for --route engines (default 8)\n"
                "actions (default: deadlock-freedom analysis + witness):\n"
                "  --cert-out=FILE     emit a deadlock-freedom certificate\n"
@@ -174,18 +176,6 @@ Topology load_topology(const std::string& path, const std::string& format) {
   if (fmt == "netfile") return read_netfile_path(path);
   if (fmt == "ibnetdiscover") return read_ibnetdiscover_path(path);
   throw std::runtime_error("unknown --topo-format '" + fmt + "'");
-}
-
-/// Case-insensitive engine match ignoring non-alphanumerics, so "updown"
-/// finds "Up*/Down*".
-std::string normalized(const std::string& name) {
-  std::string out;
-  for (char c : name) {
-    if (std::isalnum(static_cast<unsigned char>(c))) {
-      out.push_back(static_cast<char>(std::tolower(c)));
-    }
-  }
-  return out;
 }
 
 std::string json_escape(const std::string& s) {
@@ -381,16 +371,10 @@ int run(int argc, char** argv) {
   } else {
     const Layer max_layers = static_cast<Layer>(std::min<std::int64_t>(
         kMaxLayers, std::max<std::int64_t>(1, cli.get_int("max-layers", 8))));
-    const std::string want = normalized(engine);
-    std::unique_ptr<Router> chosen;
-    std::string roster;
-    for (auto& router : make_all_routers(max_layers)) {
-      roster += (roster.empty() ? "" : ", ") + router->name();
-      if (normalized(router->name()) == want) chosen = std::move(router);
-    }
+    std::unique_ptr<Router> chosen = routing::make_router(engine, max_layers);
     if (!chosen) {
       std::fprintf(stderr, "dfcheck: unknown engine '%s' (have: %s)\n",
-                   engine.c_str(), roster.c_str());
+                   engine.c_str(), routing::engine_names().c_str());
       return 2;
     }
     RouteResponse out = [&] {

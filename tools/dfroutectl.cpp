@@ -1,0 +1,254 @@
+// dfroutectl: command-line client for the dfrouted daemon.
+//
+//   dfroutectl --socket=/tmp/dfrouted.sock route
+//   dfroutectl --socket=... fault --kind=link_down --channel=17
+//   dfroutectl --socket=... repair
+//   dfroutectl --socket=... lookup --src=0 --dst=5
+//   dfroutectl --socket=... lookups --count=1000   # CI load client
+//   dfroutectl --socket=... stats | info | shutdown
+//
+// Exit codes: 0 on a kOk response (for `lookups`: all responses ok),
+// 1 on a structured error response, 2 on usage/transport failure.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/cli.hpp"
+#include "fault/schedule.hpp"
+#include "service/envelope.hpp"
+#include "service/frame.hpp"
+
+namespace {
+
+using namespace dfsssp;
+using namespace dfsssp::service;
+
+int usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket=<path> <command> [flags]\n"
+      "commands:\n"
+      "  route     [--max-layers=N]   recompute forwarding from scratch\n"
+      "  repair                       coalesce pending faults and repair\n"
+      "  fault     --kind=link_down|link_up|switch_down|switch_up\n"
+      "            [--channel=C] [--switch=S]\n"
+      "  lookup    --src=<switch id> --dst=<terminal id>\n"
+      "  lookups   --count=N [--src-stride=K]  deterministic lookup loop\n"
+      "  stats                        metrics snapshot as JSON\n"
+      "  info                         snapshot version / daemon identity\n"
+      "  shutdown                     begin drain; daemon exits 0\n",
+      prog);
+  return 2;
+}
+
+int connect_socket(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// One request-response exchange. Returns false on transport failure.
+bool exchange(int fd, const ServiceRequest& req, ServiceResponse& resp) {
+  if (!write_frame(fd, encode_request(req))) return false;
+  std::string payload;
+  if (read_frame(fd, payload) != FrameResult::kFrame) return false;
+  return decode_response(payload, resp) == Status::kOk;
+}
+
+int print_outcome(const ServiceResponse& resp) {
+  if (resp.status != Status::kOk) {
+    std::fprintf(stderr, "%s: %s (%s)\n", to_string(resp.kind),
+                 resp.error.c_str(), to_string(resp.status));
+    return 1;
+  }
+  switch (resp.kind) {
+    case MsgKind::kRoute:
+      std::printf("routed: snapshot v%llu, %u layers, %llu paths, %.3f ms\n",
+                  static_cast<unsigned long long>(resp.snapshot_version),
+                  unsigned{resp.layers},
+                  static_cast<unsigned long long>(resp.paths),
+                  static_cast<double>(resp.elapsed_ns) / 1e6);
+      break;
+    case MsgKind::kRepair:
+      std::printf(
+          "repaired: snapshot v%llu, %u events coalesced, %s, "
+          "%u destinations rerouted, %llu paths migrated, %.3f ms\n",
+          static_cast<unsigned long long>(resp.snapshot_version),
+          resp.events_coalesced,
+          resp.incremental ? "incremental" : "full recompute",
+          resp.destinations_rerouted,
+          static_cast<unsigned long long>(resp.paths_migrated),
+          static_cast<double>(resp.elapsed_ns) / 1e6);
+      break;
+    case MsgKind::kFaultEvent:
+      std::printf("queued: %u pending fault events\n", resp.pending_events);
+      break;
+    case MsgKind::kLookup:
+      if (resp.ejected) {
+        std::printf("snapshot v%llu: eject (destination on this switch)\n",
+                    static_cast<unsigned long long>(resp.snapshot_version));
+      } else {
+        std::printf("snapshot v%llu: channel %u, layer %u\n",
+                    static_cast<unsigned long long>(resp.snapshot_version),
+                    resp.next_channel, unsigned{resp.layer});
+      }
+      break;
+    case MsgKind::kStats:
+      std::printf("%s\n", resp.stats_json.c_str());
+      break;
+    case MsgKind::kSnapshotInfo:
+      std::printf(
+          "dfrouted: engine %s, topology \"%s\" (%u switches, %u "
+          "terminals)\nsnapshot v%llu (%llu swaps), %u layers, %llu paths, "
+          "%u pending fault events\n",
+          resp.engine.c_str(), resp.topology.c_str(), resp.switches,
+          resp.terminals,
+          static_cast<unsigned long long>(resp.snapshot_version),
+          static_cast<unsigned long long>(resp.snapshot_swaps),
+          unsigned{resp.layers},
+          static_cast<unsigned long long>(resp.paths), resp.pending_events);
+      break;
+    case MsgKind::kShutdown:
+      std::printf("draining\n");
+      break;
+  }
+  return 0;
+}
+
+/// `lookups`: a deterministic read-load client for the CI soak job. Needs
+/// the fabric's node-id layout, so it first asks the daemon via
+/// snapshot_info-style lookups: node ids are probed by walking src/dst
+/// indices until the daemon answers kErrBadArgument.
+int run_lookup_loop(int fd, const Cli& cli) {
+  const auto count = static_cast<std::uint64_t>(cli.get_int("count", 1000));
+  const auto stride =
+      static_cast<std::uint32_t>(cli.get_int("src-stride", 7));
+
+  ServiceRequest info_req;
+  info_req.kind = MsgKind::kSnapshotInfo;
+  ServiceResponse info;
+  if (!exchange(fd, info_req, info) || info.status != Status::kOk) {
+    std::fprintf(stderr, "lookups: cannot query daemon identity\n");
+    return 2;
+  }
+  if (info.switches == 0 || info.terminals == 0) return 2;
+
+  // Node ids are dense but interleaved by type, and the wire API does not
+  // promise a layout — so walk the id space and keep going until `count`
+  // lookups succeeded. kErrBadArgument just means the walk hit the wrong
+  // node type; any other error counts as a failure. The walk is
+  // deterministic, so repeated runs produce identical request streams.
+  std::uint64_t ok = 0;
+  std::uint64_t errs = 0;
+  std::uint64_t sent = 0;
+  const std::uint64_t max_sent = count * 64;
+  const std::uint32_t total_nodes = info.switches + info.terminals;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  while (ok < count && sent < max_sent) {
+    ServiceRequest req;
+    req.kind = MsgKind::kLookup;
+    req.request_id = ++sent;
+    req.src_switch = src;
+    req.dst_terminal = dst;
+    ServiceResponse resp;
+    if (!exchange(fd, req, resp)) return 2;
+    if (resp.status == Status::kOk) {
+      ++ok;
+    } else if (resp.status != Status::kErrBadArgument) {
+      ++errs;
+    }
+    src = (src + stride) % total_nodes;
+    dst = (dst + 1) % total_nodes;
+  }
+  std::printf("lookups: %llu ok, %llu errors, %llu sent\n",
+              static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(errs),
+              static_cast<unsigned long long>(sent));
+  return errs == 0 && ok == count ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::string socket_path = cli.get("socket", "");
+  if (socket_path.empty() || cli.positional().empty()) {
+    return usage(cli.program().c_str());
+  }
+  const std::string& cmd = cli.positional().front();
+
+  const int fd = connect_socket(socket_path);
+  if (fd < 0) {
+    std::fprintf(stderr, "dfroutectl: cannot connect to %s\n",
+                 socket_path.c_str());
+    return 2;
+  }
+
+  ServiceRequest req;
+  req.request_id = 1;
+  int rc = 2;
+  if (cmd == "route") {
+    req.kind = MsgKind::kRoute;
+    req.max_layers = static_cast<Layer>(cli.get_int("max-layers", 0));
+  } else if (cmd == "repair") {
+    req.kind = MsgKind::kRepair;
+  } else if (cmd == "fault") {
+    req.kind = MsgKind::kFaultEvent;
+    const std::string kind = cli.get("kind", "");
+    if (kind == "link_down") {
+      req.fault_kind = static_cast<std::uint8_t>(FaultKind::kLinkDown);
+    } else if (kind == "link_up") {
+      req.fault_kind = static_cast<std::uint8_t>(FaultKind::kLinkUp);
+    } else if (kind == "switch_down") {
+      req.fault_kind = static_cast<std::uint8_t>(FaultKind::kSwitchDown);
+    } else if (kind == "switch_up") {
+      req.fault_kind = static_cast<std::uint8_t>(FaultKind::kSwitchUp);
+    } else {
+      ::close(fd);
+      return usage(cli.program().c_str());
+    }
+    req.channel = static_cast<ChannelId>(cli.get_int("channel", -1));
+    req.sw = static_cast<NodeId>(cli.get_int("switch", -1));
+  } else if (cmd == "lookup") {
+    req.kind = MsgKind::kLookup;
+    req.src_switch = static_cast<NodeId>(cli.get_int("src", -1));
+    req.dst_terminal = static_cast<NodeId>(cli.get_int("dst", -1));
+  } else if (cmd == "lookups") {
+    rc = run_lookup_loop(fd, cli);
+    ::close(fd);
+    return rc;
+  } else if (cmd == "stats") {
+    req.kind = MsgKind::kStats;
+  } else if (cmd == "info") {
+    req.kind = MsgKind::kSnapshotInfo;
+  } else if (cmd == "shutdown") {
+    req.kind = MsgKind::kShutdown;
+  } else {
+    ::close(fd);
+    return usage(cli.program().c_str());
+  }
+
+  ServiceResponse resp;
+  if (!exchange(fd, req, resp)) {
+    std::fprintf(stderr, "dfroutectl: transport failure\n");
+    rc = 2;
+  } else {
+    rc = print_outcome(resp);
+  }
+  ::close(fd);
+  return rc;
+}

@@ -1,0 +1,88 @@
+// dfrouted: the routing service daemon.
+//
+// Owns one Topology for its whole lifetime, keeps the DFSSSP engine's
+// incremental state (per-layer online CDGs, channel weights) warm across
+// fault events, and serves the versioned framed protocol of
+// src/service/envelope.hpp — the process shape of a subnet manager:
+// long-lived state, short-lived requests.
+//
+//   dfrouted --topo=deimos --engine=dfsssp --socket=/tmp/dfrouted.sock
+//   dfrouted --topo=xgft-4096 --pipe            # stdin/stdout framing
+//
+// In --pipe mode the daemon serves exactly one framed stream on
+// stdin/stdout and exits 0 on EOF — the mode tests and CI drive. SIGTERM
+// (either mode) or a shutdown request begins the drain: in-flight
+// requests finish, later frames are answered with kErrDraining, then the
+// process exits 0.
+#include <csignal>
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "common/cli.hpp"
+#include "routing/registry.hpp"
+#include "service/core.hpp"
+#include "service/server.hpp"
+#include "topology/configs.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_sigterm(int) { g_stop = 1; }
+
+int usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s --topo=<config> [--engine=<name>] [--max-layers=N]\n"
+      "          (--socket=<path> | --pipe)\n"
+      "  --topo        topology config name (see `dftopo list`)\n"
+      "  --engine      routing engine registry key (default dfsssp;\n"
+      "                see `dfbench engines`)\n"
+      "  --max-layers  virtual-layer budget (default 8)\n"
+      "  --socket      serve a unix-domain socket at <path>\n"
+      "  --pipe        serve one framed stream on stdin/stdout\n",
+      prog);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dfsssp;
+  Cli cli(argc, argv);
+  const std::string topo_name = cli.get("topo", "");
+  const std::string socket_path = cli.get("socket", "");
+  const bool pipe_mode = cli.get_bool("pipe", false);
+  if (topo_name.empty() || (socket_path.empty() && !pipe_mode)) {
+    return usage(cli.program().c_str());
+  }
+
+  service::ServiceCoreOptions core_options;
+  core_options.engine = cli.get("engine", "dfsssp");
+  core_options.max_layers =
+      static_cast<Layer>(cli.get_int("max-layers", 8));
+
+  try {
+    Topology topo = build_topology_config(topo_name);
+    service::ServiceCore core(std::move(topo), core_options);
+
+    std::signal(SIGTERM, on_sigterm);
+    std::signal(SIGINT, on_sigterm);
+
+    service::ServerOptions server_options;
+    server_options.socket_path = socket_path;
+    server_options.stop = &g_stop;
+    service::Server server(core, server_options);
+    if (pipe_mode) {
+      return server.run_pipe();
+    }
+    std::fprintf(stderr, "dfrouted: serving %s (%s) on %s\n",
+                 core.topo().name.c_str(), core.engine_name().c_str(),
+                 socket_path.c_str());
+    return server.run_socket();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dfrouted: %s\n", e.what());
+    return 2;
+  }
+}
