@@ -26,6 +26,9 @@
 //   --batch=B         fault events coalesced per repair (default 4)
 //   --clients=C       concurrent lookup client threads (default 4)
 //   --lookups=L       total lookups across all clients (default 2000)
+//   --journal=0|1     flight recorder on the service core (default on,
+//                     so baselines price in the recording cost)
+//   --journal-file=P  also append the DFJR segment to P (for dfreplay)
 #include <thread>
 #include <vector>
 
@@ -99,7 +102,15 @@ int main(int argc, char** argv) {
   const FaultSchedule schedule =
       FaultSchedule::random(topo.net, {.num_events = events}, event_seed);
 
-  ServiceCore core(std::move(topo), ServiceCoreOptions{});
+  ServiceCoreOptions core_options;
+  // Journal on by default: the soak baseline prices in the recording cost
+  // (ring append + DFJR frame + per-publish digests on the mutation path;
+  // lookups are never journaled).
+  core_options.journal = cli.get_bool("journal", true);
+  core_options.journal_path = cli.get("journal-file", "");
+  core_options.journal_config =
+      "kary-tree:" + std::to_string(k) + ":" + std::to_string(n);
+  ServiceCore core(std::move(topo), core_options);
 
   // Initial route over the wire path.
   ServiceRequest route_req;
@@ -182,6 +193,20 @@ int main(int argc, char** argv) {
     lookup_lat.insert(lookup_lat.end(), client_lat[c].begin(),
                       client_lat[c].end());
     lookup_errors += client_errors[c];
+  }
+
+  if (const obs::journal::Journal* journal = core.journal()) {
+    const obs::journal::JournalStats js = journal->stats();
+    std::printf("journal: %llu records (%llu dropped)%s%s\n",
+                static_cast<unsigned long long>(js.appended),
+                static_cast<unsigned long long>(js.dropped),
+                js.sink_path.empty() ? "" : ", sink ",
+                js.sink_path.c_str());
+    if (js.sink_failed) {
+      std::fprintf(stderr, "journal sink FAILED: %s\n",
+                   core.journal()->error().c_str());
+      return 1;
+    }
   }
 
   const auto info_snapshot = core.snapshot();

@@ -1,4 +1,4 @@
-#include "service/frame.hpp"
+#include "common/frame.hpp"
 
 #include <poll.h>
 #include <unistd.h>
@@ -6,9 +6,7 @@
 #include <cerrno>
 #include <cstdint>
 
-#include "service/envelope.hpp"
-
-namespace dfsssp::service {
+namespace dfsssp {
 namespace {
 
 constexpr int kPollTickMs = 100;
@@ -119,4 +117,4 @@ bool write_frame(int fd, std::string_view payload) {
   return true;
 }
 
-}  // namespace dfsssp::service
+}  // namespace dfsssp

@@ -1,0 +1,51 @@
+// Length-prefixed frame transport over plain file descriptors.
+//
+// A frame is `u32 little-endian payload length | payload`. This layer is
+// deliberately dumb: it moves byte strings; the service envelope
+// (service/envelope.hpp) and the flight-recorder journal segments
+// (obs/journal) give them meaning. It started life inside src/service/ and
+// was hoisted here so the journal's on-disk segment writer can reuse the
+// exact framing (and its tests) without the obs layer depending on the
+// service layer.
+//
+// read_frame polls in short ticks so a serving loop notices a stop flag
+// (SIGTERM) between frames without needing signal-interruptible blocking
+// reads; once a frame's first byte arrives, the rest is read to
+// completion. An oversized length prefix is consumed — payload drained and
+// discarded — so the stream stays framed and the server can answer with a
+// structured error instead of dropping the connection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace dfsssp {
+
+/// Hard ceiling on a frame payload. Large enough for any stats body or
+/// journal tail batch, small enough that a garbage length prefix cannot
+/// make a reader buffer gigabytes.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+
+enum class FrameResult {
+  kFrame,      // payload filled with one complete frame
+  kEof,        // peer closed cleanly between frames
+  kError,      // read error or mid-frame EOF; connection unusable
+  kOversized,  // length prefix above kMaxFramePayload; payload drained
+  kStopped,    // stop predicate true and no frame arrived within the grace
+};
+
+/// Reads one frame from `fd` into `payload`. `stop`, when set, is polled
+/// between ticks (it typically reads a signal flag or the core's draining
+/// bit): once it returns true, the reader keeps accepting an
+/// already-arriving frame for a few more poll ticks (so it can be answered
+/// with kErrDraining) and then returns kStopped.
+FrameResult read_frame(int fd, std::string& payload,
+                       const std::function<bool()>& stop = {});
+
+/// Writes `u32 len | payload` to `fd`, retrying partial writes. False on
+/// any write error (e.g. the peer vanished).
+bool write_frame(int fd, std::string_view payload);
+
+}  // namespace dfsssp

@@ -1,0 +1,98 @@
+// Little-endian byte-level codec shared by everything that serializes
+// fixed binary records: the service wire envelope (service/envelope.cpp)
+// and the flight-recorder journal (obs/journal). Explicit shifts instead
+// of memcpy of the host representation so the encoded bytes are identical
+// on any endianness — the same reason the DFEL edge-list writer spells its
+// integers out.
+//
+// Writers append to a std::string; the Reader is a bounds-checked cursor
+// whose get_* calls return false once the payload is exhausted (decoders
+// translate that into their structured "malformed" errors instead of
+// reading out of bounds).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dfsssp::wire {
+
+inline void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+inline void put_u16(std::string& out, std::uint16_t v) {
+  put_u8(out, static_cast<std::uint8_t>(v & 0xFF));
+  put_u8(out, static_cast<std::uint8_t>(v >> 8));
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    put_u8(out, static_cast<std::uint8_t>((v >> shift) & 0xFF));
+  }
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    put_u8(out, static_cast<std::uint8_t>((v >> shift) & 0xFF));
+  }
+}
+
+/// Strings travel as u32 length + raw bytes.
+inline void put_str(std::string& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+/// Bounds-checked cursor over an encoded payload.
+struct Reader {
+  std::string_view data;
+  std::size_t pos = 0;
+
+  std::size_t remaining() const { return data.size() - pos; }
+
+  bool get_u8(std::uint8_t& v) {
+    if (pos + 1 > data.size()) return false;
+    v = static_cast<std::uint8_t>(data[pos++]);
+    return true;
+  }
+
+  bool get_u16(std::uint16_t& v) {
+    std::uint8_t lo = 0;
+    std::uint8_t hi = 0;
+    if (!get_u8(lo) || !get_u8(hi)) return false;
+    v = static_cast<std::uint16_t>(lo | (static_cast<std::uint16_t>(hi) << 8));
+    return true;
+  }
+
+  bool get_u32(std::uint32_t& v) {
+    v = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      std::uint8_t b = 0;
+      if (!get_u8(b)) return false;
+      v |= static_cast<std::uint32_t>(b) << shift;
+    }
+    return true;
+  }
+
+  bool get_u64(std::uint64_t& v) {
+    v = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      std::uint8_t b = 0;
+      if (!get_u8(b)) return false;
+      v |= static_cast<std::uint64_t>(b) << shift;
+    }
+    return true;
+  }
+
+  bool get_str(std::string& v) {
+    std::uint32_t len = 0;
+    if (!get_u32(len)) return false;
+    if (pos + len > data.size()) return false;
+    v.assign(data.data() + pos, len);
+    pos += len;
+    return true;
+  }
+};
+
+}  // namespace dfsssp::wire

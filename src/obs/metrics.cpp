@@ -89,6 +89,37 @@ std::vector<std::uint64_t> exponential_buckets(std::uint64_t start,
   return edges;
 }
 
+double histogram_quantile(const HistogramValue& h, double q) {
+  if (h.count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample (1-based, nearest-rank).
+  const auto rank = static_cast<std::uint64_t>(std::max(
+      1.0, std::ceil(q * static_cast<double>(h.count))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < h.counts.size(); ++b) {
+    const std::uint64_t in_bucket = h.counts[b];
+    if (seen + in_bucket < rank) {
+      seen += in_bucket;
+      continue;
+    }
+    if (b >= h.edges.size()) return static_cast<double>(h.max);  // overflow
+    // Linear interpolation between the bucket's bounds by the rank's
+    // position inside it.
+    const double lo =
+        b == 0 ? 0.0 : static_cast<double>(h.edges[b - 1]);
+    const double hi = static_cast<double>(h.edges[b]);
+    const double frac = in_bucket == 0
+                            ? 1.0
+                            : static_cast<double>(rank - seen) /
+                                  static_cast<double>(in_bucket);
+    // Bucket resolution can place the estimate above the largest value
+    // actually observed; the tracked max is a tighter upper bound.
+    return std::min(lo + (hi - lo) * frac, static_cast<double>(h.max));
+  }
+  return static_cast<double>(h.max);
+}
+
 // ---- Registry ---------------------------------------------------------------
 
 Counter& Registry::counter(const std::string& name, Kind kind) {

@@ -136,6 +136,12 @@ class Histogram {
 std::vector<std::uint64_t> exponential_buckets(std::uint64_t start,
                                                double factor, std::size_t n);
 
+/// Quantile estimate from a merged histogram reading: finds the bucket
+/// holding the q-th sample and interpolates linearly inside it (overflow
+/// bucket reports `max`). Returns 0 when the histogram is empty. q is
+/// clamped to [0, 1].
+double histogram_quantile(const HistogramValue& h, double q);
+
 /// One metric's merged reading inside a Snapshot.
 struct MetricValue {
   enum class Type : std::uint8_t { kCounter, kGauge, kHistogram };

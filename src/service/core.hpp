@@ -30,6 +30,7 @@
 
 #include "fault/churn.hpp"
 #include "fault/incremental.hpp"
+#include "obs/journal/journal.hpp"
 #include "obs/metrics.hpp"
 #include "routing/router.hpp"
 #include "service/envelope.hpp"
@@ -47,6 +48,17 @@ struct ServiceCoreOptions {
   Layer max_layers = 8;
   /// Metrics sink; nullptr = the process-global obs::registry().
   obs::Registry* metrics = nullptr;
+  /// Flight recorder (obs/journal). Off by default; when on, every
+  /// mutation emits journal records (and the published table + certificate
+  /// are digested per generation, which is what makes `dfreplay --verify`
+  /// possible — at the cost of one canonical certificate build per swap).
+  bool journal = false;
+  std::uint32_t journal_capacity = 8192;  // ring size, records
+  /// Append-only DFJR segment path; empty = in-memory ring only.
+  std::string journal_path;
+  /// Topology config key (configs.hpp registry name or "kary-tree:K:N")
+  /// recorded in the segment header so dfreplay can rebuild the fabric.
+  std::string journal_config;
 };
 
 class ServiceCore {
@@ -75,6 +87,11 @@ class ServiceCore {
   const std::string& engine_name() const { return engine_key_; }
   const Topology& topo() const { return topo_; }
 
+  /// The flight recorder, nullptr when ServiceCoreOptions::journal was
+  /// false. Used by the in-process dfreplay target to drain records
+  /// without a wire round trip.
+  const obs::journal::Journal* journal() const { return journal_.get(); }
+
  private:
   ServiceResponse do_route(const ServiceRequest& r);
   ServiceResponse do_repair(const ServiceRequest& r);
@@ -82,10 +99,19 @@ class ServiceCore {
   ServiceResponse do_lookup(const ServiceRequest& r);
   ServiceResponse do_stats(const ServiceRequest& r);
   ServiceResponse do_snapshot_info(const ServiceRequest& r);
+  ServiceResponse do_journal_tail(const ServiceRequest& r);
+  ServiceResponse do_journal_stats(const ServiceRequest& r);
   /// Publishes `resp`'s table as the next snapshot generation and fills
   /// the route/repair response fields shared by both kinds.
   ServiceResponse publish(const ServiceRequest& r, RouteResponse resp,
                           std::uint64_t elapsed_ns);
+  /// Journals the snapshot_swap + completion records of one route/repair
+  /// transaction (call under engine_mu_ with journal_ set). `ts` is the
+  /// transaction's logical timestamp; digests are computed from the
+  /// freshly published snapshot when `resp.status == kOk`.
+  void journal_mutation(const ServiceRequest& r, const ServiceResponse& resp,
+                        std::uint64_t ts, std::uint64_t version_before,
+                        bool fallback, std::uint64_t latency_ns);
 
   obs::Registry& metrics_;
   Topology topo_;
@@ -97,6 +123,12 @@ class ServiceCore {
 
   std::mutex engine_mu_;             // serializes all topology mutation
   std::vector<FaultEvent> pending_;  // guarded by engine_mu_
+  std::unique_ptr<obs::journal::Journal> journal_;  // nullptr = off
+  /// The mutation clock: incremented once per mutating request (under
+  /// engine_mu_), stamped into every record that request emits. Replay
+  /// groups records back into transactions by this value.
+  std::uint64_t logical_clock_ = 0;  // guarded by engine_mu_
+  std::uint64_t start_ns_ = 0;       // daemon birth, for uptime
   std::atomic<std::uint32_t> pending_count_{0};  // lock-free mirror
   SnapshotSlot slot_;
   std::atomic<bool> draining_{false};

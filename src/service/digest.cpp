@@ -1,0 +1,43 @@
+#include "service/digest.hpp"
+
+namespace dfsssp::service {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    h ^= (v >> shift) & 0xFF;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t table_digest(const Network& net, const RoutingTable& table) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, table.num_layers());
+  const NodeId n = net.num_nodes();
+  for (NodeId sw = 0; sw < n; ++sw) {
+    if (!net.is_switch(sw)) continue;
+    for (NodeId t = 0; t < n; ++t) {
+      if (!net.is_terminal(t)) continue;
+      mix(h, table.next(sw, t));
+      mix(h, table.layer(sw, t));
+    }
+  }
+  return h;
+}
+
+std::uint64_t certificate_digest(const Certificate& cert) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, cert.num_layers);
+  for (const std::vector<ChannelId>& layer : cert.order) {
+    mix(h, layer.size());
+    for (const ChannelId c : layer) mix(h, c);
+  }
+  return h;
+}
+
+}  // namespace dfsssp::service

@@ -1,0 +1,28 @@
+// Deterministic digests of published forwarding state, recorded in the
+// flight-recorder journal (obs/journal) and re-checked by dfreplay.
+//
+// FNV-1a 64 over a canonical serialization: node ids ascend, so two
+// RoutingTables hash equal iff every (switch, terminal) slot's next
+// channel and layer agree — "bitwise-identical forwarding snapshot" in one
+// u64. The certificate digest hashes the per-layer canonical Kahn orders
+// of make_certificate, which are thread-count invariant by construction,
+// so it pins the deadlock-freedom proof of a generation, not just its
+// table.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/certificate.hpp"
+#include "routing/table.hpp"
+#include "topology/network.hpp"
+
+namespace dfsssp::service {
+
+/// FNV-1a 64 of (num_layers, then next+layer per ascending
+/// (switch, terminal) pair).
+std::uint64_t table_digest(const Network& net, const RoutingTable& table);
+
+/// FNV-1a 64 of (num_layers, then per layer: order length + channel ids).
+std::uint64_t certificate_digest(const Certificate& cert);
+
+}  // namespace dfsssp::service

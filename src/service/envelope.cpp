@@ -1,94 +1,26 @@
 #include "service/envelope.hpp"
 
-#include <cstring>
+#include "common/wire.hpp"
 
 namespace dfsssp::service {
 namespace {
 
-// Little-endian byte-level codec. Explicit shifts instead of memcpy of the
-// host representation so the wire format is identical on any endianness.
-void put_u8(std::string& out, std::uint8_t v) {
-  out.push_back(static_cast<char>(v));
-}
-
-void put_u16(std::string& out, std::uint16_t v) {
-  put_u8(out, static_cast<std::uint8_t>(v & 0xFF));
-  put_u8(out, static_cast<std::uint8_t>(v >> 8));
-}
-
-void put_u32(std::string& out, std::uint32_t v) {
-  for (int shift = 0; shift < 32; shift += 8) {
-    put_u8(out, static_cast<std::uint8_t>((v >> shift) & 0xFF));
-  }
-}
-
-void put_u64(std::string& out, std::uint64_t v) {
-  for (int shift = 0; shift < 64; shift += 8) {
-    put_u8(out, static_cast<std::uint8_t>((v >> shift) & 0xFF));
-  }
-}
-
-/// Strings travel as u32 length + raw bytes.
-void put_str(std::string& out, std::string_view s) {
-  put_u32(out, static_cast<std::uint32_t>(s.size()));
-  out.append(s.data(), s.size());
-}
-
-/// Bounds-checked cursor over a frame payload. Every get_* returns false
-/// once the payload is exhausted; decoders translate that into
-/// Status::kErrMalformed.
-struct Reader {
-  std::string_view data;
-  std::size_t pos = 0;
-
-  bool get_u8(std::uint8_t& v) {
-    if (pos + 1 > data.size()) return false;
-    v = static_cast<std::uint8_t>(data[pos++]);
-    return true;
-  }
-
-  bool get_u16(std::uint16_t& v) {
-    std::uint8_t lo = 0;
-    std::uint8_t hi = 0;
-    if (!get_u8(lo) || !get_u8(hi)) return false;
-    v = static_cast<std::uint16_t>(lo | (static_cast<std::uint16_t>(hi) << 8));
-    return true;
-  }
-
-  bool get_u32(std::uint32_t& v) {
-    v = 0;
-    for (int shift = 0; shift < 32; shift += 8) {
-      std::uint8_t b = 0;
-      if (!get_u8(b)) return false;
-      v |= static_cast<std::uint32_t>(b) << shift;
-    }
-    return true;
-  }
-
-  bool get_u64(std::uint64_t& v) {
-    v = 0;
-    for (int shift = 0; shift < 64; shift += 8) {
-      std::uint8_t b = 0;
-      if (!get_u8(b)) return false;
-      v |= static_cast<std::uint64_t>(b) << shift;
-    }
-    return true;
-  }
-
-  bool get_str(std::string& v) {
-    std::uint32_t len = 0;
-    if (!get_u32(len)) return false;
-    if (pos + len > data.size()) return false;
-    v.assign(data.data() + pos, len);
-    pos += len;
-    return true;
-  }
-};
+using wire::put_u16;
+using wire::put_u32;
+using wire::put_u64;
+using wire::put_u8;
+using wire::put_str;
+using wire::Reader;
 
 bool known_kind(std::uint16_t raw) {
   return raw >= static_cast<std::uint16_t>(MsgKind::kRoute) &&
-         raw <= static_cast<std::uint16_t>(MsgKind::kShutdown);
+         raw <= static_cast<std::uint16_t>(MsgKind::kJournalStats);
 }
+
+/// Records per journal_tail response the server will ever send: the
+/// envelope must fit kMaxFramePayload with room for the header
+/// (count * (kRecordBytes + slack) well under 1 MiB).
+constexpr std::uint32_t kMaxTailRecords = 4096;
 
 }  // namespace
 
@@ -101,6 +33,8 @@ const char* to_string(MsgKind kind) {
     case MsgKind::kStats: return "stats";
     case MsgKind::kSnapshotInfo: return "snapshot_info";
     case MsgKind::kShutdown: return "shutdown";
+    case MsgKind::kJournalTail: return "journal_tail";
+    case MsgKind::kJournalStats: return "journal_stats";
   }
   return "unknown";
 }
@@ -138,10 +72,16 @@ std::string encode_request(const ServiceRequest& r) {
       put_u32(out, r.src_switch);
       put_u32(out, r.dst_terminal);
       break;
+    case MsgKind::kJournalTail:
+      put_u64(out, r.journal_from_seq);
+      put_u32(out, r.journal_max);
+      put_u8(out, r.journal_kind);
+      break;
     case MsgKind::kRepair:
     case MsgKind::kStats:
     case MsgKind::kSnapshotInfo:
     case MsgKind::kShutdown:
+    case MsgKind::kJournalStats:
       break;
   }
   return out;
@@ -196,9 +136,37 @@ std::string encode_response(const ServiceResponse& r) {
       put_u32(out, r.pending_events);
       put_str(out, r.engine);
       put_str(out, r.topology);
+      put_u64(out, r.uptime_ns);
+      put_u64(out, r.peak_rss_bytes);
       break;
     case MsgKind::kShutdown:
       break;
+    case MsgKind::kJournalTail: {
+      put_u64(out, r.journal_next_seq);
+      const auto count = static_cast<std::uint32_t>(
+          r.journal_records.size() < kMaxTailRecords
+              ? r.journal_records.size()
+              : kMaxTailRecords);
+      put_u32(out, count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        obs::journal::encode_record(out, r.journal_records[i]);
+      }
+      break;
+    }
+    case MsgKind::kJournalStats: {
+      const obs::journal::JournalStats& s = r.journal_stats;
+      put_u64(out, s.next_seq);
+      put_u64(out, s.appended);
+      put_u64(out, s.dropped);
+      put_u32(out, s.size);
+      put_u32(out, s.capacity);
+      for (int k = 1; k <= 6; ++k) put_u64(out, s.by_kind[k]);
+      put_u64(out, s.disk_bytes);
+      put_u8(out, s.sink_open ? 1 : 0);
+      put_u8(out, s.sink_failed ? 1 : 0);
+      put_str(out, s.sink_path);
+      break;
+    }
   }
   return out;
 }
@@ -233,10 +201,17 @@ Status decode_request(std::string_view payload, ServiceRequest& out) {
         return Status::kErrMalformed;
       }
       break;
+    case MsgKind::kJournalTail:
+      if (!r.get_u64(out.journal_from_seq) || !r.get_u32(out.journal_max) ||
+          !r.get_u8(out.journal_kind)) {
+        return Status::kErrMalformed;
+      }
+      break;
     case MsgKind::kRepair:
     case MsgKind::kStats:
     case MsgKind::kSnapshotInfo:
     case MsgKind::kShutdown:
+    case MsgKind::kJournalStats:
       break;
   }
   // Trailing bytes are tolerated (see header comment on forward
@@ -310,7 +285,8 @@ Status decode_response(std::string_view payload, ServiceResponse& out) {
           !r.get_u16(layers) || !r.get_u64(out.paths) ||
           !r.get_u32(out.switches) || !r.get_u32(out.terminals) ||
           !r.get_u32(out.pending_events) || !r.get_str(out.engine) ||
-          !r.get_str(out.topology)) {
+          !r.get_str(out.topology) || !r.get_u64(out.uptime_ns) ||
+          !r.get_u64(out.peak_rss_bytes)) {
         return Status::kErrMalformed;
       }
       out.layers = static_cast<Layer>(layers);
@@ -318,6 +294,40 @@ Status decode_response(std::string_view payload, ServiceResponse& out) {
     }
     case MsgKind::kShutdown:
       break;
+    case MsgKind::kJournalTail: {
+      std::uint32_t count = 0;
+      if (!r.get_u64(out.journal_next_seq) || !r.get_u32(count) ||
+          count > kMaxTailRecords) {
+        return Status::kErrMalformed;
+      }
+      out.journal_records.resize(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        if (!obs::journal::decode_record(r, out.journal_records[i])) {
+          return Status::kErrMalformed;
+        }
+      }
+      break;
+    }
+    case MsgKind::kJournalStats: {
+      obs::journal::JournalStats& s = out.journal_stats;
+      std::uint8_t open = 0;
+      std::uint8_t failed = 0;
+      if (!r.get_u64(s.next_seq) || !r.get_u64(s.appended) ||
+          !r.get_u64(s.dropped) || !r.get_u32(s.size) ||
+          !r.get_u32(s.capacity)) {
+        return Status::kErrMalformed;
+      }
+      for (int k = 1; k <= 6; ++k) {
+        if (!r.get_u64(s.by_kind[k])) return Status::kErrMalformed;
+      }
+      if (!r.get_u64(s.disk_bytes) || !r.get_u8(open) || !r.get_u8(failed) ||
+          !r.get_str(s.sink_path)) {
+        return Status::kErrMalformed;
+      }
+      s.sink_open = open != 0;
+      s.sink_failed = failed != 0;
+      break;
+    }
   }
   return Status::kOk;
 }

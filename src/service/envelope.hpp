@@ -31,6 +31,8 @@
 //   stats         (empty)
 //   snapshot_info (empty)
 //   shutdown      (empty)       begin drain; daemon exits 0
+//   journal_tail  u64 from_seq | u32 max | u8 kind_filter (0 = all)
+//   journal_stats (empty)
 //
 // Response bodies (status == kOk; error responses carry a u32-length
 // message string instead):
@@ -44,15 +46,25 @@
 //   stats         str metrics_json
 //   snapshot_info u64 snapshot_version | u64 snapshot_swaps | u16 layers |
 //                 u64 paths | u32 switches | u32 terminals |
-//                 u32 pending_events | str engine | str topology
+//                 u32 pending_events | str engine | str topology |
+//                 u64 uptime_ns | u64 peak_rss_bytes
 //   shutdown      (empty)
+//   journal_tail  u64 next_seq | u32 count | count x journal record
+//                 (obs/journal fixed-size codec, kRecordBytes each)
+//   journal_stats u64 next_seq | u64 appended | u64 dropped | u32 size |
+//                 u32 capacity | 6 x u64 by_kind (kinds 1..6) |
+//                 u64 disk_bytes | u8 sink_open | u8 sink_failed |
+//                 str sink_path
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "common/frame.hpp"
 #include "common/types.hpp"
+#include "obs/journal/journal.hpp"
 
 namespace dfsssp::service {
 
@@ -61,10 +73,10 @@ namespace dfsssp::service {
 /// fleet upgrades on).
 inline constexpr std::uint16_t kWireVersion = 1;
 
-/// Hard ceiling on a frame payload. Large enough for any stats body,
-/// small enough that a garbage length prefix cannot make the server
-/// buffer gigabytes.
-inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+/// The frame-payload ceiling now lives with the transport
+/// (common/frame.hpp); re-exported here because the envelope's size
+/// contract is part of the wire API.
+using dfsssp::kMaxFramePayload;
 
 enum class MsgKind : std::uint16_t {
   kRoute = 1,         // from-scratch recompute, swaps a fresh snapshot
@@ -74,6 +86,8 @@ enum class MsgKind : std::uint16_t {
   kStats = 5,         // obs metrics snapshot as JSON text
   kSnapshotInfo = 6,  // snapshot version/layers/paths + daemon identity
   kShutdown = 7,      // begin drain; daemon exits 0
+  kJournalTail = 8,   // stream flight-recorder records from the ring
+  kJournalStats = 9,  // flight-recorder counters (ring + disk sink)
 };
 
 enum class Status : std::uint16_t {
@@ -105,6 +119,9 @@ struct ServiceRequest {
   NodeId sw = kInvalidNode;       // fault_event
   NodeId src_switch = kInvalidNode;     // lookup
   NodeId dst_terminal = kInvalidNode;   // lookup
+  std::uint64_t journal_from_seq = 0;   // journal_tail
+  std::uint32_t journal_max = 0;        // journal_tail (0 = server cap)
+  std::uint8_t journal_kind = 0;        // journal_tail (0 = all kinds)
 };
 
 /// One decoded response; `status != kOk` carries `error` and no body
@@ -134,6 +151,11 @@ struct ServiceResponse {
   std::uint32_t terminals = 0;         // snapshot_info
   std::string engine;                  // snapshot_info
   std::string topology;                // snapshot_info
+  std::uint64_t uptime_ns = 0;         // snapshot_info
+  std::uint64_t peak_rss_bytes = 0;    // snapshot_info
+  std::uint64_t journal_next_seq = 0;  // journal_tail (resume cursor)
+  std::vector<obs::journal::Record> journal_records;  // journal_tail
+  obs::journal::JournalStats journal_stats;           // journal_stats
 };
 
 /// Serializes the fields of `r.kind` into a frame payload (no length

@@ -1,43 +1,15 @@
-// Length-prefixed frame transport over plain file descriptors.
-//
-// A frame is `u32 little-endian payload length | payload`. This layer is
-// deliberately dumb: it moves byte strings, envelope.hpp gives them
-// meaning. Both the daemon (unix socket / stdin-stdout pipe) and the
-// dfroutectl client speak through these two calls, so the tests exercise
-// the exact production framing via a socketpair.
-//
-// read_frame polls in short ticks so a serving loop notices a stop flag
-// (SIGTERM) between frames without needing signal-interruptible blocking
-// reads; once a frame's first byte arrives, the rest is read to
-// completion. An oversized length prefix is consumed — payload drained and
-// discarded — so the stream stays framed and the server can answer with a
-// structured error instead of dropping the connection.
+// Compatibility shim: the frame transport moved to common/frame.hpp so
+// the flight-recorder journal (obs/journal) can write its on-disk
+// segments through the exact same framing. Service code keeps including
+// "service/frame.hpp" and naming service::read_frame / service::FrameResult.
 #pragma once
 
-#include <functional>
-#include <string>
-#include <string_view>
+#include "common/frame.hpp"
 
 namespace dfsssp::service {
 
-enum class FrameResult {
-  kFrame,      // payload filled with one complete frame
-  kEof,        // peer closed cleanly between frames
-  kError,      // read error or mid-frame EOF; connection unusable
-  kOversized,  // length prefix above kMaxFramePayload; payload drained
-  kStopped,    // stop predicate true and no frame arrived within the grace
-};
-
-/// Reads one frame from `fd` into `payload`. `stop`, when set, is polled
-/// between ticks (it typically reads a signal flag or the core's draining
-/// bit): once it returns true, the reader keeps accepting an
-/// already-arriving frame for a few more poll ticks (so it can be answered
-/// with kErrDraining) and then returns kStopped.
-FrameResult read_frame(int fd, std::string& payload,
-                       const std::function<bool()>& stop = {});
-
-/// Writes `u32 len | payload` to `fd`, retrying partial writes. False on
-/// any write error (e.g. the peer vanished).
-bool write_frame(int fd, std::string_view payload);
+using dfsssp::FrameResult;
+using dfsssp::read_frame;
+using dfsssp::write_frame;
 
 }  // namespace dfsssp::service

@@ -1,0 +1,211 @@
+// Frame layer: length-prefixed framing over byte streams.
+//
+// The contracts under test (ISSUE: flight recorder / frame hardening):
+//   * a frame split into arbitrary byte dribbles reassembles — short reads
+//     of the length prefix and of the payload both resume;
+//   * EINTR during a blocking read resumes instead of failing the frame;
+//   * an oversized frame is drained fully and reported kOversized, and the
+//     stream keeps framing afterwards;
+//   * EOF between frames is kEof, EOF mid-frame is kError;
+//   * the stop predicate turns a quiet stream into kStopped after the
+//     drain-grace ticks.
+#include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "common/frame.hpp"
+
+namespace dfsssp {
+namespace {
+
+struct Pair {
+  int reader = -1;
+  int writer = -1;
+  Pair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    reader = fds[0];
+    writer = fds[1];
+  }
+  ~Pair() {
+    if (reader >= 0) ::close(reader);
+    if (writer >= 0) ::close(writer);
+  }
+  void close_writer() {
+    ::close(writer);
+    writer = -1;
+  }
+};
+
+/// Raw little-endian length prefix, for hand-built wire bytes.
+std::string length_prefix(std::uint32_t len) {
+  std::string out;
+  out.push_back(static_cast<char>(len & 0xFF));
+  out.push_back(static_cast<char>((len >> 8) & 0xFF));
+  out.push_back(static_cast<char>((len >> 16) & 0xFF));
+  out.push_back(static_cast<char>((len >> 24) & 0xFF));
+  return out;
+}
+
+bool write_all(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+TEST(Frame, RoundTripsIncludingEmptyPayload) {
+  Pair p;
+  ASSERT_TRUE(write_frame(p.writer, "hello frame"));
+  ASSERT_TRUE(write_frame(p.writer, ""));
+  ASSERT_TRUE(write_frame(p.writer, std::string(70000, 'x')));
+
+  std::string payload;
+  ASSERT_EQ(read_frame(p.reader, payload), FrameResult::kFrame);
+  EXPECT_EQ(payload, "hello frame");
+  ASSERT_EQ(read_frame(p.reader, payload), FrameResult::kFrame);
+  EXPECT_EQ(payload, "");
+  ASSERT_EQ(read_frame(p.reader, payload), FrameResult::kFrame);
+  EXPECT_EQ(payload, std::string(70000, 'x'));
+
+  p.close_writer();
+  EXPECT_EQ(read_frame(p.reader, payload), FrameResult::kEof);
+}
+
+TEST(Frame, ReassemblesByteDribbles) {
+  // The frame arrives one byte at a time — every read of the length prefix
+  // and the payload is short. read_frame must resume each of them.
+  Pair p;
+  const std::string want = "dribbled-payload";
+  std::string wire = length_prefix(static_cast<std::uint32_t>(want.size()));
+  wire += want;
+
+  std::thread writer([&] {
+    for (char c : wire) {
+      ASSERT_TRUE(write_all(p.writer, std::string_view(&c, 1)));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::string payload;
+  EXPECT_EQ(read_frame(p.reader, payload), FrameResult::kFrame);
+  EXPECT_EQ(payload, want);
+  writer.join();
+}
+
+TEST(Frame, ResumesAfterEintr) {
+  // A no-op handler installed without SA_RESTART makes blocked reads fail
+  // with EINTR; read_frame must retry, not surface an error.
+  struct sigaction sa {};
+  struct sigaction old {};
+  sa.sa_handler = [](int) {};
+  sa.sa_flags = 0;  // deliberately no SA_RESTART
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  Pair p;
+  const std::string want = "signal-proof";
+  std::string wire = length_prefix(static_cast<std::uint32_t>(want.size()));
+  wire += want;
+  // Prefix plus half the payload now: the reader gets past poll() and
+  // blocks inside the payload's read_exact, where the signals land.
+  const std::size_t half = 4 + want.size() / 2;
+  ASSERT_TRUE(write_all(p.writer, std::string_view(wire).substr(0, half)));
+
+  std::atomic<bool> reading{false};
+  const pthread_t self = ::pthread_self();
+  std::thread interrupter([&] {
+    while (!reading.load()) std::this_thread::yield();
+    // Pepper the blocked reader, then let the rest of the frame through.
+    for (int i = 0; i < 5; ++i) {
+      ::pthread_kill(self, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_TRUE(write_all(p.writer, std::string_view(wire).substr(half)));
+  });
+
+  reading.store(true);
+  std::string payload;
+  EXPECT_EQ(read_frame(p.reader, payload), FrameResult::kFrame);
+  EXPECT_EQ(payload, want);
+  interrupter.join();
+  ::sigaction(SIGUSR1, &old, nullptr);
+}
+
+TEST(Frame, OversizedFrameIsDrainedAndStreamSurvives) {
+  // Length prefix beyond kMaxFramePayload: the reader must consume the
+  // whole body (else the stream desyncs) and report kOversized, then frame
+  // normally again. The body is bigger than a socketpair buffer, so the
+  // writer thread blocks until the reader drains — which is the point.
+  Pair p;
+  const std::uint32_t huge = kMaxFramePayload + 1;
+  std::thread writer([&] {
+    ASSERT_TRUE(write_all(p.writer, length_prefix(huge)));
+    ASSERT_TRUE(write_all(p.writer, std::string(huge, 'z')));
+    ASSERT_TRUE(write_frame(p.writer, "still-framed"));
+  });
+
+  std::string payload;
+  EXPECT_EQ(read_frame(p.reader, payload), FrameResult::kOversized);
+  EXPECT_EQ(read_frame(p.reader, payload), FrameResult::kFrame);
+  EXPECT_EQ(payload, "still-framed");
+  writer.join();
+}
+
+TEST(Frame, EofMidFrameIsErrorNotEof) {
+  // Clean close between frames is kEof (tested above); a writer dying
+  // mid-frame must be distinguishable.
+  {
+    // ... after only part of the length prefix:
+    Pair p;
+    ASSERT_TRUE(write_all(p.writer, length_prefix(8).substr(0, 2)));
+    p.close_writer();
+    std::string payload;
+    EXPECT_EQ(read_frame(p.reader, payload), FrameResult::kError);
+  }
+  {
+    // ... after the prefix but only part of the payload:
+    Pair p;
+    ASSERT_TRUE(write_all(p.writer, length_prefix(8) + "1234"));
+    p.close_writer();
+    std::string payload;
+    EXPECT_EQ(read_frame(p.reader, payload), FrameResult::kError);
+  }
+  {
+    // ... mid-body of an oversized frame: still kError, not kOversized.
+    Pair p;
+    ASSERT_TRUE(write_all(p.writer, length_prefix(kMaxFramePayload + 1)));
+    ASSERT_TRUE(write_all(p.writer, "partial body"));
+    p.close_writer();
+    std::string payload;
+    EXPECT_EQ(read_frame(p.reader, payload), FrameResult::kError);
+  }
+}
+
+TEST(Frame, StopPredicateEndsAQuietWait) {
+  Pair p;
+  std::string payload;
+  EXPECT_EQ(read_frame(p.reader, payload, [] { return true; }),
+            FrameResult::kStopped);
+}
+
+TEST(Frame, StopGraceStillDeliversAnInFlightFrame) {
+  // A frame already on the wire when stop turns true must still be served
+  // (that is what the grace ticks are for).
+  Pair p;
+  ASSERT_TRUE(write_frame(p.writer, "in-flight"));
+  std::string payload;
+  EXPECT_EQ(read_frame(p.reader, payload, [] { return true; }),
+            FrameResult::kFrame);
+  EXPECT_EQ(payload, "in-flight");
+}
+
+}  // namespace
+}  // namespace dfsssp

@@ -20,13 +20,17 @@
 #include <thread>
 #include <vector>
 
+#include <cstdio>
+
 #include "fault/churn.hpp"
 #include "fault/incremental.hpp"
 #include "fault/schedule.hpp"
+#include "obs/journal/journal.hpp"
 #include "obs/metrics.hpp"
 #include "service/core.hpp"
 #include "service/envelope.hpp"
 #include "service/frame.hpp"
+#include "service/replay.hpp"
 #include "service/server.hpp"
 #include "topology/generators.hpp"
 
@@ -541,6 +545,232 @@ TEST(ServicePipe, StatsAndInfoCarryServiceMetrics) {
   EXPECT_EQ(i.snapshot_version, 1u);
   EXPECT_EQ(i.switches, pipe.core->topo().net.num_switches());
   EXPECT_EQ(i.terminals, pipe.core->topo().net.num_terminals());
+  // Satellite: process identity rides along on snapshot_info.
+  EXPECT_GT(i.uptime_ns, 0u);
+  EXPECT_GT(i.peak_rss_bytes, 0u);
+
+  // Satellite: the stats JSON folds in latency quantiles per request kind
+  // and the process section.
+  const ServiceResponse stats2 = pipe.call(stats);
+  ASSERT_EQ(stats2.status, Status::kOk);
+  EXPECT_NE(stats2.stats_json.find("\"latency\""), std::string::npos);
+  EXPECT_NE(stats2.stats_json.find("p99_ns"), std::string::npos);
+  EXPECT_NE(stats2.stats_json.find("peak_rss_bytes"), std::string::npos);
+}
+
+// -------------------------------------------------------- flight recorder
+
+TEST(ServiceEnvelope, JournalKindsRoundTripTheWire) {
+  ServiceRequest tail;
+  tail.kind = MsgKind::kJournalTail;
+  tail.request_id = 21;
+  tail.journal_from_seq = 17;
+  tail.journal_max = 256;
+  tail.journal_kind = 5;
+  ServiceRequest req_out;
+  ASSERT_EQ(decode_request(encode_request(tail), req_out), Status::kOk);
+  EXPECT_EQ(req_out.kind, MsgKind::kJournalTail);
+  EXPECT_EQ(req_out.journal_from_seq, 17u);
+  EXPECT_EQ(req_out.journal_max, 256u);
+  EXPECT_EQ(req_out.journal_kind, 5u);
+
+  ServiceResponse records;
+  records.kind = MsgKind::kJournalTail;
+  records.request_id = 21;
+  records.journal_next_seq = 19;
+  obs::journal::Record rec;
+  rec.seq = 17;
+  rec.logical_ts = 9;
+  rec.kind = obs::journal::EventKind::kSnapshotSwap;
+  rec.version_before = 3;
+  rec.version_after = 4;
+  rec.paths = 1234;
+  rec.table_digest = 0xABCDEF0123456789ULL;
+  records.journal_records = {rec, rec};
+  records.journal_records[1].seq = 18;
+  ServiceResponse resp_out;
+  ASSERT_EQ(decode_response(encode_response(records), resp_out), Status::kOk);
+  EXPECT_EQ(resp_out.journal_next_seq, 19u);
+  ASSERT_EQ(resp_out.journal_records.size(), 2u);
+  EXPECT_EQ(resp_out.journal_records[0].seq, 17u);
+  EXPECT_EQ(resp_out.journal_records[1].seq, 18u);
+  EXPECT_EQ(resp_out.journal_records[0].table_digest, 0xABCDEF0123456789ULL);
+  EXPECT_EQ(resp_out.journal_records[0].kind,
+            obs::journal::EventKind::kSnapshotSwap);
+
+  ServiceResponse stats;
+  stats.kind = MsgKind::kJournalStats;
+  stats.journal_stats.next_seq = 7;
+  stats.journal_stats.appended = 6;
+  stats.journal_stats.dropped = 0;
+  stats.journal_stats.size = 6;
+  stats.journal_stats.capacity = 8192;
+  stats.journal_stats.by_kind[5] = 2;
+  stats.journal_stats.disk_bytes = 609;
+  stats.journal_stats.sink_open = true;
+  stats.journal_stats.sink_path = "/tmp/j.dfjr";
+  ASSERT_EQ(decode_response(encode_response(stats), resp_out), Status::kOk);
+  EXPECT_EQ(resp_out.journal_stats.next_seq, 7u);
+  EXPECT_EQ(resp_out.journal_stats.by_kind[5], 2u);
+  EXPECT_EQ(resp_out.journal_stats.disk_bytes, 609u);
+  EXPECT_TRUE(resp_out.journal_stats.sink_open);
+  EXPECT_EQ(resp_out.journal_stats.sink_path, "/tmp/j.dfjr");
+}
+
+/// Route + a fault batch + repair, all through `handle` — the canonical
+/// journaled mutation sequence the recorder tests replay below.
+void drive_mutations(ServiceCore& core) {
+  ServiceRequest route;
+  route.kind = MsgKind::kRoute;
+  ASSERT_EQ(core.handle(route).status, Status::kOk);
+
+  const FaultSchedule schedule =
+      FaultSchedule::random(core.topo().net, {.num_events = 6}, 0xD1CE);
+  ASSERT_FALSE(schedule.empty());
+  for (const FaultEvent& e : schedule) {
+    ASSERT_EQ(core.handle(make_fault(e)).status, Status::kOk);
+  }
+  ServiceRequest repair;
+  repair.kind = MsgKind::kRepair;
+  ASSERT_EQ(core.handle(repair).status, Status::kOk);
+}
+
+TEST(ServiceJournal, MutationsFlowThroughTheRecorder) {
+  obs::Registry reg;
+  ServiceCoreOptions options;
+  options.metrics = &reg;
+  options.journal = true;
+  options.journal_config = "kary-tree:4:2";
+  ServiceCore core(make_kary_ntree(4, 2), options);
+  ASSERT_NE(core.journal(), nullptr);
+  drive_mutations(core);
+
+  // journal_stats over the envelope: route, repair, fault events, batch,
+  // and two snapshot swaps (route's and the repair's).
+  ServiceRequest jstats;
+  jstats.kind = MsgKind::kJournalStats;
+  const ServiceResponse stats = core.handle(jstats);
+  ASSERT_EQ(stats.status, Status::kOk);
+  const auto& s = stats.journal_stats;
+  EXPECT_EQ(s.by_kind[1], 1u);  // route
+  EXPECT_EQ(s.by_kind[2], 1u);  // repair
+  EXPECT_EQ(s.by_kind[3], 6u);  // fault events
+  EXPECT_EQ(s.by_kind[4], 1u);  // coalesced batch
+  EXPECT_EQ(s.by_kind[5], 2u);  // snapshot swaps
+  EXPECT_EQ(s.dropped, 0u);
+  EXPECT_FALSE(s.sink_open);
+
+  // journal_tail streams the ring in seq order; the lookup path (not a
+  // mutation) must not have added records.
+  ServiceRequest jtail;
+  jtail.kind = MsgKind::kJournalTail;
+  jtail.journal_from_seq = 1;
+  const ServiceResponse tail = core.handle(jtail);
+  ASSERT_EQ(tail.status, Status::kOk);
+  ASSERT_EQ(tail.journal_records.size(), s.appended);
+  EXPECT_EQ(tail.journal_next_seq, s.appended + 1);
+  for (std::size_t i = 0; i < tail.journal_records.size(); ++i) {
+    EXPECT_EQ(tail.journal_records[i].seq, i + 1);
+  }
+  // Filtered tail: only snapshot swaps, with strictly increasing versions.
+  jtail.journal_kind = 5;
+  const ServiceResponse swaps = core.handle(jtail);
+  ASSERT_EQ(swaps.status, Status::kOk);
+  ASSERT_EQ(swaps.journal_records.size(), 2u);
+  EXPECT_EQ(swaps.journal_records[0].version_after, 1u);
+  EXPECT_EQ(swaps.journal_records[1].version_after, 2u);
+  EXPECT_NE(swaps.journal_records[0].table_digest,
+            swaps.journal_records[1].table_digest);
+}
+
+TEST(ServiceJournal, DisabledJournalIsAStructuredError) {
+  obs::Registry reg;
+  ServiceCoreOptions options;
+  options.metrics = &reg;
+  ServiceCore core(make_kary_ntree(4, 2), options);
+  EXPECT_EQ(core.journal(), nullptr);
+
+  ServiceRequest jtail;
+  jtail.kind = MsgKind::kJournalTail;
+  EXPECT_EQ(core.handle(jtail).status, Status::kErrBadArgument);
+  ServiceRequest jstats;
+  jstats.kind = MsgKind::kJournalStats;
+  EXPECT_EQ(core.handle(jstats).status, Status::kErrBadArgument);
+}
+
+TEST(ServiceJournal, ReplayReproducesTheJournalBitExactly) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "service_replay.dfjr";
+  std::remove(path.c_str());
+
+  {
+    obs::Registry reg;
+    ServiceCoreOptions options;
+    options.metrics = &reg;
+    options.journal = true;
+    options.journal_path = path;
+    options.journal_config = "kary-tree:4:2";
+    ServiceCore core(make_kary_ntree(4, 2), options);
+    drive_mutations(core);
+    ASSERT_TRUE(core.journal()->sink_ok()) << core.journal()->error();
+  }  // core destroyed: the segment is closed and complete
+
+  obs::journal::JournalFile file;
+  std::string error;
+  ASSERT_TRUE(obs::journal::read_journal(path, file, error)) << error;
+  EXPECT_EQ(file.topo_config, "kary-tree:4:2");
+  EXPECT_EQ(file.engine, "dfsssp");
+  ASSERT_GE(file.records.size(), 10u);  // 1+6+1 triggers + batch + 2 swaps
+
+  // A fresh core replays the recorded mutations and must emit the very
+  // same records — digests, versions, layer counts, seq numbering.
+  const auto target = make_inprocess_target(file);
+  const ReplayResult result = replay_journal(file, *target, true);
+  EXPECT_TRUE(result.error.empty()) << result.error;
+  for (const ReplayMismatch& m : result.mismatches) {
+    ADD_FAILURE() << "ts=" << m.logical_ts << ": " << m.detail;
+  }
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.transactions, 8u);  // route + 6 faults + repair
+  EXPECT_EQ(result.records_checked, file.records.size());
+  EXPECT_EQ(result.generations, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(ServiceJournal, ReplayDetectsTamperedRecords) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "service_tampered.dfjr";
+  std::remove(path.c_str());
+  {
+    obs::Registry reg;
+    ServiceCoreOptions options;
+    options.metrics = &reg;
+    options.journal = true;
+    options.journal_path = path;
+    options.journal_config = "kary-tree:4:2";
+    ServiceCore core(make_kary_ntree(4, 2), options);
+    drive_mutations(core);
+  }
+
+  obs::journal::JournalFile file;
+  std::string error;
+  ASSERT_TRUE(obs::journal::read_journal(path, file, error)) << error;
+
+  // Corrupt a recorded digest in memory: verification must flag exactly
+  // that transaction instead of passing or erroring out.
+  for (obs::journal::Record& r : file.records) {
+    if (r.kind == obs::journal::EventKind::kSnapshotSwap) {
+      r.table_digest ^= 1;
+      break;
+    }
+  }
+  const auto target = make_inprocess_target(file);
+  const ReplayResult result = replay_journal(file, *target, true);
+  EXPECT_FALSE(result.ok);
+  ASSERT_FALSE(result.mismatches.empty());
+  EXPECT_NE(result.mismatches.front().detail.find("table_digest"),
+            std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

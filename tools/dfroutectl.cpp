@@ -5,7 +5,9 @@
 //   dfroutectl --socket=... repair
 //   dfroutectl --socket=... lookup --src=0 --dst=5
 //   dfroutectl --socket=... lookups --count=1000   # CI load client
-//   dfroutectl --socket=... stats | info | shutdown
+//   dfroutectl --socket=... stats [--json] | info | shutdown
+//   dfroutectl --socket=... tail [--follow] [--kind=repair] [--from=N]
+//   dfroutectl --socket=... journal        # flight-recorder counters
 //
 // Exit codes: 0 on a kOk response (for `lookups`: all responses ok),
 // 1 on a structured error response, 2 on usage/transport failure.
@@ -15,10 +17,13 @@
 
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <string>
 
 #include "common/cli.hpp"
 #include "fault/schedule.hpp"
+#include "obs/journal/journal.hpp"
+#include "obs/report/json_value.hpp"
 #include "service/envelope.hpp"
 #include "service/frame.hpp"
 
@@ -38,8 +43,11 @@ int usage(const char* prog) {
       "            [--channel=C] [--switch=S]\n"
       "  lookup    --src=<switch id> --dst=<terminal id>\n"
       "  lookups   --count=N [--src-stride=K]  deterministic lookup loop\n"
-      "  stats                        metrics snapshot as JSON\n"
+      "  stats     [--json]           metrics summary (raw JSON with --json)\n"
       "  info                         snapshot version / daemon identity\n"
+      "  tail      [--follow] [--kind=<event kind>] [--from=SEQ] [--max=N]\n"
+      "                               stream flight-recorder records\n"
+      "  journal                      flight-recorder counters\n"
       "  shutdown                     begin drain; daemon exits 0\n",
       prog);
   return 2;
@@ -120,12 +128,170 @@ int print_outcome(const ServiceResponse& resp) {
           static_cast<unsigned long long>(resp.snapshot_swaps),
           unsigned{resp.layers},
           static_cast<unsigned long long>(resp.paths), resp.pending_events);
+      std::printf("uptime %.1f s, peak rss %.1f MiB\n",
+                  static_cast<double>(resp.uptime_ns) / 1e9,
+                  static_cast<double>(resp.peak_rss_bytes) /
+                      (1024.0 * 1024.0));
       break;
     case MsgKind::kShutdown:
       std::printf("draining\n");
       break;
+    case MsgKind::kJournalTail:
+      // Handled by run_tail; reaching here means a bare exchange.
+      for (const auto& rec : resp.journal_records) {
+        std::printf("%s\n", obs::journal::describe(rec).c_str());
+      }
+      break;
+    case MsgKind::kJournalStats: {
+      const obs::journal::JournalStats& s = resp.journal_stats;
+      std::printf(
+          "journal: %llu recorded (%u in ring of %u, %llu dropped), "
+          "next seq %llu\n",
+          static_cast<unsigned long long>(s.appended), s.size, s.capacity,
+          static_cast<unsigned long long>(s.dropped),
+          static_cast<unsigned long long>(s.next_seq));
+      static const char* const kKindNames[] = {
+          "?",    "route",          "repair", "fault_event",
+          "coalesced_batch", "snapshot_swap", "veto"};
+      for (int k = 1; k <= 6; ++k) {
+        if (s.by_kind[k] == 0) continue;
+        std::printf("  %-16s %llu\n", kKindNames[k],
+                    static_cast<unsigned long long>(s.by_kind[k]));
+      }
+      if (!s.sink_path.empty()) {
+        std::printf("  sink %s: %llu bytes%s\n", s.sink_path.c_str(),
+                    static_cast<unsigned long long>(s.disk_bytes),
+                    s.sink_failed ? " (FAILED)" : "");
+      }
+      break;
+    }
   }
   return 0;
+}
+
+/// Maps a --kind flag value to the journal's event-kind byte; 0 = all.
+/// Returns false for an unknown name.
+bool parse_event_kind(const std::string& name, std::uint8_t& out) {
+  out = 0;
+  if (name.empty()) return true;
+  for (std::uint8_t k = 1; k <= 6; ++k) {
+    if (name == obs::journal::to_string(
+                    static_cast<obs::journal::EventKind>(k))) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// `tail`: stream flight-recorder records, one describe() line each.
+/// --follow keeps polling (200 ms ticks) until the transport drops.
+int run_tail(int fd, const Cli& cli) {
+  const bool follow = cli.get_bool("follow", false);
+  std::uint8_t kind_filter = 0;
+  if (!parse_event_kind(cli.get("kind", ""), kind_filter)) {
+    std::fprintf(stderr,
+                 "tail: unknown --kind (want route|repair|fault_event|"
+                 "coalesced_batch|snapshot_swap|veto)\n");
+    return 2;
+  }
+  ServiceRequest req;
+  req.kind = MsgKind::kJournalTail;
+  req.journal_from_seq =
+      static_cast<std::uint64_t>(cli.get_int("from", 0));
+  req.journal_max = static_cast<std::uint32_t>(cli.get_int("max", 0));
+  req.journal_kind = kind_filter;
+  for (;;) {
+    ServiceResponse resp;
+    req.request_id++;
+    if (!exchange(fd, req, resp)) {
+      std::fprintf(stderr, "tail: transport failure\n");
+      return 2;
+    }
+    if (resp.status != Status::kOk) {
+      std::fprintf(stderr, "tail: %s (%s)\n", resp.error.c_str(),
+                   to_string(resp.status));
+      return 1;
+    }
+    for (const auto& rec : resp.journal_records) {
+      std::printf("%s\n", obs::journal::describe(rec).c_str());
+    }
+    std::fflush(stdout);
+    req.journal_from_seq = resp.journal_next_seq;
+    if (!follow) {
+      // One full drain: keep asking until the ring has nothing newer.
+      if (resp.journal_records.empty()) return 0;
+      continue;
+    }
+    if (resp.journal_records.empty()) ::usleep(200 * 1000);
+  }
+}
+
+/// Renders the stats JSON as tables; falls back to raw JSON when the
+/// payload does not parse (a newer daemon, say).
+void render_stats(const std::string& json) {
+  obs::JsonValue doc;
+  try {
+    doc = obs::JsonValue::parse(json);
+  } catch (const std::exception&) {
+    std::printf("%s\n", json.c_str());
+    return;
+  }
+
+  if (const obs::JsonValue* lat = doc.find("latency")) {
+    std::printf("request latency:\n");
+    std::printf("  %-8s %10s %12s %12s %12s %12s\n", "kind", "count",
+                "p50 ms", "p90 ms", "p99 ms", "max ms");
+    for (const auto& m : lat->members()) {
+      const auto ns_field = [&](const char* key) {
+        const obs::JsonValue* v = m.second.find(key);
+        return v != nullptr && v->is_number() ? v->as_double() / 1e6 : 0.0;
+      };
+      const obs::JsonValue* count = m.second.find("count");
+      std::printf("  %-8s %10llu %12.4f %12.4f %12.4f %12.4f\n",
+                  m.first.c_str(),
+                  static_cast<unsigned long long>(
+                      count != nullptr && count->is_integer()
+                          ? count->as_uint()
+                          : 0),
+                  ns_field("p50_ns"), ns_field("p90_ns"), ns_field("p99_ns"),
+                  ns_field("max_ns"));
+    }
+  }
+  if (const obs::JsonValue* proc = doc.find("process")) {
+    const obs::JsonValue* uptime = proc->find("uptime_ns");
+    const obs::JsonValue* rss = proc->find("peak_rss_bytes");
+    std::printf("process: uptime %.1f s, peak rss %.1f MiB\n",
+                uptime != nullptr && uptime->is_number()
+                    ? uptime->as_double() / 1e9
+                    : 0.0,
+                rss != nullptr && rss->is_number()
+                    ? rss->as_double() / (1024.0 * 1024.0)
+                    : 0.0);
+  }
+  const auto print_section = [&](const char* key, const char* title) {
+    const obs::JsonValue* sec = doc.find(key);
+    if (sec == nullptr || !sec->is_object() || sec->size() == 0) return;
+    std::printf("%s:\n", title);
+    for (const auto& m : sec->members()) {
+      if (m.second.is_object()) {
+        // Histogram reading: show the merged tallies, not the buckets.
+        const auto field = [&](const char* f) -> unsigned long long {
+          const obs::JsonValue* v = m.second.find(f);
+          return v != nullptr && v->is_number()
+                     ? static_cast<unsigned long long>(v->as_double())
+                     : 0;
+        };
+        std::printf("  %-40s count=%llu sum=%llu max=%llu\n", m.first.c_str(),
+                    field("count"), field("sum"), field("max"));
+      } else if (m.second.is_number()) {
+        std::printf("  %-40s %llu\n", m.first.c_str(),
+                    static_cast<unsigned long long>(m.second.as_double()));
+      }
+    }
+  };
+  print_section("metrics", "metrics");
+  print_section("timing_metrics", "timing metrics");
 }
 
 /// `lookups`: a deterministic read-load client for the CI soak job. Needs
@@ -231,8 +397,14 @@ int main(int argc, char** argv) {
     rc = run_lookup_loop(fd, cli);
     ::close(fd);
     return rc;
+  } else if (cmd == "tail") {
+    rc = run_tail(fd, cli);
+    ::close(fd);
+    return rc;
   } else if (cmd == "stats") {
     req.kind = MsgKind::kStats;
+  } else if (cmd == "journal") {
+    req.kind = MsgKind::kJournalStats;
   } else if (cmd == "info") {
     req.kind = MsgKind::kSnapshotInfo;
   } else if (cmd == "shutdown") {
@@ -246,6 +418,10 @@ int main(int argc, char** argv) {
   if (!exchange(fd, req, resp)) {
     std::fprintf(stderr, "dfroutectl: transport failure\n");
     rc = 2;
+  } else if (cmd == "stats" && resp.status == Status::kOk &&
+             !cli.get_bool("json", false)) {
+    render_stats(resp.stats_json);
+    rc = 0;
   } else {
     rc = print_outcome(resp);
   }

@@ -41,7 +41,11 @@ int usage(const char* prog) {
       "                see `dfbench engines`)\n"
       "  --max-layers  virtual-layer budget (default 8)\n"
       "  --socket      serve a unix-domain socket at <path>\n"
-      "  --pipe        serve one framed stream on stdin/stdout\n",
+      "  --pipe        serve one framed stream on stdin/stdout\n"
+      "  --journal     record every mutation in the flight recorder\n"
+      "                (serves `dfroutectl tail` / `journal`)\n"
+      "  --journal-file=PATH      also append a DFJR segment for dfreplay\n"
+      "  --journal-capacity=N     ring size in records (default 8192)\n",
       prog);
   return 2;
 }
@@ -62,6 +66,12 @@ int main(int argc, char** argv) {
   core_options.engine = cli.get("engine", "dfsssp");
   core_options.max_layers =
       static_cast<Layer>(cli.get_int("max-layers", 8));
+  core_options.journal_path = cli.get("journal-file", "");
+  core_options.journal =
+      cli.get_bool("journal", false) || !core_options.journal_path.empty();
+  core_options.journal_capacity =
+      static_cast<std::uint32_t>(cli.get_int("journal-capacity", 8192));
+  core_options.journal_config = topo_name;
 
   try {
     Topology topo = build_topology_config(topo_name);
